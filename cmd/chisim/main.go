@@ -1,0 +1,142 @@
+// Command chisim runs the chiSIM-style agent-based simulation: it
+// generates a synthetic population, simulates daily activity schedules at
+// one-hour resolution on a set of simulated ranks, and writes one
+// event-based activity log per rank (Sections II-III of the paper).
+//
+// Usage (single process, ranks as goroutines):
+//
+//	chisim -persons 20000 -days 28 -ranks 16 -logdir logs
+//
+// Distributed usage (one OS process per rank, TCP transport; every
+// process must receive identical -persons/-days/-seed values, which make
+// them generate identical populations, schedules and place partitions):
+//
+//	chisim -persons 20000 -days 28 -ranks 4 -dist-host :7946 ...   # rank 0
+//	chisim -persons 20000 -days 28 -ranks 4 -dist-join host:7946   # ranks 1..3
+//
+// The resulting logs/rankNNNN.h5l files feed cmd/netsynth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/abm"
+	"repro/internal/eventlog"
+	"repro/internal/mpi"
+	"repro/internal/mpinet"
+)
+
+func main() {
+	persons := flag.Int("persons", 20000, "synthetic population size")
+	days := flag.Int("days", 28, "simulated days")
+	ranks := flag.Int("ranks", 16, "simulated process count")
+	seed := flag.Uint64("seed", 2017, "root random seed")
+	logdir := flag.String("logdir", "logs", "directory for per-rank event logs")
+	cache := flag.Int("cache", eventlog.DefaultCacheEntries, "logger cache entries before each chunked write")
+	compress := flag.Bool("compress", false, "DEFLATE-compress log chunks")
+	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
+	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address (rank assigned by coordinator)")
+	flag.Parse()
+
+	p, err := repro.NewPipeline(repro.Config{
+		Persons: *persons, Days: *days, Seed: *seed, Ranks: *ranks,
+		CacheEntries: *cache, Compress: *compress,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("population: %d persons, %d places, %d neighborhoods\n",
+		p.Pop.NumPersons(), p.Pop.NumPlaces(), p.Pop.Neighborhoods())
+
+	if *distHost != "" || *distJoin != "" {
+		runDistributed(p, *distHost, *distJoin, *ranks, *logdir, eventlog.Config{
+			CacheEntries: *cache, Compress: *compress,
+		})
+		return
+	}
+
+	start := time.Now()
+	res, err := p.Simulate(*logdir)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("simulated %d hours on %d ranks in %s\n", res.Steps, *ranks, elapsed.Round(time.Millisecond))
+	fmt.Printf("events logged: %d (%.2f per person-day), %d chunked writes\n",
+		res.Entries, float64(res.Entries)/float64(*persons**days), res.Flushes)
+	fmt.Printf("log volume: %.2f MB across %d files in %s\n",
+		float64(res.LogBytes)/(1<<20), len(res.LogPaths), *logdir)
+	fmt.Printf("agent moves: %d local, %d inter-rank migrations\n", res.LocalMoves, res.Migrations)
+}
+
+// runDistributed executes one rank of the simulation in this process
+// over the TCP transport, then gathers and prints the combined summary
+// on rank 0.
+func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, logCfg eventlog.Config) {
+	var node *mpinet.Node
+	var err error
+	if hostAddr != "" {
+		node, err = mpinet.Host(hostAddr, ranks)
+		if err == nil {
+			fmt.Printf("rank 0 hosting on %s, waiting for %d peers\n", node.Addr(), ranks-1)
+		}
+	} else {
+		node, err = mpinet.Join(joinAddr)
+		if err == nil {
+			fmt.Printf("joined as rank %d of %d\n", node.Rank(), node.Size())
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+
+	if err := os.MkdirAll(logdir, 0o755); err != nil {
+		fatal(err)
+	}
+	// Every process derives the identical spatial partition from the
+	// shared seed; no partition data crosses the wire.
+	assign := p.SpatialAssignment(node.Size())
+	start := time.Now()
+	rr, err := abm.RunRank(mpi.Transport(node), abm.RankConfig{
+		Pop: p.Pop, Gen: p.Gen, Days: p.Days(), Assign: assign,
+		LogPath: filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
+		Log:     logCfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rank %d: %d entries, %d migrations out, wall %s\n",
+		node.Rank(), rr.Entries, rr.Migrations, time.Since(start).Round(time.Millisecond))
+
+	all, err := node.Gather(rr.Encode())
+	if err != nil {
+		fatal(err)
+	}
+	if node.Rank() != 0 {
+		return
+	}
+	var entries, bytes, migrations uint64
+	for _, blob := range all {
+		r, err := abm.DecodeRankResult(blob)
+		if err != nil {
+			fatal(err)
+		}
+		entries += r.Entries
+		bytes += r.LogBytes
+		migrations += r.Migrations
+	}
+	fmt.Printf("cluster total: %d entries, %.2f MB of logs, %d migrations across %d ranks\n",
+		entries, float64(bytes)/(1<<20), migrations, node.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chisim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation at a configurable scale and prints a markdown report.
+//
+// Usage:
+//
+//	experiments [-persons N] [-days D] [-ranks R] [-workers W]
+//	            [-seed S] [-out DIR] [-exp ID[,ID...]]
+//
+// With no -exp, every experiment runs in DESIGN.md order. Artifacts
+// (SVG figures, CSV series, simulation logs) are written under -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := experiments.DefaultScale()
+	persons := flag.Int("persons", scale.Persons, "synthetic population size")
+	days := flag.Int("days", scale.Days, "simulated days (analysis uses the final week)")
+	ranks := flag.Int("ranks", scale.Ranks, "simulated process count")
+	workers := flag.Int("workers", scale.Workers, "synthesis worker count")
+	seed := flag.Uint64("seed", scale.Seed, "root random seed")
+	out := flag.String("out", "out", "artifact output directory")
+	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all): "+strings.Join(experiments.IDs(), ","))
+	mdPath := flag.String("md", "", "also write the combined report to this markdown file")
+	flag.Parse()
+
+	scale.Persons, scale.Days, scale.Ranks, scale.Workers, scale.Seed = *persons, *days, *ranks, *workers, *seed
+
+	runner, err := experiments.NewRunner(scale, *out)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ids []string
+	if *exp == "" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	var combined strings.Builder
+	fmt.Fprintf(&combined, "# Experiment report — %d persons, %d days, %d ranks, %d workers, seed %d\n\n",
+		scale.Persons, scale.Days, scale.Ranks, scale.Workers, scale.Seed)
+	start := time.Now()
+	for _, id := range ids {
+		repStart := time.Now()
+		rep, err := runner.Run(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		text := rep.Render()
+		fmt.Print(text)
+		fmt.Printf("(%s in %s)\n\n", rep.ID, time.Since(repStart).Round(time.Millisecond))
+		combined.WriteString(text)
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *mdPath != "" {
+		if err := os.MkdirAll(filepath.Dir(*mdPath), 0o755); err != nil && filepath.Dir(*mdPath) != "." {
+			fatal(err)
+		}
+		if err := os.WriteFile(*mdPath, []byte(combined.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *mdPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command netstat analyzes a collocation network edge list (Section V.B
+// of the paper): degree distribution with power-law / truncated /
+// exponential fits, local clustering coefficient histogram, and
+// component structure.
+//
+// Usage:
+//
+//	netstat -n 20000 network.tsv
+//
+// -n sets the vertex-space size (the population); without it the largest
+// person ID in the file is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/netstat"
+)
+
+func main() {
+	n := flag.Int("n", 0, "population size (0 = infer from max person ID)")
+	workers := flag.Int("workers", 4, "clustering workers")
+	bins := flag.Int("bins", 20, "clustering histogram bins")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: netstat [flags] network.tsv"))
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tri, err := graph.ReadEdgeList(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	g := graph.FromTri(tri, *n)
+
+	fmt.Printf("network: %d vertices (%d with edges), %d edges, total weight %d\n",
+		g.NumVertices(), tri.Vertices(), g.NumEdges(), tri.TotalWeight())
+	labels, comps := g.ConnectedComponents()
+	_ = labels
+	fmt.Printf("components: %d, giant component %d vertices\n", comps, g.GiantComponentSize())
+	fmt.Printf("max degree: %d\n", g.MaxDegree())
+
+	hist := g.DegreeDistribution()
+	pts := netstat.Distribution(hist, g.NumVertices())
+	fmt.Printf("\ndegree distribution (%d distinct degrees):\n", len(pts))
+	show := pts
+	if len(show) > 12 {
+		show = show[:12]
+	}
+	for _, p := range show {
+		fmt.Printf("  k=%-6d count=%-8d frac=%.6f\n", p.K, p.Count, p.Frac)
+	}
+	if len(pts) > 12 {
+		fmt.Printf("  ... (%d more)\n", len(pts)-12)
+	}
+
+	if fit, err := netstat.FitPowerLaw(pts); err == nil {
+		fmt.Printf("\npower law:   %s\n", fit)
+	}
+	if fit, err := netstat.FitTruncatedPowerLaw(pts); err == nil {
+		fmt.Printf("truncated:   %s\n", fit)
+	}
+	if fit, err := netstat.FitExponential(pts); err == nil {
+		fmt.Printf("exponential: %s\n", fit)
+	}
+	if alpha, err := netstat.AlphaMLE(hist, 5); err == nil {
+		fmt.Printf("MLE alpha (k≥5): %.3f\n", alpha)
+	}
+
+	clust := g.ClusteringAll(*workers)
+	var vals []float64
+	atOne := 0
+	mean := 0.0
+	for v, c := range clust {
+		if g.Degree(uint32(v)) >= 2 {
+			vals = append(vals, c)
+			mean += c
+			if c >= 0.999999 {
+				atOne++
+			}
+		}
+	}
+	if len(vals) > 0 {
+		mean /= float64(len(vals))
+	}
+	fmt.Printf("\nlocal clustering (degree ≥ 2): mean %.3f, %d persons at c=1 (%.1f%%)\n",
+		mean, atOne, 100*float64(atOne)/float64(max(len(vals), 1)))
+	centers, counts := netstat.Histogram(vals, 0, 1, *bins)
+	for i := range centers {
+		fmt.Printf("  c≈%.3f %7d %s\n", centers[i], counts[i], bar(counts[i], counts))
+	}
+}
+
+func bar(v int, all []int) string {
+	maxC := 1
+	for _, c := range all {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	n := v * 50 / maxC
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command netsynth builds a person collocation network from chiSIM event
+// logs (Section IV of the paper): per-place sparse collocation matrices,
+// nnz load balancing across workers, parallel x·xᵀ, and reduction to a
+// single sparse triangular adjacency matrix, which it writes as an edge
+// list.
+//
+// Usage:
+//
+//	netsynth -t0 504 -t1 672 -o network.tsv logs/rank*.h5l
+//
+// Distributed usage (the paper runs the synthesis as batches of log
+// files across cluster jobs): give every process the identical file
+// list; files are striped across processes, partial networks are merged
+// on rank 0, which writes the output.
+//
+//	netsynth -dist-host :7947 -dist-size 4 -o network.tsv logs/*.h5l  # rank 0
+//	netsynth -dist-join host:7947 logs/*.h5l                          # ranks 1..3
+//
+// The output is a three-column TSV (person_i, person_j, hours) holding
+// the strict upper triangle of the adjacency matrix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mpinet"
+)
+
+func main() {
+	t0 := flag.Uint("t0", 0, "slice start hour (inclusive)")
+	t1 := flag.Uint("t1", 168, "slice end hour (exclusive)")
+	out := flag.String("o", "network.tsv", "output edge-list path")
+	workers := flag.Int("workers", 0, "synthesis workers (0 = all CPUs)")
+	balance := flag.String("balance", "nnz", "load balancing: nnz (paper) or none (naive)")
+	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
+	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address")
+	distSize := flag.Int("dist-size", 0, "total process count when hosting")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no log files given; usage: netsynth [flags] logs/rank*.h5l"))
+	}
+	mode := core.BalanceNNZ
+	if *balance == "none" {
+		mode = core.BalanceNone
+	}
+
+	if *distHost != "" || *distJoin != "" {
+		runDistributed(paths, uint32(*t0), uint32(*t1), core.Config{Workers: *workers, Balance: mode},
+			*distHost, *distJoin, *distSize, *out)
+		return
+	}
+
+	start := time.Now()
+	tri, stats, err := core.SynthesizeFiles(paths, uint32(*t0), uint32(*t1), core.Config{
+		Workers: *workers,
+		Balance: mode,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, tri); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("slice [%d,%d): %d entries at %d places, %d collocation nnz\n",
+		*t0, *t1, stats.Entries, stats.Places, stats.TotalNNZ)
+	fmt.Printf("network: %d vertices, %d edges, total weight %d\n",
+		tri.Vertices(), tri.NNZ(), tri.TotalWeight())
+	fmt.Printf("stage walls: load %s, build %s, gram %s, reduce %s (total %s)\n",
+		stats.Load.Round(time.Millisecond), stats.Build.Round(time.Millisecond),
+		stats.Gram.Round(time.Millisecond), stats.Reduce.Round(time.Millisecond),
+		elapsed.Round(time.Millisecond))
+	fmt.Printf("worker cost imbalance %.2f, idle fraction %.3f → %s\n",
+		stats.CostImbalance(), stats.IdleFraction(), *out)
+}
+
+// runDistributed stripes the log files across the processes of a TCP
+// cluster; rank 0 merges the partial networks and writes the edge list.
+func runDistributed(paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out string) {
+	var node *mpinet.Node
+	var err error
+	if hostAddr != "" {
+		if size < 1 {
+			fatal(fmt.Errorf("-dist-host requires -dist-size"))
+		}
+		node, err = mpinet.Host(hostAddr, size)
+		if err == nil {
+			fmt.Printf("rank 0 hosting on %s, waiting for %d peers\n", node.Addr(), size-1)
+		}
+	} else {
+		node, err = mpinet.Join(joinAddr)
+		if err == nil {
+			fmt.Printf("joined as rank %d of %d\n", node.Rank(), node.Size())
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+
+	start := time.Now()
+	tri, err := core.SynthesizeDistributed(node, paths, t0, t1, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rank %d done in %s\n", node.Rank(), time.Since(start).Round(time.Millisecond))
+	if node.Rank() != 0 {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, tri); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network: %d vertices, %d edges, total weight %d → %s\n",
+		tri.Vertices(), tri.NNZ(), tri.TotalWeight(), out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netsynth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Agegroups: the paper's Figure 5 analysis as a standalone program.
+// The population's collocation network is disaggregated by age group —
+// edges between groups are removed — and each group's within-group
+// degree distribution is characterized. Children's distributions are
+// flattened by school class-size caps; adult groups show the
+// institutional outliers the paper attributes to universities, prisons
+// and retirement communities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/netstat"
+	"repro/internal/synthpop"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p, err := repro.NewPipeline(repro.Config{
+		Persons: 20000,
+		Days:    7,
+		Seed:    11,
+		Ranks:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logDir, err := os.MkdirTemp("", "agegroups-logs-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(logDir)
+
+	sim, err := p.Simulate(logDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := p.Synthesize(sim.LogPaths, 0, 168)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full network: %d vertices, %d edges\n\n", net.Tri.Vertices(), net.Tri.NNZ())
+
+	counts := p.Pop.AgeGroupCounts()
+	for gi, groupNet := range p.AgeGroupNetworks(net) {
+		group := synthpop.AgeGroup(gi)
+		g := graph.FromTri(groupNet.Tri, p.Pop.NumPersons())
+		pts := netstat.Distribution(g.DegreeDistribution(), counts[gi])
+		fmt.Printf("age group %-5s  %6d persons  %8d within-group edges  max k %d\n",
+			group, counts[gi], groupNet.Tri.NNZ(), g.MaxDegree())
+		if len(pts) == 0 {
+			continue
+		}
+
+		// Characterize the log-log shape: power-law slope and the
+		// flatness of the low-degree head.
+		if fit, err := netstat.FitPowerLaw(pts); err == nil {
+			flat := "heavy-tailed"
+			if fit.Alpha < 0.5 {
+				flat = "nearly flat (the paper's school-cap signature)"
+			}
+			fmt.Printf("  power-law fit: α=%.2f R²=%.2f → %s\n", fit.Alpha, fit.R2, flat)
+		}
+
+		// Sketch the distribution in log-log bins.
+		binned := netstat.LogBin(pts, 3)
+		maxFrac := 0.0
+		for _, pt := range binned {
+			maxFrac = math.Max(maxFrac, pt.Frac)
+		}
+		for _, pt := range binned {
+			w := int(50 * pt.Frac / maxFrac)
+			fmt.Printf("  k≈%-5d %s\n", pt.K, hashes(w))
+		}
+		fmt.Println()
+	}
+}
+
+func hashes(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

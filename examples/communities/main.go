@@ -1,0 +1,84 @@
+// Communities: detects emergent macro-structure in the collocation
+// network — the "community detection algorithms that can capture
+// emergent macro level characteristics" route the paper's introduction
+// describes — and compares the detected communities against the
+// synthetic city's ground truth (households and neighborhoods) and
+// against random network models that lack such structure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/community"
+	"repro/internal/gennet"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p, err := repro.NewPipeline(repro.Config{
+		Persons: 15000,
+		Days:    7,
+		Seed:    21,
+		Ranks:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logDir, err := os.MkdirTemp("", "communities-logs-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(logDir)
+
+	sim, err := p.Simulate(logDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := p.Synthesize(sim.LogPaths, 0, 168)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph()
+	fmt.Printf("collocation network: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	src := rng.New(21)
+	labels, q := community.Louvain(g, src)
+	fmt.Printf("Louvain: %d communities, modularity %.3f\n", community.NumCommunities(labels), q)
+	sizes := community.Sizes(labels)
+	if len(sizes) > 8 {
+		sizes = sizes[:8]
+	}
+	fmt.Printf("largest communities: %v\n\n", sizes)
+
+	// Ground truth comparison.
+	houses := make([]int, p.Pop.NumPersons())
+	neighborhoods := make([]int, p.Pop.NumPersons())
+	for i := range p.Pop.Persons {
+		houses[i] = int(p.Pop.Persons[i].Home)
+		neighborhoods[i] = int(p.Pop.Places[p.Pop.Persons[i].Home].Neighborhood)
+	}
+	fmt.Printf("alignment with ground truth (normalized mutual information):\n")
+	fmt.Printf("  vs %5d households:    NMI %.3f\n", community.NumCommunities(houses), community.NMI(labels, houses))
+	fmt.Printf("  vs %5d neighborhoods: NMI %.3f\n", p.Pop.Neighborhoods(), community.NMI(labels, neighborhoods))
+
+	// Contrast: an Erdős–Rényi graph of the same size has no such
+	// structure — low modularity, no alignment.
+	er, err := gennet.ErdosRenyi(g.NumVertices(), g.NumEdges(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ger := graph.FromTri(er, g.NumVertices())
+	erLabels, erQ := community.Louvain(ger, src)
+	fmt.Printf("\nErdős–Rényi control (same n, m):\n")
+	fmt.Printf("  %d communities, modularity %.3f, NMI vs neighborhoods %.3f\n",
+		community.NumCommunities(erLabels), erQ, community.NMI(erLabels, neighborhoods))
+	fmt.Println("\nthe collocation network's community structure is an emergent property of")
+	fmt.Println("the simulated daily activities — it is not present in a random graph and")
+	fmt.Println("was never given to the detector as input.")
+}

@@ -1,0 +1,470 @@
+// Package abm implements the chiSIM-style agent-based simulation at the
+// heart of the paper: every person in the synthetic city follows their
+// daily activity schedule at one-hour resolution, moving between places
+// and interacting with the other agents present.
+//
+// The simulation runs on the mpi substrate exactly as the paper's Repast
+// HPC deployment does: places are distributed among ranks by a
+// partition.Assignment, each rank owns the agents currently located at
+// its places, and agents migrate between ranks when their next activity's
+// place is owned elsewhere. One event logger per rank records activity
+// changes (Section III), so log files shard naturally across ranks.
+//
+// Because schedules are deterministic per (person, day) and independent
+// of rank layout, the multiset of logged events — and therefore every
+// network derived from the logs — is identical for any rank count and
+// any place assignment. Tests rely on this invariant.
+package abm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/eventlog"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/synthpop"
+)
+
+// InteractFunc is called once per (rank, hour, place) with the agents
+// present, after all migrations for the hour have completed. It runs on
+// the owning rank's goroutine; implementations must not retain occupants.
+type InteractFunc func(rank int, hour uint32, place uint32, occupants []uint32)
+
+// Config configures a simulation run.
+type Config struct {
+	Pop *synthpop.Population
+	Gen *schedule.Generator
+	// Ranks is the number of simulated compute processes. Must be
+	// positive.
+	Ranks int
+	// Assign maps each place to its owning rank. If nil, a spatial
+	// partition is computed from a schedule sample.
+	Assign partition.Assignment
+	// Days is the simulated duration in days. Must be positive.
+	Days int
+	// LogDir, when non-empty, receives one event-log file per rank
+	// (rank0000.h5l, ...). When empty, logging is disabled.
+	LogDir string
+	// Log configures the per-rank loggers (cache size, compression,
+	// extension columns are not used by the core loop).
+	Log eventlog.Config
+	// FullStateLog switches from event-based logging to the naive
+	// every-agent-every-step log the paper contrasts against (one entry
+	// per agent per hour). Used by the A2 ablation.
+	FullStateLog bool
+	// Interact, when non-nil, is invoked for every occupied place at
+	// every hour.
+	Interact InteractFunc
+	// LogExt, when non-nil, supplies the extension-column values for
+	// each log entry (Section III: "Log entries can be extended by the
+	// addition of other integer entries to support the logging of agent
+	// properties such as a disease state"). It is called on the owning
+	// rank's goroutine at the moment the entry is written; the returned
+	// slice length must match Log.ExtColumns.
+	LogExt func(person uint32, stopHour uint32) []uint32
+}
+
+// Result summarizes a run.
+type Result struct {
+	// LogPaths are the per-rank log files (empty when logging disabled).
+	LogPaths []string
+	// Entries is the total number of log entries written.
+	Entries uint64
+	// Flushes is the total number of chunked disk writes.
+	Flushes uint64
+	// LogBytes is the total size of the log files on disk.
+	LogBytes uint64
+	// Migrations counts agent moves between ranks.
+	Migrations uint64
+	// LocalMoves counts place changes that stayed on-rank.
+	LocalMoves uint64
+	// Steps is the number of simulated hours.
+	Steps int
+}
+
+// agent is the per-rank state of one person: their current activity
+// segment. The schedule generator supplies the next segment on demand.
+type agent struct {
+	person uint32
+	seg    schedule.Segment
+}
+
+// Run executes the simulation and returns aggregate statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Pop == nil || cfg.Gen == nil {
+		return nil, fmt.Errorf("abm: Pop and Gen are required")
+	}
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("abm: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("abm: Days must be positive, got %d", cfg.Days)
+	}
+	assign := cfg.Assign
+	if assign == nil {
+		edges, loads := partition.TransitionGraph(cfg.Pop, cfg.Gen, minInt(cfg.Days, 7), cfg.Pop.NumPersons())
+		assign = partition.Spatial(cfg.Pop, edges, loads, cfg.Ranks)
+	}
+	if len(assign) != cfg.Pop.NumPlaces() {
+		return nil, fmt.Errorf("abm: assignment covers %d places, population has %d", len(assign), cfg.Pop.NumPlaces())
+	}
+	if err := assign.Validate(cfg.Ranks); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Steps: cfg.Days * schedule.HoursPerDay}
+	logging := cfg.LogDir != ""
+	if logging {
+		if err := os.MkdirAll(cfg.LogDir, 0o755); err != nil {
+			return nil, err
+		}
+		res.LogPaths = make([]string, cfg.Ranks)
+		for r := range res.LogPaths {
+			res.LogPaths[r] = filepath.Join(cfg.LogDir, fmt.Sprintf("rank%04d.h5l", r))
+		}
+	}
+
+	results := make([]RankResult, cfg.Ranks)
+	world := mpi.NewWorld(cfg.Ranks)
+	err := world.Run(func(c *mpi.Comm) error {
+		logPath := ""
+		if logging {
+			logPath = res.LogPaths[c.Rank()]
+		}
+		rr, err := RunRank(mpi.AsTransport(c), RankConfig{
+			Pop: cfg.Pop, Gen: cfg.Gen, Days: cfg.Days, Assign: assign,
+			LogPath: logPath, Log: cfg.Log, FullStateLog: cfg.FullStateLog,
+			Interact: cfg.Interact, LogExt: cfg.LogExt,
+		})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, rr := range results {
+		res.Entries += rr.Entries
+		res.Flushes += rr.Flushes
+		res.Migrations += rr.Migrations
+		res.LocalMoves += rr.LocalMoves
+		res.LogBytes += rr.LogBytes
+	}
+	return res, nil
+}
+
+// RankConfig configures a single rank's simulation for RunRank. Unlike
+// Config it names the rank's own log file explicitly (empty disables
+// logging on this rank) because in a distributed deployment each process
+// owns exactly one file.
+type RankConfig struct {
+	Pop          *synthpop.Population
+	Gen          *schedule.Generator
+	Days         int
+	Assign       partition.Assignment
+	LogPath      string
+	Log          eventlog.Config
+	FullStateLog bool
+	Interact     InteractFunc
+	LogExt       func(person uint32, stopHour uint32) []uint32
+}
+
+// RankResult is one rank's counters.
+type RankResult struct {
+	Entries    uint64
+	Flushes    uint64
+	LogBytes   uint64
+	Migrations uint64
+	LocalMoves uint64
+	LogPath    string
+}
+
+// Encode serializes the result for transport to rank 0 in a distributed
+// deployment.
+func (rr RankResult) Encode() []byte {
+	out := make([]byte, 0, 5*8+len(rr.LogPath))
+	var u [8]byte
+	le := binary.LittleEndian
+	for _, v := range [5]uint64{rr.Entries, rr.Flushes, rr.LogBytes, rr.Migrations, rr.LocalMoves} {
+		le.PutUint64(u[:], v)
+		out = append(out, u[:]...)
+	}
+	return append(out, rr.LogPath...)
+}
+
+// DecodeRankResult reverses Encode.
+func DecodeRankResult(b []byte) (RankResult, error) {
+	if len(b) < 5*8 {
+		return RankResult{}, fmt.Errorf("abm: rank result blob of %d bytes too short", len(b))
+	}
+	le := binary.LittleEndian
+	return RankResult{
+		Entries:    le.Uint64(b[0:]),
+		Flushes:    le.Uint64(b[8:]),
+		LogBytes:   le.Uint64(b[16:]),
+		Migrations: le.Uint64(b[24:]),
+		LocalMoves: le.Uint64(b[32:]),
+		LogPath:    string(b[40:]),
+	}, nil
+}
+
+// agentBytes is the wire size of one migrating agent: person ID plus the
+// four segment words.
+const agentBytes = 20
+
+func encodeAgents(agents []agent) []byte {
+	out := make([]byte, 0, len(agents)*agentBytes)
+	var u [4]byte
+	le := binary.LittleEndian
+	for _, a := range agents {
+		for _, v := range [5]uint32{a.person, a.seg.Start, a.seg.Stop, a.seg.Activity, a.seg.Place} {
+			le.PutUint32(u[:], v)
+			out = append(out, u[:]...)
+		}
+	}
+	return out
+}
+
+func decodeAgents(b []byte) ([]agent, error) {
+	if len(b)%agentBytes != 0 {
+		return nil, fmt.Errorf("abm: agent batch of %d bytes is not a multiple of %d", len(b), agentBytes)
+	}
+	le := binary.LittleEndian
+	out := make([]agent, 0, len(b)/agentBytes)
+	for off := 0; off < len(b); off += agentBytes {
+		out = append(out, agent{
+			person: le.Uint32(b[off:]),
+			seg: schedule.Segment{
+				Start:    le.Uint32(b[off+4:]),
+				Stop:     le.Uint32(b[off+8:]),
+				Activity: le.Uint32(b[off+12:]),
+				Place:    le.Uint32(b[off+16:]),
+			},
+		})
+	}
+	return out, nil
+}
+
+// RunRank executes one rank of the simulation over any Transport — the
+// in-process mpi world or the TCP-based mpinet for true multi-process
+// deployment. All ranks must use identical Pop, Gen, Days and Assign
+// values; determinism of the schedule generator guarantees they agree on
+// every agent's behavior without further coordination.
+//
+// Interact and LogExt hooks run with process-local state only: in a
+// distributed deployment each process sees just the agents it hosts.
+func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
+	rank, size := t.Rank(), t.Size()
+	var rr RankResult
+	if cfg.Pop == nil || cfg.Gen == nil {
+		return rr, fmt.Errorf("abm: Pop and Gen are required")
+	}
+	if cfg.Days <= 0 {
+		return rr, fmt.Errorf("abm: Days must be positive")
+	}
+	if err := cfg.Assign.Validate(size); err != nil {
+		return rr, err
+	}
+	if len(cfg.Assign) != cfg.Pop.NumPlaces() {
+		return rr, fmt.Errorf("abm: assignment covers %d places, population has %d", len(cfg.Assign), cfg.Pop.NumPlaces())
+	}
+	assign := cfg.Assign
+	endHour := uint32(cfg.Days * schedule.HoursPerDay)
+
+	var logger *eventlog.Logger
+	if cfg.LogPath != "" {
+		var err error
+		logger, err = eventlog.Create(cfg.LogPath, cfg.Log)
+		if err != nil {
+			return rr, err
+		}
+		defer logger.Close()
+		rr.LogPath = cfg.LogPath
+	}
+	logSegment := func(person uint32, s schedule.Segment, stop uint32) error {
+		if logger == nil {
+			return nil
+		}
+		var ext []uint32
+		if cfg.LogExt != nil {
+			ext = cfg.LogExt(person, stop)
+		}
+		return logger.Log(eventlog.Entry{
+			Start:    s.Start,
+			Stop:     stop,
+			Person:   person,
+			Activity: s.Activity,
+			Place:    s.Place,
+		}, ext...)
+	}
+
+	// Initial residency: each rank claims the agents whose first
+	// segment is at one of its places.
+	var local []agent
+	for p := range cfg.Pop.Persons {
+		seg := cfg.Gen.Day(uint32(p), 0)[0]
+		if assign[seg.Place] == rank {
+			local = append(local, agent{person: uint32(p), seg: seg})
+		}
+	}
+
+	// Per-place occupancy, maintained incrementally only when an
+	// interaction hook needs it.
+	var occupants map[uint32][]uint32
+	if cfg.Interact != nil {
+		occupants = make(map[uint32][]uint32)
+		for _, a := range local {
+			occupants[a.seg.Place] = append(occupants[a.seg.Place], a.person)
+		}
+	}
+	removeOccupant := func(place, person uint32) {
+		if occupants == nil {
+			return
+		}
+		list := occupants[place]
+		for i, v := range list {
+			if v == person {
+				list[i] = list[len(list)-1]
+				occupants[place] = list[:len(list)-1]
+				return
+			}
+		}
+	}
+
+	nextSegment := func(person uint32, hour uint32) schedule.Segment {
+		day := int(hour) / schedule.HoursPerDay
+		for _, s := range cfg.Gen.Day(person, day) {
+			if hour >= s.Start && hour < s.Stop {
+				return s
+			}
+		}
+		// Schedules tile the day, so this is unreachable.
+		panic(fmt.Sprintf("abm: person %d has no segment at hour %d", person, hour))
+	}
+
+	// Under FullStateLog the event-based segment logging is replaced
+	// by one entry per agent per hour, emitted at the bottom of the
+	// hour loop.
+	if cfg.FullStateLog {
+		logSegment = func(uint32, schedule.Segment, uint32) error { return nil }
+	}
+
+	for hour := uint32(0); hour < endHour; hour++ {
+		if hour > 0 {
+			// Agents whose segment expired decide their next
+			// activity and location.
+			outbox := make([][]agent, size)
+			kept := local[:0]
+			for _, a := range local {
+				if a.seg.Stop != hour {
+					kept = append(kept, a)
+					continue
+				}
+				if err := logSegment(a.person, a.seg, a.seg.Stop); err != nil {
+					return rr, err
+				}
+				removeOccupant(a.seg.Place, a.person)
+				next := nextSegment(a.person, hour)
+				owner := assign[next.Place]
+				a.seg = next
+				if owner == rank {
+					kept = append(kept, a)
+					rr.LocalMoves++
+					if occupants != nil {
+						occupants[next.Place] = append(occupants[next.Place], a.person)
+					}
+				} else {
+					outbox[owner] = append(outbox[owner], a)
+					rr.Migrations++
+				}
+			}
+			local = kept
+			blobs := make([][]byte, size)
+			for r := range outbox {
+				if len(outbox[r]) > 0 {
+					blobs[r] = encodeAgents(outbox[r])
+				}
+			}
+			incoming, err := t.Exchange(blobs)
+			if err != nil {
+				return rr, err
+			}
+			for _, blob := range incoming {
+				batch, err := decodeAgents(blob)
+				if err != nil {
+					return rr, err
+				}
+				for _, a := range batch {
+					local = append(local, a)
+					if occupants != nil {
+						occupants[a.seg.Place] = append(occupants[a.seg.Place], a.person)
+					}
+				}
+			}
+		}
+
+		if cfg.Interact != nil {
+			for place, who := range occupants {
+				if len(who) > 0 {
+					cfg.Interact(rank, hour, place, who)
+				}
+			}
+		}
+
+		if cfg.FullStateLog && logger != nil {
+			for _, a := range local {
+				e := eventlog.Entry{
+					Start:    hour,
+					Stop:     hour + 1,
+					Person:   a.person,
+					Activity: a.seg.Activity,
+					Place:    a.seg.Place,
+				}
+				if err := logger.Log(e); err != nil {
+					return rr, err
+				}
+			}
+		}
+	}
+
+	// Close out the final in-progress segments.
+	if !cfg.FullStateLog {
+		for _, a := range local {
+			stop := a.seg.Stop
+			if stop > endHour {
+				stop = endHour
+			}
+			if err := logSegment(a.person, a.seg, stop); err != nil {
+				return rr, err
+			}
+		}
+	}
+	if logger != nil {
+		if err := logger.Flush(); err != nil {
+			return rr, err
+		}
+		rr.Entries = logger.Logged()
+		rr.Flushes = uint64(logger.Flushes())
+		if err := logger.Close(); err != nil {
+			return rr, err
+		}
+		if st, err := os.Stat(cfg.LogPath); err == nil {
+			rr.LogBytes = uint64(st.Size())
+		}
+	}
+	return rr, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+// Package batch simulates a shared-cluster batch queue, reproducing the
+// paper's Section V observation about job-size strategy: the synthesis
+// workload was split into "several smaller jobs of 64 processes",
+// because those "are generally processed more quickly in the queue than
+// one large job of 1024 processes".
+//
+// The simulator is event-driven over a fixed pool of process slots with
+// two scheduling policies: strict FIFO and EASY backfill (a later job may
+// start early only if it cannot delay the reservation of the queue
+// head). Both are standard policies on production clusters like the
+// Blues machine used in the paper.
+package batch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the queue scheduling discipline.
+type Policy int
+
+const (
+	// FIFO starts jobs strictly in submission order.
+	FIFO Policy = iota
+	// Backfill is FIFO plus EASY backfill: a queued job may jump ahead
+	// if it fits in currently idle slots and finishes before the queue
+	// head's reservation time (or uses slots the head will not need).
+	Backfill
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Backfill:
+		return "backfill"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Job is one batch submission.
+type Job struct {
+	// ID identifies the job in results.
+	ID int
+	// Procs is the number of process slots required.
+	Procs int
+	// Duration is the run time once started.
+	Duration float64
+	// Submit is the submission time.
+	Submit float64
+}
+
+// Result records when a job started and finished.
+type Result struct {
+	Job
+	Start, Finish float64
+}
+
+// Simulate runs the queue until every job completes and returns results
+// in the order of the input jobs. It returns an error if any job needs
+// more slots than the cluster has.
+func Simulate(slots int, jobs []Job, policy Policy) ([]Result, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("batch: cluster must have positive slots")
+	}
+	for _, j := range jobs {
+		if j.Procs <= 0 || j.Procs > slots {
+			return nil, fmt.Errorf("batch: job %d needs %d of %d slots", j.ID, j.Procs, slots)
+		}
+		if j.Duration < 0 || j.Submit < 0 {
+			return nil, fmt.Errorf("batch: job %d has negative duration or submit time", j.ID)
+		}
+	}
+
+	// Pending jobs ordered by submission (stable for ties).
+	pending := make([]Job, len(jobs))
+	copy(pending, jobs)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Submit < pending[j].Submit })
+
+	type running struct {
+		job    Job
+		finish float64
+	}
+	var queue []Job // submitted, not yet started, FIFO order
+	var active []running
+	free := slots
+	now := 0.0
+	results := make(map[int]Result, len(jobs))
+
+	finishSmallest := func() float64 {
+		min := -1.0
+		for _, r := range active {
+			if min < 0 || r.finish < min {
+				min = r.finish
+			}
+		}
+		return min
+	}
+
+	start := func(j Job) {
+		free -= j.Procs
+		active = append(active, running{job: j, finish: now + j.Duration})
+		results[j.ID] = Result{Job: j, Start: now, Finish: now + j.Duration}
+	}
+
+	// tryStart launches every queued job the policy allows at `now`.
+	tryStart := func() {
+		for len(queue) > 0 && queue[0].Procs <= free {
+			start(queue[0])
+			queue = queue[1:]
+		}
+		if policy != Backfill || len(queue) == 0 {
+			return
+		}
+		// EASY backfill: compute the head's reservation.
+		head := queue[0]
+		fins := make([]running, len(active))
+		copy(fins, active)
+		sort.Slice(fins, func(i, j int) bool { return fins[i].finish < fins[j].finish })
+		avail := free
+		shadow := now
+		for _, r := range fins {
+			if avail >= head.Procs {
+				break
+			}
+			avail += r.job.Procs
+			shadow = r.finish
+		}
+		// Slots left over at the shadow time after the head starts.
+		extra := avail - head.Procs
+		for i := 1; i < len(queue); {
+			j := queue[i]
+			if j.Procs <= free && (now+j.Duration <= shadow || j.Procs <= extra) {
+				if j.Procs <= extra {
+					extra -= j.Procs
+				}
+				start(j)
+				queue = append(queue[:i], queue[i+1:]...)
+				continue
+			}
+			i++
+		}
+	}
+
+	for len(pending) > 0 || len(queue) > 0 || len(active) > 0 {
+		// Advance to the next event: a submission or a completion.
+		next := -1.0
+		if len(pending) > 0 {
+			next = pending[0].Submit
+		}
+		if f := finishSmallest(); f >= 0 && (next < 0 || f < next) {
+			next = f
+		}
+		if next < now {
+			next = now
+		}
+		now = next
+
+		// Process completions at `now`.
+		kept := active[:0]
+		for _, r := range active {
+			if r.finish <= now {
+				free += r.job.Procs
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		active = kept
+
+		// Process submissions at `now`.
+		for len(pending) > 0 && pending[0].Submit <= now {
+			queue = append(queue, pending[0])
+			pending = pending[1:]
+		}
+
+		tryStart()
+	}
+
+	out := make([]Result, len(jobs))
+	for i, j := range jobs {
+		out[i] = results[j.ID]
+	}
+	return out, nil
+}
+
+// Makespan returns the latest finish time among the results with the
+// given IDs (all results when ids is nil).
+func Makespan(results []Result, ids map[int]bool) float64 {
+	max := 0.0
+	for _, r := range results {
+		if ids != nil && !ids[r.ID] {
+			continue
+		}
+		if r.Finish > max {
+			max = r.Finish
+		}
+	}
+	return max
+}
+
+// WaitTime returns the mean queue wait of the results with the given IDs
+// (all results when ids is nil).
+func WaitTime(results []Result, ids map[int]bool) float64 {
+	sum, n := 0.0, 0
+	for _, r := range results {
+		if ids != nil && !ids[r.ID] {
+			continue
+		}
+		sum += r.Start - r.Submit
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,464 @@
+// Package core implements the paper's primary contribution: parallel
+// synthesis of person collocation networks from simulation event logs
+// (Section IV).
+//
+// The pipeline mirrors the paper's four steps:
+//
+//  1. Data loading — log entries are read from per-rank H5-lite files and
+//     sub-set to the requested time slice (the paper's data.table step).
+//  2. Collocation matrix creation — for every place occurring in the
+//     slice, a sparse binary p×t matrix x is built in parallel, with a 1
+//     wherever a person was present at the place during a time slot.
+//  3. Load balancing — the per-place matrices are partitioned across
+//     workers by nonzero count (LPT), the step the paper calls "crucial
+//     to achieve even load balancing": collocated-person counts per place
+//     range from a single individual to tens of thousands.
+//  4. Adjacency creation and reduction — each worker computes A_l = x·xᵀ
+//     for its places, accumulating into a private sparse triangular
+//     matrix; worker matrices are then reduced into the final A = Σ A_l.
+//
+// Workers are goroutines standing in for the paper's SNOW/Rmpi worker
+// processes. The result is provably independent of the worker count; the
+// tests check bit-for-bit equality across worker counts and against a
+// brute-force simulator trace.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/eventlog"
+	"repro/internal/mpi"
+	"repro/internal/sparse"
+)
+
+// BalanceMode selects how per-place matrices are assigned to workers in
+// stage 4.
+type BalanceMode int
+
+const (
+	// BalanceNNZ partitions matrices by nonzero count, largest first
+	// (the paper's method).
+	BalanceNNZ BalanceMode = iota
+	// BalanceNone assigns places to workers round-robin in place-ID
+	// order — the ablation baseline the paper warns about, under which
+	// "some workers would sit idle while others would be working for
+	// extended periods".
+	BalanceNone
+)
+
+func (m BalanceMode) String() string {
+	switch m {
+	case BalanceNNZ:
+		return "nnz"
+	case BalanceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("balancemode(%d)", int(m))
+	}
+}
+
+// Config configures a synthesis run.
+type Config struct {
+	// Workers is the parallel worker count; zero selects GOMAXPROCS.
+	Workers int
+	// Balance selects the stage-4 load-balancing strategy.
+	Balance BalanceMode
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats reports what a synthesis run did, including the per-worker busy
+// times that expose load imbalance.
+type Stats struct {
+	// Entries is the number of log entries that overlapped the slice.
+	Entries int
+	// Places is the number of distinct places in the slice.
+	Places int
+	// SliceHours is the width t of the collocation matrices.
+	SliceHours int
+	// TotalNNZ is the summed nonzero count of all collocation matrices.
+	TotalNNZ int
+	// WorkerCost is the pairwise-work weight assigned to each stage-4
+	// worker by the balancer.
+	WorkerCost []int
+	// WorkerBusy is each stage-4 worker's gram-computation time.
+	WorkerBusy []time.Duration
+	// Load, Build, Gram, Reduce are per-stage wall times.
+	Load, Build, Gram, Reduce time.Duration
+}
+
+// IdleFraction returns the mean fraction of stage-4 wall time workers
+// spent idle: 1 - mean(busy)/max(busy). Zero when perfectly balanced.
+func (s *Stats) IdleFraction() float64 {
+	if len(s.WorkerBusy) == 0 {
+		return 0
+	}
+	var max, sum time.Duration
+	for _, b := range s.WorkerBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.WorkerBusy))
+	return 1 - mean/float64(max)
+}
+
+// CostImbalance returns max(worker cost)/mean(worker cost); 1.0 is
+// perfectly balanced.
+func (s *Stats) CostImbalance() float64 {
+	if len(s.WorkerCost) == 0 {
+		return 1
+	}
+	max, sum := 0, 0
+	for _, n := range s.WorkerCost {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(s.WorkerCost))
+	return float64(max) / mean
+}
+
+// ModelSpeedup returns total worker cost divided by the maximum worker
+// cost — the stage-4 speedup the partition would achieve on perfectly
+// parallel hardware. Unlike wall-clock measurements it is independent of
+// the host's core count.
+func (s *Stats) ModelSpeedup() float64 {
+	if len(s.WorkerCost) == 0 {
+		return 1
+	}
+	max, sum := 0, 0
+	for _, n := range s.WorkerCost {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(sum) / float64(max)
+}
+
+// SynthesizeEntries builds the collocation network for the time slice
+// [t0, t1) from in-memory log entries.
+func SynthesizeEntries(entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	if t1 <= t0 {
+		return nil, nil, fmt.Errorf("core: empty time slice [%d,%d)", t0, t1)
+	}
+	stats := &Stats{SliceHours: int(t1 - t0)}
+
+	// Stage 1b: sub-set to the slice and group by place.
+	start := time.Now()
+	byPlace := make(map[uint32][]eventlog.Entry)
+	for _, e := range entries {
+		if e.Start < t1 && e.Stop > t0 {
+			byPlace[e.Place] = append(byPlace[e.Place], e)
+			stats.Entries++
+		}
+	}
+	placeIDs := make([]uint32, 0, len(byPlace))
+	for p := range byPlace {
+		placeIDs = append(placeIDs, p)
+	}
+	sort.Slice(placeIDs, func(i, j int) bool { return placeIDs[i] < placeIDs[j] })
+	stats.Places = len(placeIDs)
+	stats.Load = time.Since(start)
+
+	// Stage 2: per-place collocation matrices, built in parallel.
+	start = time.Now()
+	mats := buildCollocationMatrices(byPlace, placeIDs, t0, t1, cfg.workers())
+	for _, m := range mats {
+		stats.TotalNNZ += m.nnz
+	}
+	stats.Build = time.Since(start)
+
+	// Stage 3: partition matrices across workers.
+	assignments := balance(mats, cfg.workers(), cfg.Balance)
+	stats.WorkerCost = make([]int, len(assignments))
+	for w, list := range assignments {
+		for _, m := range list {
+			stats.WorkerCost[w] += m.cost
+		}
+	}
+
+	// Stage 4: parallel x·xᵀ. Each worker appends pair entries to a
+	// private slice and coalesces it into a sorted triangular matrix —
+	// "each worker finally sums the set of adjacency matrices it has
+	// created".
+	start = time.Now()
+	tris := make([]*sparse.Tri, len(assignments))
+	stats.WorkerBusy = make([]time.Duration, len(assignments))
+	var wg sync.WaitGroup
+	for w := range assignments {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := time.Now()
+			var entries []sparse.Entry
+			for _, m := range assignments[w] {
+				entries = m.bm.GramAppend(entries)
+			}
+			tris[w] = sparse.TriFromEntries(entries)
+			stats.WorkerBusy[w] = time.Since(t)
+		}(w)
+	}
+	wg.Wait()
+	stats.Gram = time.Since(start)
+
+	// ... and reduction of the worker matrices to a single adjacency
+	// matrix on the root.
+	start = time.Now()
+	final := sparse.MergeTris(tris...)
+	stats.Reduce = time.Since(start)
+
+	return final, stats, nil
+}
+
+// placeMatrix pairs a place's collocation matrix with its balancing
+// weights: nnz (set bits, reported in Stats.TotalNNZ) and cost, the
+// pairwise-work estimate the balancer uses. The paper balances on "the
+// number of nonzero elements ... the amount of collocated persons at
+// that location"; since the x·xᵀ work is quadratic in the collocated
+// person count, the LPT weight is that count squared (times the bitset
+// width).
+type placeMatrix struct {
+	place uint32
+	bm    *sparse.BitMatrix
+	nnz   int
+	cost  int
+}
+
+// buildCollocationMatrices runs stage 2 with a bounded worker pool.
+func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []uint32, t0, t1 uint32, workers int) []placeMatrix {
+	mats := make([]placeMatrix, len(placeIDs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(placeIDs) {
+					return
+				}
+				place := placeIDs[i]
+				bm := sparse.NewBitMatrix(int(t1 - t0))
+				for _, e := range byPlace[place] {
+					lo, hi := e.Start, e.Stop
+					if lo < t0 {
+						lo = t0
+					}
+					if hi > t1 {
+						hi = t1
+					}
+					bm.SetRange(e.Person, int(lo-t0), int(hi-t0))
+				}
+				mats[i] = placeMatrix{place: place, bm: bm, nnz: bm.NNZ(), cost: bm.GramCost()}
+			}
+		}()
+	}
+	wg.Wait()
+	return mats
+}
+
+// balance implements stage 3. BalanceNNZ uses longest-processing-time
+// greedy assignment on the pairwise-work weight; BalanceNone splits the
+// place list into contiguous equal-count chunks, which is what a naive
+// parallel map (R SNOW's clusterSplit, the paper's implied baseline)
+// does.
+func balance(mats []placeMatrix, workers int, mode BalanceMode) [][]placeMatrix {
+	out := make([][]placeMatrix, workers)
+	switch mode {
+	case BalanceNone:
+		chunk := (len(mats) + workers - 1) / workers
+		for i, m := range mats {
+			w := 0
+			if chunk > 0 {
+				w = i / chunk
+			}
+			if w >= workers {
+				w = workers - 1
+			}
+			out[w] = append(out[w], m)
+		}
+	default: // BalanceNNZ
+		order := make([]int, len(mats))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return mats[order[a]].cost > mats[order[b]].cost })
+		loads := make([]int, workers)
+		for _, i := range order {
+			least := 0
+			for w := 1; w < workers; w++ {
+				if loads[w] < loads[least] {
+					least = w
+				}
+			}
+			out[least] = append(out[least], mats[i])
+			loads[least] += mats[i].cost
+		}
+	}
+	return out
+}
+
+// SynthesizeFile builds the collocation network for [t0, t1) from one
+// log file.
+func SynthesizeFile(path string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	r, err := eventlog.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	loadStart := time.Now()
+	entries, err := r.TimeSlice(t0, t1)
+	if err != nil {
+		return nil, nil, err
+	}
+	load := time.Since(loadStart)
+	tri, stats, err := SynthesizeEntries(entries, t0, t1, cfg)
+	if stats != nil {
+		stats.Load += load
+	}
+	return tri, stats, err
+}
+
+// SynthesizeDistributed runs the synthesis across the ranks of a
+// Transport: rank r processes the log files paths[r], paths[r+size], ...
+// (the paper's batching of log files across cluster jobs), each rank
+// reduces its files to one partial adjacency matrix, and rank 0 gathers
+// and merges the partials into the complete network. Only rank 0
+// receives the result; other ranks return (nil, nil).
+//
+// Every rank must pass the identical paths slice; files a rank cannot
+// reach locally are simply assigned to the ranks that can reach them by
+// ordering paths accordingly.
+func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no log files given")
+	}
+	var mine []string
+	for i := t.Rank(); i < len(paths); i += t.Size() {
+		mine = append(mine, paths[i])
+	}
+	partial := sparse.NewAccum().Tri()
+	if len(mine) > 0 {
+		var err error
+		partial, _, err = SynthesizeFiles(mine, t0, t1, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	blob, err := partial.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	gathered, err := t.Gather(blob)
+	if err != nil {
+		return nil, err
+	}
+	if t.Rank() != 0 {
+		return nil, nil
+	}
+	tris := make([]*sparse.Tri, len(gathered))
+	for i, b := range gathered {
+		var tr sparse.Tri
+		if err := tr.UnmarshalBinary(b); err != nil {
+			return nil, fmt.Errorf("core: partial from rank %d: %w", i, err)
+		}
+		tris[i] = &tr
+	}
+	return sparse.MergeTris(tris...), nil
+}
+
+// SynthesizeSeries builds one collocation network per consecutive time
+// slice of width sliceHours covering [t0, t1) — the paper's "arbitrary
+// time granularity, e.g., hourly, daily, weekly or monthly aggregates".
+// The final slice is clipped at t1. Summing the returned networks (for
+// example with sparse.MergeTris) equals a single synthesis over the full
+// window.
+func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]*sparse.Tri, error) {
+	if sliceHours == 0 {
+		return nil, fmt.Errorf("core: sliceHours must be positive")
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("core: empty window [%d,%d)", t0, t1)
+	}
+	var out []*sparse.Tri
+	for lo := t0; lo < t1; lo += sliceHours {
+		hi := lo + sliceHours
+		if hi > t1 {
+			hi = t1
+		}
+		tri, _, err := SynthesizeFiles(paths, lo, hi, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tri)
+	}
+	return out, nil
+}
+
+// SynthesizeFiles processes each log file independently (the paper's
+// per-file batching) and sums the per-file adjacency matrices into the
+// complete network. Files are processed sequentially; parallelism lives
+// inside each file's synthesis, matching the paper's batch structure.
+// The returned Stats aggregates all files.
+func SynthesizeFiles(paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("core: no log files given")
+	}
+	var tris []*sparse.Tri
+	agg := &Stats{SliceHours: int(t1 - t0)}
+	for _, p := range paths {
+		tri, stats, err := SynthesizeFile(p, t0, t1, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
+		}
+		tris = append(tris, tri)
+		agg.Entries += stats.Entries
+		agg.Places += stats.Places
+		agg.TotalNNZ += stats.TotalNNZ
+		agg.Load += stats.Load
+		agg.Build += stats.Build
+		agg.Gram += stats.Gram
+		agg.Reduce += stats.Reduce
+		// Per-worker loads sum element-wise across files (the worker
+		// count is fixed by cfg, so slots line up).
+		if agg.WorkerCost == nil {
+			agg.WorkerCost = make([]int, len(stats.WorkerCost))
+			agg.WorkerBusy = make([]time.Duration, len(stats.WorkerBusy))
+		}
+		for w := range stats.WorkerCost {
+			agg.WorkerCost[w] += stats.WorkerCost[w]
+			agg.WorkerBusy[w] += stats.WorkerBusy[w]
+		}
+	}
+	start := time.Now()
+	total := sparse.MergeTris(tris...)
+	agg.Reduce += time.Since(start)
+	return total, agg, nil
+}

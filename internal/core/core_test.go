@@ -1,0 +1,497 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abm"
+	"repro/internal/eventlog"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/sparse"
+	"repro/internal/synthpop"
+)
+
+// bruteForce computes pair weights by simulating occupancy hour by hour.
+func bruteForce(entries []eventlog.Entry, t0, t1 uint32) map[[2]uint32]uint32 {
+	out := make(map[[2]uint32]uint32)
+	for h := t0; h < t1; h++ {
+		at := make(map[uint32][]uint32) // place -> persons (deduped)
+		seen := make(map[[2]uint32]bool)
+		for _, e := range entries {
+			if e.Start <= h && h < e.Stop {
+				k := [2]uint32{e.Place, e.Person}
+				if !seen[k] {
+					seen[k] = true
+					at[e.Place] = append(at[e.Place], e.Person)
+				}
+			}
+		}
+		for _, persons := range at {
+			for i := 0; i < len(persons); i++ {
+				for j := i + 1; j < len(persons); j++ {
+					a, b := persons[i], persons[j]
+					if a > b {
+						a, b = b, a
+					}
+					out[[2]uint32{a, b}]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randomEntries(seed uint64, n int) []eventlog.Entry {
+	r := rng.New(seed)
+	entries := make([]eventlog.Entry, n)
+	for i := range entries {
+		start := uint32(r.Intn(48))
+		entries[i] = eventlog.Entry{
+			Start:    start,
+			Stop:     start + 1 + uint32(r.Intn(12)),
+			Person:   uint32(r.Intn(25)),
+			Activity: uint32(r.Intn(4)),
+			Place:    uint32(r.Intn(8)),
+		}
+	}
+	return entries
+}
+
+func TestSynthesizeMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		entries := randomEntries(seed, 120)
+		tri, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(entries, 0, 48)
+		if tri.NNZ() != len(want) {
+			t.Fatalf("seed %d: %d edges, want %d", seed, tri.NNZ(), len(want))
+		}
+		for pair, w := range want {
+			if got := tri.Weight(pair[0], pair[1]); got != w {
+				t.Fatalf("seed %d: weight(%d,%d) = %d, want %d", seed, pair[0], pair[1], got, w)
+			}
+		}
+		if stats.Entries != len(entries) {
+			t.Fatalf("stats.Entries = %d", stats.Entries)
+		}
+	}
+}
+
+func TestSliceClipping(t *testing.T) {
+	// One pair collocated over hours 0..10; slicing [4,8) must count 4.
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 10, Person: 1, Place: 7},
+		{Start: 0, Stop: 10, Person: 2, Place: 7},
+	}
+	tri, _, err := SynthesizeEntries(entries, 4, 8, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tri.Weight(1, 2); got != 4 {
+		t.Fatalf("clipped weight = %d, want 4", got)
+	}
+}
+
+func TestEntriesOutsideSliceIgnored(t *testing.T) {
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 5, Person: 1, Place: 7},
+		{Start: 0, Stop: 5, Person: 2, Place: 7},
+		{Start: 10, Stop: 20, Person: 3, Place: 7},
+	}
+	tri, stats, err := SynthesizeEntries(entries, 10, 20, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.NNZ() != 0 {
+		t.Fatalf("edges from outside slice: %d", tri.NNZ())
+	}
+	if stats.Entries != 1 {
+		t.Fatalf("stats.Entries = %d, want 1", stats.Entries)
+	}
+}
+
+func TestEmptySliceRejected(t *testing.T) {
+	if _, _, err := SynthesizeEntries(nil, 10, 10, Config{}); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if _, _, err := SynthesizeEntries(nil, 10, 5, Config{}); err == nil {
+		t.Fatal("inverted slice accepted")
+	}
+}
+
+func TestNoEntriesYieldsEmptyNetwork(t *testing.T) {
+	tri, stats, err := SynthesizeEntries(nil, 0, 24, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.NNZ() != 0 || stats.Places != 0 || stats.TotalNNZ != 0 {
+		t.Fatal("empty input produced a non-empty network")
+	}
+}
+
+func TestResultIndependentOfWorkers(t *testing.T) {
+	entries := randomEntries(77, 400)
+	var ref *sparse.Tri
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		tri, _, err := SynthesizeEntries(entries, 0, 60, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = tri
+			continue
+		}
+		if !tri.Equal(ref) {
+			t.Fatalf("workers=%d produced a different network", workers)
+		}
+	}
+}
+
+func TestResultIndependentOfBalanceMode(t *testing.T) {
+	entries := randomEntries(88, 400)
+	a, _, err := SynthesizeEntries(entries, 0, 60, Config{Workers: 4, Balance: BalanceNNZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SynthesizeEntries(entries, 0, 60, Config{Workers: 4, Balance: BalanceNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("balance mode changed the network")
+	}
+}
+
+func TestWorkerNNZAccounting(t *testing.T) {
+	entries := randomEntries(99, 500)
+	_, stats, err := SynthesizeEntries(entries, 0, 60, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, n := range stats.WorkerCost {
+		sum += n
+	}
+	if sum == 0 {
+		t.Fatal("no worker cost recorded")
+	}
+	if imb := stats.CostImbalance(); imb < 1 {
+		t.Fatalf("CostImbalance = %v < 1", imb)
+	}
+}
+
+func TestBalancedBeatsNaiveOnSkewedPlaces(t *testing.T) {
+	// One huge place plus many tiny ones: round-robin gives the huge
+	// place plus an equal share of tiny ones to one worker.
+	var entries []eventlog.Entry
+	for p := uint32(0); p < 40; p++ {
+		entries = append(entries, eventlog.Entry{Start: 0, Stop: 24, Person: p, Place: 999})
+	}
+	for p := uint32(100); p < 140; p++ {
+		entries = append(entries, eventlog.Entry{Start: 0, Stop: 2, Person: p, Place: p})
+	}
+	_, balanced, err := SynthesizeEntries(entries, 0, 24, Config{Workers: 4, Balance: BalanceNNZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, naive, err := SynthesizeEntries(entries, 0, 24, Config{Workers: 4, Balance: BalanceNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.CostImbalance() > naive.CostImbalance() {
+		t.Fatalf("balanced imbalance %.2f worse than naive %.2f",
+			balanced.CostImbalance(), naive.CostImbalance())
+	}
+}
+
+func TestIdleFractionBounds(t *testing.T) {
+	entries := randomEntries(11, 300)
+	_, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := stats.IdleFraction(); f < 0 || f >= 1 {
+		t.Fatalf("IdleFraction = %v out of [0,1)", f)
+	}
+}
+
+func TestBalanceModeString(t *testing.T) {
+	if BalanceNNZ.String() != "nnz" || BalanceNone.String() != "none" {
+		t.Fatal("BalanceMode strings wrong")
+	}
+}
+
+// End-to-end: simulate, log, synthesize from files, and compare against
+// a brute-force recomputation from the schedules themselves.
+func TestEndToEndFromSimulationLogs(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 600, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 21)
+	res, err := abm.Run(abm.Config{
+		Pop: pop, Gen: gen, Ranks: 4, Days: 2,
+		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const t0, t1 = 0, 48
+	tri, stats, err := SynthesizeFiles(res.LogPaths, t0, t1, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries == 0 || tri.NNZ() == 0 {
+		t.Fatal("end-to-end network is empty")
+	}
+
+	// Brute force from schedules: who shares a place at each hour.
+	want := make(map[[2]uint32]uint32)
+	for h := uint32(t0); h < t1; h++ {
+		at := make(map[uint32][]uint32)
+		for p := 0; p < pop.NumPersons(); p++ {
+			place, _ := gen.PlaceAt(uint32(p), h)
+			at[place] = append(at[place], uint32(p))
+		}
+		for _, persons := range at {
+			for i := 0; i < len(persons); i++ {
+				for j := i + 1; j < len(persons); j++ {
+					want[[2]uint32{persons[i], persons[j]}]++
+				}
+			}
+		}
+	}
+	if tri.NNZ() != len(want) {
+		t.Fatalf("network has %d edges, schedules imply %d", tri.NNZ(), len(want))
+	}
+	for pair, w := range want {
+		if got := tri.Weight(pair[0], pair[1]); got != w {
+			t.Fatalf("pair %v: weight %d, want %d", pair, got, w)
+		}
+	}
+}
+
+func TestSynthesizeFilesMatchesMergedEntries(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 400, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 31)
+	res, err := abm.Run(abm.Config{
+		Pop: pop, Gen: gen, Ranks: 3, Days: 1, LogDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFile, _, err := SynthesizeFiles(res.LogPaths, 0, 24, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []eventlog.Entry
+	for _, p := range res.LogPaths {
+		r, err := eventlog.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := r.TimeSlice(0, 24)
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, es...)
+	}
+	merged, _, err := SynthesizeEntries(all, 0, 24, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perFile.Equal(merged) {
+		t.Fatal("per-file synthesis + sum differs from merged-entry synthesis")
+	}
+}
+
+func TestSynthesizeSeriesSumsToWhole(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 400, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 41)
+	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 2, Days: 3, LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Daily slices over three days.
+	daily, err := SynthesizeSeries(res.LogPaths, 0, 72, 24, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(daily) != 3 {
+		t.Fatalf("got %d slices, want 3", len(daily))
+	}
+	whole, _, err := SynthesizeFiles(res.LogPaths, 0, 72, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.MergeTris(daily...).Equal(whole) {
+		t.Fatal("daily slices do not sum to the whole-window network")
+	}
+	// A ragged final slice must clip, not extend.
+	ragged, err := SynthesizeSeries(res.LogPaths, 0, 60, 24, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ragged) != 3 {
+		t.Fatalf("ragged window: %d slices, want 3 (24+24+12)", len(ragged))
+	}
+}
+
+func TestSynthesizeSeriesValidation(t *testing.T) {
+	if _, err := SynthesizeSeries([]string{"x"}, 0, 24, 0, Config{}); err == nil {
+		t.Error("zero sliceHours accepted")
+	}
+	if _, err := SynthesizeSeries([]string{"x"}, 24, 24, 8, Config{}); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestSynthesizeFilesEmptyList(t *testing.T) {
+	if _, _, err := SynthesizeFiles(nil, 0, 24, Config{}); err == nil {
+		t.Fatal("empty file list accepted")
+	}
+}
+
+// Property: for random entry sets, synthesis equals brute force.
+func TestQuickSynthesisCorrect(t *testing.T) {
+	f := func(seed uint64) bool {
+		entries := randomEntries(seed, 60)
+		tri, _, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 3})
+		if err != nil {
+			return false
+		}
+		want := bruteForce(entries, 0, 48)
+		if tri.NNZ() != len(want) {
+			return false
+		}
+		for pair, w := range want {
+			if tri.Weight(pair[0], pair[1]) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: doubling a time slice into two halves and summing the halves
+// equals synthesizing the full slice (additivity over time).
+func TestQuickTimeAdditivity(t *testing.T) {
+	f := func(seed uint64) bool {
+		entries := randomEntries(seed, 100)
+		full, _, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		a, _, err := SynthesizeEntries(entries, 0, 24, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		b, _, err := SynthesizeEntries(entries, 24, 48, Config{Workers: 2})
+		if err != nil {
+			return false
+		}
+		return sparse.SumTris(a, b).Equal(full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeDistributedMatchesSerial(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 500, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 51)
+	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 5, Days: 2, LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := SynthesizeFiles(res.LogPaths, 0, 48, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distributed over 3 in-process ranks (5 files striped across them).
+	world := mpi.NewWorld(3)
+	results := make([]*sparse.Tri, 3)
+	err = world.Run(func(c *mpi.Comm) error {
+		tri, err := SynthesizeDistributed(mpi.AsTransport(c), res.LogPaths, 0, 48, Config{Workers: 1})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = tri
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Fatal("non-root ranks received a network")
+	}
+	if results[0] == nil || !results[0].Equal(serial) {
+		t.Fatal("distributed synthesis differs from serial")
+	}
+}
+
+func TestSynthesizeDistributedEmptyPaths(t *testing.T) {
+	world := mpi.NewWorld(1)
+	err := world.Run(func(c *mpi.Comm) error {
+		_, err := SynthesizeDistributed(mpi.AsTransport(c), nil, 0, 24, Config{})
+		if err == nil {
+			t.Error("empty path list accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeDistributedMoreRanksThanFiles(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 300, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 52)
+	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 2, Days: 1, LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := SynthesizeFiles(res.LogPaths, 0, 24, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ranks, 2 files: four ranks contribute empty partials.
+	world := mpi.NewWorld(6)
+	var got *sparse.Tri
+	err = world.Run(func(c *mpi.Comm) error {
+		tri, err := SynthesizeDistributed(mpi.AsTransport(c), res.LogPaths, 0, 24, Config{Workers: 1})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			got = tri
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(serial) {
+		t.Fatal("oversubscribed distributed synthesis differs from serial")
+	}
+}

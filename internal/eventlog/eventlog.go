@@ -1,0 +1,259 @@
+// Package eventlog implements the paper's parallel event-based logging
+// framework (Section III).
+//
+// A log entry is recorded each time a person agent changes activities and
+// contains the start and stop times of the activity plus unique IDs for
+// the person, activity and place, all stored as 4-byte unsigned integers —
+// 20 bytes per entry. Entries can be extended with additional integer
+// columns (e.g. a disease state).
+//
+// One Logger is created per simulation process (rank); each logger caches
+// entries in memory (nominal cache 10,000 entries) and writes the whole
+// cache to its own H5-lite file in one chunked operation when the cache
+// fills. This parallelizes logging across process CPUs, memory and disk
+// I/O exactly as the paper describes: a smaller cache reduces memory but
+// costs more write operations; a larger cache trades memory for fewer
+// writes.
+package eventlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/h5"
+)
+
+// BaseColumns are the five mandatory entry fields, in storage order.
+var BaseColumns = []string{"start", "stop", "person", "activity", "place"}
+
+// BaseEntrySize is the paper's 20-byte entry: five 4-byte unsigned ints.
+const BaseEntrySize = 20
+
+// DefaultCacheEntries is the paper's nominal in-memory cache size.
+const DefaultCacheEntries = 10000
+
+// Entry is one activity-change event: the person did the activity at the
+// place during simulation time slots [Start, Stop).
+type Entry struct {
+	Start    uint32
+	Stop     uint32
+	Person   uint32
+	Activity uint32
+	Place    uint32
+}
+
+// Config configures a Logger.
+type Config struct {
+	// CacheEntries is the number of entries buffered in memory before a
+	// chunked flush to disk. Zero selects DefaultCacheEntries.
+	CacheEntries int
+	// ExtColumns names optional extra uint32 columns appended to every
+	// entry (such as a disease state). May be empty.
+	ExtColumns []string
+	// Compress enables per-chunk DEFLATE in the output file.
+	Compress bool
+}
+
+func (c *Config) cacheEntries() int {
+	if c.CacheEntries <= 0 {
+		return DefaultCacheEntries
+	}
+	return c.CacheEntries
+}
+
+func (c *Config) recordSize() int { return 4 * (5 + len(c.ExtColumns)) }
+
+// Logger is a per-rank event logger. It is owned by a single simulation
+// rank and is not safe for concurrent use, matching the paper's
+// one-static-logger-per-process architecture.
+type Logger struct {
+	w       *h5.Writer
+	cfg     Config
+	rec     int // record size in bytes
+	cache   []byte
+	n       int // entries currently cached
+	flushes int
+	logged  uint64
+}
+
+// Create opens path and returns a Logger writing to it.
+func Create(path string, cfg Config) (*Logger, error) {
+	schema := h5.Schema{
+		RecordSize: cfg.recordSize(),
+		Columns:    append(append([]string{}, BaseColumns...), cfg.ExtColumns...),
+	}
+	var flags uint16
+	if cfg.Compress {
+		flags = h5.FlagDeflate
+	}
+	w, err := h5.Create(path, schema, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &Logger{
+		w:     w,
+		cfg:   cfg,
+		rec:   cfg.recordSize(),
+		cache: make([]byte, 0, cfg.cacheEntries()*cfg.recordSize()),
+	}, nil
+}
+
+// Log records one entry with the configured extension values. The number
+// of ext values must match Config.ExtColumns.
+func (l *Logger) Log(e Entry, ext ...uint32) error {
+	if len(ext) != len(l.cfg.ExtColumns) {
+		return fmt.Errorf("eventlog: %d ext values for %d ext columns", len(ext), len(l.cfg.ExtColumns))
+	}
+	var rec [4]byte
+	le := binary.LittleEndian
+	for _, v := range [5]uint32{e.Start, e.Stop, e.Person, e.Activity, e.Place} {
+		le.PutUint32(rec[:], v)
+		l.cache = append(l.cache, rec[:]...)
+	}
+	for _, v := range ext {
+		le.PutUint32(rec[:], v)
+		l.cache = append(l.cache, rec[:]...)
+	}
+	l.n++
+	l.logged++
+	if l.n >= l.cfg.cacheEntries() {
+		return l.Flush()
+	}
+	return nil
+}
+
+// Flush writes all cached entries to disk as one chunk. Flushing an empty
+// cache is a no-op.
+func (l *Logger) Flush() error {
+	if l.n == 0 {
+		return nil
+	}
+	if err := l.w.WriteChunk(l.cache); err != nil {
+		return err
+	}
+	l.cache = l.cache[:0]
+	l.n = 0
+	l.flushes++
+	return nil
+}
+
+// Close flushes remaining entries and finalizes the file.
+func (l *Logger) Close() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	return l.w.Close()
+}
+
+// Flushes returns the number of disk write operations performed so far —
+// the cost metric of the paper's cache-size tradeoff.
+func (l *Logger) Flushes() int { return l.flushes }
+
+// Logged returns the total number of entries logged so far.
+func (l *Logger) Logged() uint64 { return l.logged }
+
+// Reader reads a log file written by Logger.
+type Reader struct {
+	r    *h5.Reader
+	next int // ext column count
+}
+
+// Open opens a log file for reading.
+func Open(path string) (*Reader, error) {
+	r, err := h5.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := r.Schema()
+	if s.RecordSize < BaseEntrySize || s.RecordSize%4 != 0 {
+		r.Close()
+		return nil, fmt.Errorf("eventlog: record size %d is not a valid entry size", s.RecordSize)
+	}
+	if len(s.Columns) < len(BaseColumns) {
+		r.Close()
+		return nil, fmt.Errorf("eventlog: file has %d columns, want at least %d", len(s.Columns), len(BaseColumns))
+	}
+	for i, c := range BaseColumns {
+		if s.Columns[i] != c {
+			r.Close()
+			return nil, fmt.Errorf("eventlog: column %d is %q, want %q", i, s.Columns[i], c)
+		}
+	}
+	return &Reader{r: r, next: s.RecordSize/4 - 5}, nil
+}
+
+// ExtColumns returns the names of the extension columns in the file.
+func (r *Reader) ExtColumns() []string {
+	return r.r.Schema().Columns[len(BaseColumns):]
+}
+
+// NumEntries returns the total entry count without reading chunk bodies.
+func (r *Reader) NumEntries() uint64 { return r.r.NumRecords() }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.r.Close() }
+
+// ForEach invokes fn for every entry in file order. ext holds the entry's
+// extension values and is reused between calls; copy it to retain.
+func (r *Reader) ForEach(fn func(e Entry, ext []uint32) error) error {
+	rec := 4 * (5 + r.next)
+	ext := make([]uint32, r.next)
+	le := binary.LittleEndian
+	return r.r.ForEachChunk(func(_ int, payload []byte) error {
+		for off := 0; off < len(payload); off += rec {
+			b := payload[off : off+rec]
+			e := Entry{
+				Start:    le.Uint32(b[0:4]),
+				Stop:     le.Uint32(b[4:8]),
+				Person:   le.Uint32(b[8:12]),
+				Activity: le.Uint32(b[12:16]),
+				Place:    le.Uint32(b[16:20]),
+			}
+			for k := 0; k < r.next; k++ {
+				ext[k] = le.Uint32(b[20+4*k:])
+			}
+			if err := fn(e, ext); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TimeSlice returns all entries whose activity interval overlaps
+// [t0, t1), the sub-setting step the paper performs with data.table. The
+// ext values of each returned entry are dropped; use ForEach for them.
+func (r *Reader) TimeSlice(t0, t1 uint32) ([]Entry, error) {
+	var out []Entry
+	err := r.ForEach(func(e Entry, _ []uint32) error {
+		if e.Start < t1 && e.Stop > t0 {
+			out = append(out, e)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// GroupByPlace buckets entries by place ID.
+func GroupByPlace(entries []Entry) map[uint32][]Entry {
+	m := make(map[uint32][]Entry)
+	for _, e := range entries {
+		m[e.Place] = append(m[e.Place], e)
+	}
+	return m
+}
+
+// Places returns the sorted-unique place IDs occurring in entries.
+func Places(entries []Entry) []uint32 {
+	seen := make(map[uint32]struct{})
+	for _, e := range entries {
+		seen[e.Place] = struct{}{}
+	}
+	out := make([]uint32, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

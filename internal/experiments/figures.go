@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/netstat"
+	"repro/internal/synthpop"
+)
+
+// egoReport extracts the radius-2 ego network around seed, lays it out,
+// writes an SVG and returns the subgraph with its stats.
+func (r *Runner) egoReport(id, title, claim string, seed uint32, file string) (*Report, error) {
+	net, err := r.EnsureNetwork()
+	if err != nil {
+		return nil, err
+	}
+	g := net.Graph()
+	ego := g.Ego(seed, 2)
+	sub, _ := g.Induced(ego)
+	pos := layout.Layout(sub, layout.Config{Iterations: 120, Seed: r.Scale.Seed})
+	path := filepath.Join(r.OutDir, file)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := layout.WriteSVG(f, sub, pos, layout.SVGOptions{Title: title}); err != nil {
+		return nil, err
+	}
+
+	clust := sub.ClusteringAll(r.Scale.Workers)
+	meanC := 0.0
+	for _, c := range clust {
+		meanC += c
+	}
+	if len(clust) > 0 {
+		meanC /= float64(len(clust))
+	}
+	density := 0.0
+	if n := sub.NumVertices(); n > 1 {
+		density = 2 * float64(sub.NumEdges()) / (float64(n) * float64(n-1))
+	}
+	return &Report{
+		ID:         id,
+		Title:      title,
+		PaperClaim: claim,
+		Header:     []string{"quantity", "measured"},
+		Rows: [][]string{
+			{"seed person", d(int(seed))},
+			{"nodes (radius ≤ 2)", d(sub.NumVertices())},
+			{"edges", d(sub.NumEdges())},
+			{"edge density", f3(density)},
+			{"mean local clustering", f3(meanC)},
+			{"components", d(func() int { _, c := sub.ConnectedComponents(); return c }())},
+		},
+		Files: []string{path},
+	}, nil
+}
+
+// pickDenseSeed returns a worker at a mid-sized workplace (20-40
+// colleagues). Their radius-2 neighborhood — colleagues, the colleagues'
+// households, and the retail both mix at — shows the paper's Figure 1
+// dense highly-connected clusters without engulfing the whole (scaled-
+// down) city, as seeding at the single largest hub would.
+func (r *Runner) pickDenseSeed() uint32 {
+	pop := r.pipeline.Pop
+	occupancy := make(map[uint32]int)
+	for i := range pop.Persons {
+		if dt := pop.Persons[i].Daytime; dt != synthpop.NoPlace {
+			occupancy[dt]++
+		}
+	}
+	for i := range pop.Persons {
+		dt := pop.Persons[i].Daytime
+		if dt == synthpop.NoPlace || pop.Places[dt].Type != synthpop.Workplace {
+			continue
+		}
+		if n := occupancy[dt]; n >= 20 && n <= 40 {
+			return uint32(i)
+		}
+	}
+	return 0
+}
+
+// pickSparseSeed returns a low-mobility home-based person with only a
+// handful of direct contacts (network degree 5-10): their radius-2
+// neighborhood is the paper's Figure 2 configuration — disparate
+// household/retail clusters diffusely connected to each other.
+func (r *Runner) pickSparseSeed() (uint32, error) {
+	net, err := r.EnsureNetwork()
+	if err != nil {
+		return 0, err
+	}
+	g := net.Graph()
+	pop := r.pipeline.Pop
+	// Among the first ten low-degree homebodies, take the one whose
+	// radius-2 neighborhood is sparsest: retail pools near some seeds
+	// are near-cliques that would mask the diffuse structure.
+	var best uint32
+	bestEdges := -1
+	candidates := 0
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Daytime != synthpop.NoPlace || pop.Places[p.Home].Type != synthpop.Home {
+			continue
+		}
+		if !r.pipeline.Gen.IsHomebody(uint32(i)) {
+			continue
+		}
+		if d := g.Degree(uint32(i)); d >= 5 && d <= 10 {
+			sub, _ := g.Induced(g.Ego(uint32(i), 2))
+			if bestEdges == -1 || sub.NumEdges() < bestEdges {
+				best, bestEdges = uint32(i), sub.NumEdges()
+			}
+			candidates++
+			if candidates >= 10 {
+				break
+			}
+		}
+	}
+	if bestEdges >= 0 {
+		return best, nil
+	}
+	// Fallback: any unanchored adult.
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Daytime == synthpop.NoPlace && pop.Places[p.Home].Type == synthpop.Home && p.Age >= 30 {
+			return uint32(i), nil
+		}
+	}
+	return 0, nil
+}
+
+// Fig1DenseEgo reproduces Figure 1: a dense radius-2 ego network.
+func (r *Runner) Fig1DenseEgo() (*Report, error) {
+	rep, err := r.egoReport("fig1",
+		"Dense radius-2 ego network (Figure 1)",
+		"2,529 nodes and 391,104 edges; striking local dense clusters of highly connected individuals with bridge nodes",
+		r.pickDenseSeed(), "fig1.svg")
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes = append(rep.Notes, "seed is a worker at a mid-sized workplace; compare structure against fig2")
+	return rep, nil
+}
+
+// Fig2SparseEgo reproduces Figure 2: a sparser, diffusely connected ego
+// network.
+func (r *Runner) Fig2SparseEgo() (*Report, error) {
+	seed, err := r.pickSparseSeed()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.egoReport("fig2",
+		"Sparse radius-2 ego network (Figure 2)",
+		"1,097 nodes and 41,372 edges; many disparate clusters more diffusely connected than Figure 1",
+		seed, "fig2.svg")
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes = append(rep.Notes, "seed is a low-degree home-based person; the paper's sparse example has ~9x fewer edges than its dense one")
+	return rep, nil
+}
+
+// Fig3DegreeDistribution reproduces Figure 3: the full-population
+// log-log degree distribution with power-law, truncated power-law and
+// exponential overlays.
+func (r *Runner) Fig3DegreeDistribution() (*Report, error) {
+	net, err := r.EnsureNetwork()
+	if err != nil {
+		return nil, err
+	}
+	pts := net.DegreeDistribution()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("empty degree distribution")
+	}
+
+	pure, errP := netstat.FitPowerLaw(pts)
+	trunc, errT := netstat.FitTruncatedPowerLaw(pts)
+	expo, errE := netstat.FitExponential(pts)
+	for _, e := range []error{errP, errT, errE} {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	// Head flatness: the paper reports degrees 1-7 each held by roughly
+	// the same number of persons, then a rapid drop.
+	headMin, headMax := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.K >= 1 && p.K <= 7 {
+			headMin = math.Min(headMin, float64(p.Count))
+			headMax = math.Max(headMax, float64(p.Count))
+		}
+	}
+	headRatio := headMax / math.Max(headMin, 1)
+
+	// Figure: measured points plus the three fit curves.
+	var xs, ys []float64
+	for _, p := range pts {
+		xs = append(xs, float64(p.K))
+		ys = append(ys, p.Frac)
+	}
+	maxK := pts[len(pts)-1].K
+	curve := func(f netstat.Fit) ([]float64, []float64) {
+		var cx, cy []float64
+		for k := 1.0; k <= float64(maxK); k *= 1.3 {
+			cx = append(cx, k)
+			cy = append(cy, f.Eval(k))
+		}
+		return cx, cy
+	}
+	px, py := curve(pure)
+	tx, ty := curve(trunc)
+	ex, ey := curve(expo)
+	path := filepath.Join(r.OutDir, "fig3.svg")
+	err = writeScatterSVG(path, []plotSeries{
+		{name: "measured", xs: xs, ys: ys, color: "#2b6cb0"},
+		{name: "power law", xs: px, ys: py, color: "#c53030", line: true},
+		{name: "truncated", xs: tx, ys: ty, color: "#2f855a", line: true},
+		{name: "exponential", xs: ex, ys: ey, color: "#1a202c", line: true},
+	}, true, true, "Vertex degree distribution (Figure 3)", "degree k", "fraction of persons")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeCSV(filepath.Join(r.OutDir, "fig3.csv"), []string{"k", "count", "frac"}, func(emit func(...any)) {
+		for _, p := range pts {
+			emit(p.K, p.Count, p.Frac)
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	mle, _ := netstat.AlphaMLE(net.Graph().DegreeDistribution(), 5)
+	rep := &Report{
+		ID:    "fig3",
+		Title: "Full-population degree distribution and fits (Figure 3)",
+		PaperClaim: "flat head for k=1..7 (~1e5 persons each), rapid tail drop; overlays: power law a=1.5, " +
+			"truncated power law a=1.25 κ=1e3, exponential — none captures the full shape",
+		Header: []string{"quantity", "measured", "paper"},
+		Rows: [][]string{
+			{"distinct degrees", d(len(pts)), "—"},
+			{"max degree", d(pts[len(pts)-1].K), "~1e4"},
+			{"head ratio max/min count, k=1..7", f2(headRatio), "≈1 (flat)"},
+			{"power-law fit", pure.String(), "a = 1.5 overlay"},
+			{"truncated fit", trunc.String(), "a = 1.25, κ = 1e3 overlay"},
+			{"exponential fit", expo.String(), "overlay"},
+			{"MLE power-law α (k≥5)", f3(mle), "—"},
+		},
+		Notes: []string{
+			"the paper's conclusion is qualitative: the truncated form fits the tail best but no simple form fits everywhere",
+			fmt.Sprintf("fit R²: pure %.3f vs truncated %.3f vs exponential %.3f", pure.R2, trunc.R2, expo.R2),
+		},
+		Files: []string{path, filepath.Join(r.OutDir, "fig3.csv")},
+	}
+	return rep, nil
+}
+
+// Fig4Clustering reproduces Figure 4: the histogram of local clustering
+// coefficients with a large mass at 1.0.
+func (r *Runner) Fig4Clustering() (*Report, error) {
+	net, err := r.EnsureNetwork()
+	if err != nil {
+		return nil, err
+	}
+	g := net.Graph()
+	all := g.ClusteringAll(r.Scale.Workers)
+	// Restrict to vertices with degree ≥ 2 (clustering undefined below).
+	var vals []float64
+	for v, c := range all {
+		if g.Degree(uint32(v)) >= 2 {
+			vals = append(vals, c)
+		}
+	}
+	centers, counts := netstat.Histogram(vals, 0, 1, 20)
+	path := filepath.Join(r.OutDir, "fig4.svg")
+	if err := writeBarSVG(path, "Local clustering coefficient (Figure 4)", "clustering coefficient", "persons", centers, counts); err != nil {
+		return nil, err
+	}
+
+	atOne := 0
+	mean := 0.0
+	for _, c := range vals {
+		if c >= 0.999999 {
+			atOne++
+		}
+		mean += c
+	}
+	if len(vals) > 0 {
+		mean /= float64(len(vals))
+	}
+	top := counts[len(counts)-1]
+	rank := 1
+	for _, c := range counts[:len(counts)-1] {
+		if c > top {
+			rank++
+		}
+	}
+	rep := &Report{
+		ID:         "fig4",
+		Title:      "Local clustering coefficient histogram (Figure 4)",
+		PaperClaim: "many person nodes have clustering coefficient 1, indicating strong local clustering, as in scale-free and small-world networks",
+		Header:     []string{"quantity", "measured"},
+		Rows: [][]string{
+			{"persons with degree ≥ 2", d(len(vals))},
+			{"mean clustering", f3(mean)},
+			{"persons with c = 1", d(atOne)},
+			{"fraction with c = 1", f3(float64(atOne) / math.Max(float64(len(vals)), 1))},
+			{"c≈1 bin rank among 20 bins", fmt.Sprintf("%d (count %d)", rank, top)},
+		},
+		Files: []string{path},
+	}
+	return rep, nil
+}
+
+// Fig5AgeGroups reproduces Figure 5: within-group degree distributions
+// per age group.
+func (r *Runner) Fig5AgeGroups() (*Report, error) {
+	net, err := r.EnsureNetwork()
+	if err != nil {
+		return nil, err
+	}
+	per := r.pipeline.AgeGroupNetworks(net)
+	counts := r.pipeline.Pop.AgeGroupCounts()
+
+	rep := &Report{
+		ID:    "fig5",
+		Title: "Within-group degree distributions by age group (Figure 5)",
+		PaperClaim: "0-14 nearly flat over two decades (school class-size caps); 15-18 partly flat; " +
+			"19-44 and 65+ show outlying point groups (universities, prisons, retirement homes); 45-64 roughly linear in log-log",
+		Header: []string{"group", "persons", "within-group edges", "max k", "power-law α", "R²"},
+	}
+	var series []plotSeries
+	colors := []string{"#2b6cb0", "#c53030", "#2f855a", "#6b46c1", "#b7791f"}
+	for gi, n := range per {
+		group := synthpop.AgeGroup(gi)
+		gg := graph.FromTri(n.Tri, r.Scale.Persons)
+		pts := netstat.Distribution(gg.DegreeDistribution(), counts[gi])
+		alpha, rr2 := math.NaN(), math.NaN()
+		if fit, err := netstat.FitPowerLaw(pts); err == nil {
+			alpha, rr2 = fit.Alpha, fit.R2
+		}
+		maxK := 0
+		var xs, ys []float64
+		for _, p := range pts {
+			if p.K > maxK {
+				maxK = p.K
+			}
+			xs = append(xs, float64(p.K))
+			ys = append(ys, p.Frac)
+		}
+		series = append(series, plotSeries{name: group.String(), xs: xs, ys: ys, color: colors[gi%len(colors)]})
+		rep.Rows = append(rep.Rows, []string{
+			group.String(), d(counts[gi]), d(n.Tri.NNZ()), d(maxK), f3(alpha), f3(rr2),
+		})
+	}
+	path := filepath.Join(r.OutDir, "fig5.svg")
+	if err := writeScatterSVG(path, series, true, true,
+		"Within-group degree distributions (Figure 5)", "degree k", "fraction of group"); err != nil {
+		return nil, err
+	}
+	rep.Files = []string{path}
+	rep.Notes = append(rep.Notes,
+		"flatness shows as a small power-law α for 0-14 relative to adult groups",
+		"edges between age groups are removed before computing each group's degrees, as in the paper")
+	return rep, nil
+}
+
+// writeCSV writes a small CSV file via an emit callback.
+func writeCSV(path string, header []string, fill func(emit func(...any))) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(f, ",")
+		}
+		fmt.Fprint(f, h)
+	}
+	fmt.Fprintln(f)
+	fill(func(vals ...any) {
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Fprint(f, ",")
+			}
+			fmt.Fprintf(f, "%v", v)
+		}
+		fmt.Fprintln(f)
+	})
+	return nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+)
+
+// plotSeries is one named scatter series.
+type plotSeries struct {
+	name  string
+	xs    []float64
+	ys    []float64
+	color string
+	// line connects the points when true (used for fit overlays).
+	line bool
+}
+
+const (
+	plotW, plotH     = 900, 640
+	plotML, plotMR   = 80, 30
+	plotMT, plotMB   = 50, 70
+	plotInnerW       = plotW - plotML - plotMR
+	plotInnerH       = plotH - plotMT - plotMB
+	axisColor        = "#444"
+	defaultPtRadius  = 3.0
+	fontFamilySmall  = `font-family="sans-serif" font-size="12"`
+	fontFamilyMedium = `font-family="sans-serif" font-size="15"`
+)
+
+// writeScatterSVG renders series on (optionally log-scaled) axes. Points
+// with non-positive coordinates are dropped on log axes.
+func writeScatterSVG(path string, series []plotSeries, xlog, ylog bool, title, xlabel, ylabel string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	tx := func(v float64) float64 { return v }
+	ty := tx
+	if xlog {
+		tx = math.Log10
+	}
+	if ylog {
+		ty = math.Log10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.xs {
+			if (xlog && s.xs[i] <= 0) || (ylog && s.ys[i] <= 0) {
+				continue
+			}
+			x, y := tx(s.xs[i]), ty(s.ys[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX { // no drawable points
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 {
+		return plotML + (tx(x)-minX)/(maxX-minX)*float64(plotInnerW)
+	}
+	py := func(y float64) float64 {
+		return plotMT + (maxY-ty(y))/(maxY-minY)*float64(plotInnerH)
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", plotW, plotH, plotW, plotH)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(w, `<text x="%d" y="30" %s text-anchor="middle">%s</text>`+"\n", plotW/2, fontFamilyMedium, title)
+
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`+"\n", plotML, plotMT+plotInnerH, plotML+plotInnerW, plotMT+plotInnerH, axisColor)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`+"\n", plotML, plotMT, plotML, plotMT+plotInnerH, axisColor)
+	fmt.Fprintf(w, `<text x="%d" y="%d" %s text-anchor="middle">%s</text>`+"\n", plotW/2, plotH-20, fontFamilySmall, xlabel)
+	fmt.Fprintf(w, `<text x="20" y="%d" %s text-anchor="middle" transform="rotate(-90 20 %d)">%s</text>`+"\n", plotH/2, fontFamilySmall, plotH/2, ylabel)
+
+	// Ticks: decades on log axes, 5 linear ticks otherwise.
+	ticks := func(min, max float64, log bool) []float64 {
+		var out []float64
+		if log {
+			for e := math.Floor(min); e <= math.Ceil(max); e++ {
+				out = append(out, e)
+			}
+		} else {
+			for i := 0; i <= 5; i++ {
+				out = append(out, min+(max-min)*float64(i)/5)
+			}
+		}
+		return out
+	}
+	fmtTick := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("1e%.0f", v)
+		}
+		return fmt.Sprintf("%.2g", v)
+	}
+	for _, t := range ticks(minX, maxX, xlog) {
+		x := plotML + (t-minX)/(maxX-minX)*float64(plotInnerW)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s"/>`+"\n", x, plotMT+plotInnerH, x, plotMT+plotInnerH+5, axisColor)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" %s text-anchor="middle">%s</text>`+"\n", x, plotMT+plotInnerH+20, fontFamilySmall, fmtTick(t, xlog))
+	}
+	for _, t := range ticks(minY, maxY, ylog) {
+		y := plotMT + (maxY-t)/(maxY-minY)*float64(plotInnerH)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`+"\n", plotML-5, y, plotML, y, axisColor)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" %s text-anchor="end">%s</text>`+"\n", plotML-8, y+4, fontFamilySmall, fmtTick(t, ylog))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := s.color
+		if color == "" {
+			color = []string{"#2b6cb0", "#c53030", "#2f855a", "#6b46c1", "#b7791f"}[si%5]
+		}
+		if s.line {
+			fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="`, color)
+			for i := range s.xs {
+				if (xlog && s.xs[i] <= 0) || (ylog && s.ys[i] <= 0) {
+					continue
+				}
+				fmt.Fprintf(w, "%.1f,%.1f ", px(s.xs[i]), py(s.ys[i]))
+			}
+			fmt.Fprintf(w, `"/>`+"\n")
+		} else {
+			for i := range s.xs {
+				if (xlog && s.xs[i] <= 0) || (ylog && s.ys[i] <= 0) {
+					continue
+				}
+				fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.75"/>`+"\n",
+					px(s.xs[i]), py(s.ys[i]), defaultPtRadius, color)
+			}
+		}
+		// Legend entry.
+		ly := plotMT + 18*si
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", plotML+plotInnerW-160, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" %s>%s</text>`+"\n", plotML+plotInnerW-142, ly+10, fontFamilySmall, s.name)
+	}
+	fmt.Fprintf(w, "</svg>\n")
+	return w.Flush()
+}
+
+// writeBarSVG renders a simple bar chart (used for the Figure 4
+// clustering histogram).
+func writeBarSVG(path, title, xlabel, ylabel string, centers []float64, counts []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", plotW, plotH, plotW, plotH)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(w, `<text x="%d" y="30" %s text-anchor="middle">%s</text>`+"\n", plotW/2, fontFamilyMedium, title)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`+"\n", plotML, plotMT+plotInnerH, plotML+plotInnerW, plotMT+plotInnerH, axisColor)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`+"\n", plotML, plotMT, plotML, plotMT+plotInnerH, axisColor)
+	fmt.Fprintf(w, `<text x="%d" y="%d" %s text-anchor="middle">%s</text>`+"\n", plotW/2, plotH-20, fontFamilySmall, xlabel)
+	fmt.Fprintf(w, `<text x="20" y="%d" %s text-anchor="middle" transform="rotate(-90 20 %d)">%s</text>`+"\n", plotH/2, fontFamilySmall, plotH/2, ylabel)
+
+	n := len(centers)
+	if n == 0 {
+		fmt.Fprintf(w, "</svg>\n")
+		return w.Flush()
+	}
+	barW := float64(plotInnerW) / float64(n) * 0.85
+	for i, c := range counts {
+		h := float64(c) / float64(maxC) * float64(plotInnerH)
+		x := float64(plotML) + float64(plotInnerW)*float64(i)/float64(n)
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#2b6cb0"/>`+"\n",
+			x, float64(plotMT+plotInnerH)-h, barW, h)
+		if i%4 == 0 || i == n-1 {
+			fmt.Fprintf(w, `<text x="%.1f" y="%d" %s text-anchor="middle">%.2f</text>`+"\n",
+				x+barW/2, plotMT+plotInnerH+20, fontFamilySmall, centers[i])
+		}
+	}
+	fmt.Fprintf(w, "</svg>\n")
+	return w.Flush()
+}

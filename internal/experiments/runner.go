@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/abm"
+	"repro/internal/schedule"
+)
+
+// Scale sets the size of the reproduction. The paper runs 2.9M persons
+// for four weeks on 256 processes; the default scale keeps the same
+// ratios at laptop size. All experiments honor it.
+type Scale struct {
+	// Persons is the synthetic population size.
+	Persons int
+	// Days is the simulated duration; the analysis slice is the final
+	// week, as in the paper ("process only the fourth week of log
+	// data").
+	Days int
+	// Ranks is the simulated process count.
+	Ranks int
+	// Workers is the synthesis worker count.
+	Workers int
+	// Seed drives everything.
+	Seed uint64
+}
+
+// DefaultScale is the laptop-scale configuration used by the checked-in
+// EXPERIMENTS.md numbers.
+func DefaultScale() Scale {
+	return Scale{Persons: 20000, Days: 28, Ranks: 16, Workers: 8, Seed: 2017}
+}
+
+// SliceBounds returns the analysis window: the final simulated week.
+func (s Scale) SliceBounds() (t0, t1 uint32) {
+	t1 = uint32(s.Days * schedule.HoursPerDay)
+	if s.Days >= 7 {
+		t0 = t1 - 7*schedule.HoursPerDay
+	}
+	return
+}
+
+// Runner owns the shared state the experiments reuse: one simulation run
+// and one synthesized network.
+type Runner struct {
+	Scale  Scale
+	OutDir string
+
+	pipeline *repro.Pipeline
+	sim      *abm.Result
+	network  *repro.Network
+}
+
+// NewRunner creates a runner writing artifacts under outDir.
+func NewRunner(scale Scale, outDir string) (*Runner, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	p, err := repro.NewPipeline(repro.Config{
+		Persons: scale.Persons,
+		Days:    scale.Days,
+		Seed:    scale.Seed,
+		Ranks:   scale.Ranks,
+		Workers: scale.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Scale: scale, OutDir: outDir, pipeline: p}, nil
+}
+
+// Pipeline exposes the underlying pipeline.
+func (r *Runner) Pipeline() *repro.Pipeline { return r.pipeline }
+
+// EnsureSim runs the ABM once, caching the result for all experiments.
+func (r *Runner) EnsureSim() (*abm.Result, error) {
+	if r.sim != nil {
+		return r.sim, nil
+	}
+	res, err := r.pipeline.Simulate(filepath.Join(r.OutDir, "logs"))
+	if err != nil {
+		return nil, err
+	}
+	r.sim = res
+	return res, nil
+}
+
+// EnsureNetwork synthesizes the final-week collocation network once.
+func (r *Runner) EnsureNetwork() (*repro.Network, error) {
+	if r.network != nil {
+		return r.network, nil
+	}
+	sim, err := r.EnsureSim()
+	if err != nil {
+		return nil, err
+	}
+	t0, t1 := r.Scale.SliceBounds()
+	net, err := r.pipeline.Synthesize(sim.LogPaths, t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	r.network = net
+	return net, nil
+}
+
+// All runs every experiment in DESIGN.md order.
+func (r *Runner) All() ([]*Report, error) {
+	type exp struct {
+		id  string
+		run func() (*Report, error)
+	}
+	exps := []exp{
+		{"T1", r.T1LogVolume},
+		{"T2", r.T2CacheSweep},
+		{"T3", r.T3Synthesis},
+		{"fig1", r.Fig1DenseEgo},
+		{"fig2", r.Fig2SparseEgo},
+		{"fig3", r.Fig3DegreeDistribution},
+		{"fig4", r.Fig4Clustering},
+		{"fig5", r.Fig5AgeGroups},
+		{"E1", r.E1SyntheticNetworks},
+		{"E2", r.E2Communities},
+		{"E3", r.E3SubgroupFit},
+		{"E4", r.E4TemporalGranularity},
+		{"E5", r.E5EpidemicOnNetworks},
+		{"A1", r.A1LoadBalancing},
+		{"A2", r.A2EventVsFull},
+		{"A3", r.A3Partitioning},
+		{"S1", r.S1WorkerScaling},
+	}
+	var out []*Report
+	for _, e := range exps {
+		rep, err := e.run()
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Run executes a single experiment by ID.
+func (r *Runner) Run(id string) (*Report, error) {
+	switch id {
+	case "T1":
+		return r.T1LogVolume()
+	case "T2":
+		return r.T2CacheSweep()
+	case "T3":
+		return r.T3Synthesis()
+	case "fig1":
+		return r.Fig1DenseEgo()
+	case "fig2":
+		return r.Fig2SparseEgo()
+	case "fig3":
+		return r.Fig3DegreeDistribution()
+	case "fig4":
+		return r.Fig4Clustering()
+	case "fig5":
+		return r.Fig5AgeGroups()
+	case "E1":
+		return r.E1SyntheticNetworks()
+	case "E2":
+		return r.E2Communities()
+	case "E3":
+		return r.E3SubgroupFit()
+	case "E4":
+		return r.E4TemporalGranularity()
+	case "E5":
+		return r.E5EpidemicOnNetworks()
+	case "A1":
+		return r.A1LoadBalancing()
+	case "A2":
+		return r.A2EventVsFull()
+	case "A3":
+		return r.A3Partitioning()
+	case "S1":
+		return r.S1WorkerScaling()
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}
+
+// IDs lists the available experiment identifiers.
+func IDs() []string {
+	return []string{"T1", "T2", "T3", "fig1", "fig2", "fig3", "fig4", "fig5", "E1", "E2", "E3", "E4", "E5", "A1", "A2", "A3", "S1"}
+}

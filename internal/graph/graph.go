@@ -1,0 +1,335 @@
+// Package graph provides the network-analysis layer of the pipeline,
+// standing in for the paper's use of igraph (Section V): CSR graphs built
+// from sparse adjacency matrices, degree distributions, local clustering
+// coefficients, radius-k ego networks, induced subgraphs and connected
+// components.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// Graph is an undirected weighted graph in compressed sparse row form.
+// Vertex IDs are dense in [0, NumVertices); neighbor lists are sorted.
+type Graph struct {
+	offsets []int64
+	nbrs    []uint32
+	weights []uint32
+}
+
+// FromTri builds a Graph from a sparse upper-triangular adjacency
+// matrix. n is the vertex-space size; pass 0 to size it from the largest
+// referenced ID. Vertices with no edges are retained as isolated.
+func FromTri(t *sparse.Tri, n int) *Graph {
+	if n == 0 && t.NNZ() > 0 {
+		n = int(t.MaxVertex()) + 1
+	}
+	deg := make([]int64, n)
+	for k := range t.I {
+		deg[t.I[k]]++
+		deg[t.J[k]]++
+	}
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		nbrs:    make([]uint32, 2*t.NNZ()),
+		weights: make([]uint32, 2*t.NNZ()),
+	}
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.offsets[:n])
+	for k := range t.I {
+		i, j, w := t.I[k], t.J[k], t.W[k]
+		g.nbrs[cursor[i]], g.weights[cursor[i]] = j, w
+		cursor[i]++
+		g.nbrs[cursor[j]], g.weights[cursor[j]] = i, w
+		cursor[j]++
+	}
+	// Tri entries are sorted by (I, J), so rows built this way already
+	// have J ascending for the I side; the J side accumulates I values
+	// in ascending order as well. Sort defensively anyway (cheap, and
+	// keeps the invariant independent of Tri ordering).
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		row := g.nbrs[lo:hi]
+		wts := g.weights[lo:hi]
+		sort.Sort(&rowSorter{row, wts})
+	}
+	return g
+}
+
+type rowSorter struct {
+	ids []uint32
+	wts []uint32
+}
+
+func (r *rowSorter) Len() int           { return len(r.ids) }
+func (r *rowSorter) Less(i, j int) bool { return r.ids[i] < r.ids[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+	r.wts[i], r.wts[j] = r.wts[j], r.wts[i]
+}
+
+// NumVertices returns the vertex count, including isolated vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return len(g.nbrs) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v uint32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns v's sorted neighbor IDs and the parallel edge
+// weights. The slices alias the graph's storage; callers must not modify
+// them.
+func (g *Graph) Neighbors(v uint32) (ids, weights []uint32) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.nbrs[lo:hi], g.weights[lo:hi]
+}
+
+// HasEdge reports whether u and v are adjacent, by binary search on the
+// smaller neighbor list.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	row, _ := g.Neighbors(u)
+	i := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// EdgeWeight returns the weight of edge (u, v), 0 when absent.
+func (g *Graph) EdgeWeight(u, v uint32) uint32 {
+	row, wts := g.Neighbors(u)
+	i := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+	if i < len(row) && row[i] == v {
+		return wts[i]
+	}
+	return 0
+}
+
+// Strength returns the sum of v's edge weights (weighted degree) — total
+// collocated person-hours for a collocation network.
+func (g *Graph) Strength(v uint32) uint64 {
+	_, wts := g.Neighbors(v)
+	var s uint64
+	for _, w := range wts {
+		s += uint64(w)
+	}
+	return s
+}
+
+// DegreeDistribution returns a map from vertex degree to the number of
+// vertices with that degree. Isolated vertices appear under degree 0.
+func (g *Graph) DegreeDistribution() map[int]int {
+	out := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		out[g.Degree(uint32(v))]++
+	}
+	return out
+}
+
+// MaxDegree returns the largest vertex degree, 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// triangles returns twice the number of triangles through v, using a
+// marker array owned by the caller (len NumVertices, all false on entry
+// and restored to all false on exit).
+func (g *Graph) triangles(v uint32, mark []bool) int64 {
+	row, _ := g.Neighbors(v)
+	for _, u := range row {
+		mark[u] = true
+	}
+	var count int64
+	for _, u := range row {
+		urow, _ := g.Neighbors(u)
+		for _, w := range urow {
+			if w != v && mark[w] {
+				count++
+			}
+		}
+	}
+	for _, u := range row {
+		mark[u] = false
+	}
+	return count / 2 // each triangle (v,u,w) seen from both u and w
+}
+
+// LocalClustering returns the local clustering coefficient of v: the
+// fraction of pairs of v's neighbors that are themselves connected
+// (Wasserman & Faust). Vertices of degree < 2 return 0.
+func (g *Graph) LocalClustering(v uint32) float64 {
+	d := g.Degree(v)
+	if d < 2 {
+		return 0
+	}
+	mark := make([]bool, g.NumVertices())
+	t := g.triangles(v, mark)
+	return float64(2*t) / float64(d*(d-1))
+}
+
+// ClusteringAll computes the local clustering coefficient of every
+// vertex in parallel with the given worker count (0 → 1).
+func (g *Graph) ClusteringAll(workers int) []float64 {
+	if workers <= 0 {
+		workers = 1
+	}
+	n := g.NumVertices()
+	out := make([]float64, n)
+	var next int64
+	var mu sync.Mutex
+	const block = 1024
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mark := make([]bool, n)
+			for {
+				mu.Lock()
+				lo := next
+				next += block
+				mu.Unlock()
+				if lo >= int64(n) {
+					return
+				}
+				hi := lo + block
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for v := lo; v < hi; v++ {
+					d := g.Degree(uint32(v))
+					if d < 2 {
+						continue
+					}
+					t := g.triangles(uint32(v), mark)
+					out[v] = float64(2*t) / float64(d*(d-1))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Ego returns the sorted vertex set within BFS distance radius of v,
+// including v itself — the paper's V = v ∪ V1 ∪ V2 construction for
+// radius 2.
+func (g *Graph) Ego(v uint32, radius int) []uint32 {
+	if int(v) >= g.NumVertices() {
+		panic(fmt.Sprintf("graph: ego seed %d out of range", v))
+	}
+	dist := map[uint32]int{v: 0}
+	frontier := []uint32{v}
+	for d := 0; d < radius; d++ {
+		var nextFrontier []uint32
+		for _, u := range frontier {
+			row, _ := g.Neighbors(u)
+			for _, w := range row {
+				if _, ok := dist[w]; !ok {
+					dist[w] = d + 1
+					nextFrontier = append(nextFrontier, w)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	out := make([]uint32, 0, len(dist))
+	for u := range dist {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Induced returns the subgraph induced by the given vertices (which must
+// be sorted and unique): all edges with both endpoints in the set are
+// preserved. The second result maps new vertex IDs back to the original
+// ones.
+func (g *Graph) Induced(vs []uint32) (*Graph, []uint32) {
+	index := make(map[uint32]uint32, len(vs))
+	for i, v := range vs {
+		index[v] = uint32(i)
+	}
+	acc := sparse.NewAccum()
+	for _, v := range vs {
+		row, wts := g.Neighbors(v)
+		for k, u := range row {
+			if u <= v {
+				continue // each undirected edge once
+			}
+			if _, ok := index[u]; ok {
+				acc.Add(index[v], index[u], wts[k])
+			}
+		}
+	}
+	orig := make([]uint32, len(vs))
+	copy(orig, vs)
+	return FromTri(acc.Tri(), len(vs)), orig
+}
+
+// ConnectedComponents labels each vertex with a component ID in
+// [0, count) and returns the labels and component count.
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	n := g.NumVertices()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []uint32
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = count
+		queue = append(queue[:0], uint32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			row, _ := g.Neighbors(v)
+			for _, u := range row {
+				if labels[u] == -1 {
+					labels[u] = count
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// GiantComponentSize returns the size of the largest connected
+// component, 0 for an empty graph.
+func (g *Graph) GiantComponentSize() int {
+	labels, count := g.ConnectedComponents()
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// WriteEdgeList writes the strict upper triangle of t as a three-column
+// TSV (person_i, person_j, weight) with a comment header.
+func WriteEdgeList(w io.Writer, t *sparse.Tri) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# person_i\tperson_j\tcollocated_hours"); err != nil {
+		return err
+	}
+	for k := range t.I {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", t.I[k], t.J[k], t.W[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a TSV edge list produced by WriteEdgeList (lines
+// beginning with '#' are ignored) into a sparse triangular matrix.
+func ReadEdgeList(r io.Reader) (*sparse.Tri, error) {
+	acc := sparse.NewAccum()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var i, j, w uint32
+		if _, err := fmt.Sscanf(text, "%d\t%d\t%d", &i, &j, &w); err != nil {
+			// Accept space-separated too.
+			if _, err2 := fmt.Sscanf(text, "%d %d %d", &i, &j, &w); err2 != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: %q: %w", line, text, err)
+			}
+		}
+		if i == j {
+			return nil, fmt.Errorf("graph: edge list line %d: self-loop %d", line, i)
+		}
+		acc.Add(i, j, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return acc.Tri(), nil
+}

@@ -1,0 +1,411 @@
+// Package h5 implements "H5-lite", a minimal chunked binary container
+// standing in for the serial HDF5 library the paper uses for log output.
+//
+// The format preserves the properties the paper relies on:
+//
+//   - Chunked writes: a full logger cache is appended as one chunk with a
+//     single write call (fast write performance).
+//   - Compact binary storage, optionally DEFLATE-compressed per chunk.
+//   - Fast index-based reads: a chunk index written at the end of the file
+//     allows random access to any chunk without scanning (helpful when
+//     loading files later for analysis), as well as cheap sequential
+//     iteration.
+//   - Self-description: a fixed record size and column names are stored in
+//     the header so analysis tools can interpret the records.
+//
+// File layout:
+//
+//	header : magic "H5LT" | version u16 | flags u16 | recordSize u32 |
+//	         ncols u16 | {nameLen u16, name bytes} × ncols
+//	chunks : {compLen u32 | rawLen u32 | records u32 | payload} × nchunks
+//	index  : {offset u64 | compLen u32 | rawLen u32 | records u32} × nchunks
+//	footer : indexOffset u64 | nchunks u32 | magic "H5IX"
+//
+// All integers are little-endian.
+package h5
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+const (
+	headerMagic = "H5LT"
+	footerMagic = "H5IX"
+	version     = 1
+
+	// FlagDeflate enables per-chunk DEFLATE compression.
+	FlagDeflate uint16 = 1 << 0
+
+	footerSize = 8 + 4 + 4
+)
+
+// ErrCorrupt is returned when a file fails structural validation.
+var ErrCorrupt = errors.New("h5: corrupt file")
+
+// chunkMeta is one index entry describing a stored chunk.
+type chunkMeta struct {
+	offset  uint64 // file offset of the chunk payload (after its header)
+	compLen uint32 // stored payload length
+	rawLen  uint32 // decompressed payload length
+	records uint32 // number of fixed-size records in the chunk
+}
+
+// Schema describes the fixed-width records stored in a file.
+type Schema struct {
+	// RecordSize is the size in bytes of one record. Chunk payloads must
+	// be a whole number of records.
+	RecordSize int
+	// Columns are human-readable column names, stored for
+	// self-description (mirroring HDF5 dataset attributes).
+	Columns []string
+}
+
+// Writer appends chunks to an H5-lite file.
+type Writer struct {
+	w        io.Writer
+	closer   io.Closer
+	schema   Schema
+	compress bool
+	offset   uint64
+	index    []chunkMeta
+	closed   bool
+	// scratch buffers reused across chunks
+	comp bytes.Buffer
+}
+
+// Create creates path and returns a Writer over it.
+func Create(path string, schema Schema, flags uint16) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, schema, flags)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.closer = f
+	return w, nil
+}
+
+// NewWriter writes the header to w and returns a Writer. If w is also an
+// io.Closer it is NOT closed by Writer.Close; use Create for that.
+func NewWriter(w io.Writer, schema Schema, flags uint16) (*Writer, error) {
+	if schema.RecordSize <= 0 {
+		return nil, fmt.Errorf("h5: record size must be positive, got %d", schema.RecordSize)
+	}
+	hw := &Writer{w: w, schema: schema, compress: flags&FlagDeflate != 0}
+	var hdr bytes.Buffer
+	hdr.WriteString(headerMagic)
+	le := binary.LittleEndian
+	var u16 [2]byte
+	var u32 [4]byte
+	le.PutUint16(u16[:], version)
+	hdr.Write(u16[:])
+	le.PutUint16(u16[:], flags)
+	hdr.Write(u16[:])
+	le.PutUint32(u32[:], uint32(schema.RecordSize))
+	hdr.Write(u32[:])
+	if len(schema.Columns) > 0xffff {
+		return nil, fmt.Errorf("h5: too many columns: %d", len(schema.Columns))
+	}
+	le.PutUint16(u16[:], uint16(len(schema.Columns)))
+	hdr.Write(u16[:])
+	for _, c := range schema.Columns {
+		if len(c) > 0xffff {
+			return nil, fmt.Errorf("h5: column name too long: %d bytes", len(c))
+		}
+		le.PutUint16(u16[:], uint16(len(c)))
+		hdr.Write(u16[:])
+		hdr.WriteString(c)
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return nil, err
+	}
+	hw.offset = uint64(hdr.Len())
+	return hw, nil
+}
+
+// Schema returns the schema the writer was created with.
+func (w *Writer) Schema() Schema { return w.schema }
+
+// Chunks returns the number of chunks written so far.
+func (w *Writer) Chunks() int { return len(w.index) }
+
+// WriteChunk appends one chunk containing len(payload)/RecordSize
+// records. The payload length must be a positive multiple of RecordSize.
+func (w *Writer) WriteChunk(payload []byte) error {
+	if w.closed {
+		return errors.New("h5: write on closed writer")
+	}
+	rs := w.schema.RecordSize
+	if len(payload) == 0 || len(payload)%rs != 0 {
+		return fmt.Errorf("h5: chunk payload %d bytes is not a positive multiple of record size %d", len(payload), rs)
+	}
+	records := uint32(len(payload) / rs)
+
+	stored := payload
+	if w.compress {
+		w.comp.Reset()
+		fw, err := flate.NewWriter(&w.comp, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Write(payload); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		stored = w.comp.Bytes()
+	}
+
+	var hdr [12]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], uint32(len(stored)))
+	le.PutUint32(hdr[4:], uint32(len(payload)))
+	le.PutUint32(hdr[8:], records)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(stored); err != nil {
+		return err
+	}
+	w.index = append(w.index, chunkMeta{
+		offset:  w.offset + 12,
+		compLen: uint32(len(stored)),
+		rawLen:  uint32(len(payload)),
+		records: records,
+	})
+	w.offset += 12 + uint64(len(stored))
+	return nil
+}
+
+// Close writes the chunk index and footer. If the writer was opened with
+// Create, the underlying file is closed too. Close is idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	var u32 [4]byte
+	var u64 [8]byte
+	for _, c := range w.index {
+		le.PutUint64(u64[:], c.offset)
+		buf.Write(u64[:])
+		le.PutUint32(u32[:], c.compLen)
+		buf.Write(u32[:])
+		le.PutUint32(u32[:], c.rawLen)
+		buf.Write(u32[:])
+		le.PutUint32(u32[:], c.records)
+		buf.Write(u32[:])
+	}
+	le.PutUint64(u64[:], w.offset)
+	buf.Write(u64[:])
+	le.PutUint32(u32[:], uint32(len(w.index)))
+	buf.Write(u32[:])
+	buf.WriteString(footerMagic)
+	if _, err := w.w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// Reader provides indexed and sequential access to an H5-lite file.
+type Reader struct {
+	r        io.ReaderAt
+	closer   io.Closer
+	schema   Schema
+	flags    uint16
+	index    []chunkMeta
+	compress bool
+}
+
+// Open opens path for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader parses the header and index from r, which must contain a
+// complete file of the given size.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(len(headerMagic))+footerSize {
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	le := binary.LittleEndian
+
+	// Footer.
+	foot := make([]byte, footerSize)
+	if _, err := r.ReadAt(foot, size-footerSize); err != nil {
+		return nil, err
+	}
+	if string(foot[12:16]) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	indexOffset := le.Uint64(foot[0:8])
+	nchunks := le.Uint32(foot[8:12])
+	indexBytes := int64(nchunks) * 20
+	if int64(indexOffset)+indexBytes+footerSize != size {
+		return nil, fmt.Errorf("%w: index does not fit file size", ErrCorrupt)
+	}
+
+	// Header.
+	fixed := make([]byte, 4+2+2+4+2)
+	if _, err := r.ReadAt(fixed, 0); err != nil {
+		return nil, err
+	}
+	if string(fixed[0:4]) != headerMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrCorrupt)
+	}
+	if v := le.Uint16(fixed[4:6]); v != version {
+		return nil, fmt.Errorf("h5: unsupported version %d", v)
+	}
+	flags := le.Uint16(fixed[6:8])
+	recordSize := le.Uint32(fixed[8:12])
+	ncols := le.Uint16(fixed[12:14])
+	if recordSize == 0 {
+		return nil, fmt.Errorf("%w: zero record size", ErrCorrupt)
+	}
+	cols := make([]string, 0, ncols)
+	off := int64(len(fixed))
+	var l2 [2]byte
+	for i := 0; i < int(ncols); i++ {
+		if _, err := r.ReadAt(l2[:], off); err != nil {
+			return nil, err
+		}
+		n := int(le.Uint16(l2[:]))
+		off += 2
+		name := make([]byte, n)
+		if _, err := r.ReadAt(name, off); err != nil {
+			return nil, err
+		}
+		off += int64(n)
+		cols = append(cols, string(name))
+	}
+
+	// Index.
+	idx := make([]byte, indexBytes)
+	if _, err := r.ReadAt(idx, int64(indexOffset)); err != nil {
+		return nil, err
+	}
+	index := make([]chunkMeta, nchunks)
+	for i := range index {
+		e := idx[i*20:]
+		index[i] = chunkMeta{
+			offset:  le.Uint64(e[0:8]),
+			compLen: le.Uint32(e[8:12]),
+			rawLen:  le.Uint32(e[12:16]),
+			records: le.Uint32(e[16:20]),
+		}
+		if int64(index[i].offset)+int64(index[i].compLen) > int64(indexOffset) {
+			return nil, fmt.Errorf("%w: chunk %d overlaps index", ErrCorrupt, i)
+		}
+		if index[i].rawLen%recordSize != 0 || index[i].rawLen/recordSize != index[i].records {
+			return nil, fmt.Errorf("%w: chunk %d record accounting", ErrCorrupt, i)
+		}
+	}
+
+	return &Reader{
+		r:        r,
+		schema:   Schema{RecordSize: int(recordSize), Columns: cols},
+		flags:    flags,
+		index:    index,
+		compress: flags&FlagDeflate != 0,
+	}, nil
+}
+
+// Schema returns the file's record schema.
+func (r *Reader) Schema() Schema { return r.schema }
+
+// Flags returns the file's flag word.
+func (r *Reader) Flags() uint16 { return r.flags }
+
+// NumChunks returns the number of chunks in the file.
+func (r *Reader) NumChunks() int { return len(r.index) }
+
+// NumRecords returns the total number of records across all chunks.
+func (r *Reader) NumRecords() uint64 {
+	var n uint64
+	for _, c := range r.index {
+		n += uint64(c.records)
+	}
+	return n
+}
+
+// ChunkRecords returns the record count of chunk i.
+func (r *Reader) ChunkRecords(i int) int { return int(r.index[i].records) }
+
+// ReadChunk returns the decompressed payload of chunk i — the
+// index-based random access that motivated the paper's HDF5 choice.
+func (r *Reader) ReadChunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.index) {
+		return nil, fmt.Errorf("h5: chunk %d out of range [0,%d)", i, len(r.index))
+	}
+	c := r.index[i]
+	stored := make([]byte, c.compLen)
+	if _, err := r.r.ReadAt(stored, int64(c.offset)); err != nil {
+		return nil, err
+	}
+	if !r.compress {
+		if uint32(len(stored)) != c.rawLen {
+			return nil, fmt.Errorf("%w: chunk %d length mismatch", ErrCorrupt, i)
+		}
+		return stored, nil
+	}
+	fr := flate.NewReader(bytes.NewReader(stored))
+	defer fr.Close()
+	raw := make([]byte, c.rawLen)
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return nil, fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, i, err)
+	}
+	return raw, nil
+}
+
+// ForEachChunk invokes fn for every chunk payload in order, stopping and
+// returning the first error.
+func (r *Reader) ForEachChunk(fn func(chunk int, payload []byte) error) error {
+	for i := range r.index {
+		p, err := r.ReadChunk(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the underlying file if the reader was created by Open.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package layout computes force-directed node positions for network
+// visualization, standing in for the paper's Gephi "Force Atlas 2"
+// figures (Figures 1 and 2), and renders them to SVG.
+//
+// The force model follows ForceAtlas2: degree-weighted repulsion between
+// all node pairs, linear attraction along edges (scaled by edge weight),
+// and a gravity term that keeps disconnected components from drifting
+// apart. "The positioning of nodes is force-directed such that clusters
+// of highly connected nodes are positioned closer, as are nodes with
+// greater edge weights."
+//
+// Repulsion is computed exactly (O(n²) per iteration) with a parallel
+// worker pool; the ego subgraphs the paper visualizes are a few thousand
+// nodes, well within exact range.
+package layout
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config controls the layout computation.
+type Config struct {
+	// Iterations is the number of force iterations; zero selects 150.
+	Iterations int
+	// ScalingRatio scales repulsion (ForceAtlas2 "kr"); zero selects 2.
+	ScalingRatio float64
+	// Gravity pulls nodes toward the origin; zero selects 1.
+	Gravity float64
+	// Seed drives the initial random placement.
+	Seed uint64
+	// Workers is the parallel worker count; zero selects GOMAXPROCS.
+	Workers int
+}
+
+func (c *Config) defaults() Config {
+	out := *c
+	if out.Iterations <= 0 {
+		out.Iterations = 150
+	}
+	if out.ScalingRatio <= 0 {
+		out.ScalingRatio = 2
+	}
+	if out.Gravity <= 0 {
+		out.Gravity = 1
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// Point is a 2D position.
+type Point struct{ X, Y float64 }
+
+// Layout computes node positions for g.
+func Layout(g *graph.Graph, cfg Config) []Point {
+	c := cfg.defaults()
+	n := g.NumVertices()
+	pos := make([]Point, n)
+	if n == 0 {
+		return pos
+	}
+	r := rng.New(c.Seed)
+	scale := math.Sqrt(float64(n)) * 10
+	for i := range pos {
+		pos[i] = Point{X: (r.Float64() - 0.5) * scale, Y: (r.Float64() - 0.5) * scale}
+	}
+	if n == 1 {
+		return pos
+	}
+
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = float64(g.Degree(uint32(v)))
+	}
+
+	force := make([]Point, n)
+	prevForce := make([]Point, n)
+	speed := 1.0
+
+	for iter := 0; iter < c.Iterations; iter++ {
+		prevForce, force = force, prevForce
+		for i := range force {
+			force[i] = Point{}
+		}
+
+		// Repulsion, parallel over target vertices.
+		parallelRange(n, c.Workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				var fx, fy float64
+				for u := 0; u < n; u++ {
+					if u == v {
+						continue
+					}
+					dx := pos[v].X - pos[u].X
+					dy := pos[v].Y - pos[u].Y
+					d2 := dx*dx + dy*dy
+					if d2 < 1e-9 {
+						d2 = 1e-9
+					}
+					f := c.ScalingRatio * (deg[v] + 1) * (deg[u] + 1) / d2
+					fx += dx * f
+					fy += dy * f
+				}
+				force[v].X += fx
+				force[v].Y += fy
+			}
+		})
+
+		// Attraction along edges (each edge pulled from both sides) and
+		// gravity, serial: O(m + n).
+		for v := 0; v < n; v++ {
+			row, wts := g.Neighbors(uint32(v))
+			for k, u := range row {
+				dx := pos[v].X - pos[u].X
+				dy := pos[v].Y - pos[u].Y
+				w := 1 + math.Log1p(float64(wts[k]))
+				force[v].X -= dx * w
+				force[v].Y -= dy * w
+			}
+			d := math.Hypot(pos[v].X, pos[v].Y)
+			if d > 1e-9 {
+				f := c.Gravity * (deg[v] + 1) / d
+				force[v].X -= pos[v].X * f
+				force[v].Y -= pos[v].Y * f
+			}
+		}
+
+		// Adaptive cooling: slow down when forces oscillate (swing),
+		// speed up when they are steady — a simplified ForceAtlas2
+		// global speed rule.
+		var swing, traction float64
+		for v := 0; v < n; v++ {
+			dx := force[v].X - prevForce[v].X
+			dy := force[v].Y - prevForce[v].Y
+			sx := force[v].X + prevForce[v].X
+			sy := force[v].Y + prevForce[v].Y
+			swing += (deg[v] + 1) * math.Hypot(dx, dy)
+			traction += (deg[v] + 1) * math.Hypot(sx, sy) / 2
+		}
+		if swing > 0 {
+			target := 1.0 * traction / swing
+			if target < speed*1.5 {
+				speed = target
+			} else {
+				speed *= 1.5
+			}
+		}
+		if speed > 10 {
+			speed = 10
+		}
+
+		for v := 0; v < n; v++ {
+			f := math.Hypot(force[v].X, force[v].Y)
+			if f < 1e-12 {
+				continue
+			}
+			// Displacement limited per node to avoid explosions.
+			step := speed / (1 + speed*math.Sqrt(f))
+			pos[v].X += force[v].X * step
+			pos[v].Y += force[v].Y * step
+		}
+	}
+	return pos
+}
+
+// parallelRange splits [0, n) into contiguous chunks across workers.
+func parallelRange(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 256 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

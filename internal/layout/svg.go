@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// SVGOptions controls rendering of a laid-out graph.
+type SVGOptions struct {
+	// Width and Height of the canvas in pixels; zero selects 1200.
+	Width, Height int
+	// NodeRadius in pixels; zero selects 2.5.
+	NodeRadius float64
+	// Title is emitted as the SVG document title.
+	Title string
+}
+
+func (o *SVGOptions) defaults() SVGOptions {
+	out := *o
+	if out.Width <= 0 {
+		out.Width = 1200
+	}
+	if out.Height <= 0 {
+		out.Height = 1200
+	}
+	if out.NodeRadius <= 0 {
+		out.NodeRadius = 2.5
+	}
+	return out
+}
+
+// WriteSVG renders g at the given positions: edges as translucent lines,
+// nodes as circles colored by degree with darker = higher degree,
+// reproducing the visual convention of the paper's Figures 1-2.
+func WriteSVG(w io.Writer, g *graph.Graph, pos []Point, opts SVGOptions) error {
+	o := opts.defaults()
+	n := g.NumVertices()
+	if len(pos) != n {
+		return fmt.Errorf("layout: %d positions for %d vertices", len(pos), n)
+	}
+	bw := bufio.NewWriter(w)
+
+	// Fit positions into the canvas with a 5% margin.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pos {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if n == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	marginX, marginY := 0.05*float64(o.Width), 0.05*float64(o.Height)
+	tx := func(x float64) float64 {
+		return marginX + (x-minX)/spanX*(float64(o.Width)-2*marginX)
+	}
+	ty := func(y float64) float64 {
+		return marginY + (y-minY)/spanY*(float64(o.Height)-2*marginY)
+	}
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	if o.Title != "" {
+		fmt.Fprintf(bw, "<title>%s</title>\n", o.Title)
+	}
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	// Edges first so nodes draw on top.
+	fmt.Fprintf(bw, `<g stroke="#3060a0" stroke-opacity="0.08" stroke-width="0.5">`+"\n")
+	for v := 0; v < n; v++ {
+		row, _ := g.Neighbors(uint32(v))
+		for _, u := range row {
+			if u <= uint32(v) {
+				continue
+			}
+			fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+				tx(pos[v].X), ty(pos[v].Y), tx(pos[u].X), ty(pos[u].Y))
+		}
+	}
+	fmt.Fprintf(bw, "</g>\n")
+
+	maxDeg := g.MaxDegree()
+	if maxDeg == 0 {
+		maxDeg = 1
+	}
+	fmt.Fprintf(bw, "<g>\n")
+	for v := 0; v < n; v++ {
+		// Darker with higher degree: interpolate lightness 85% -> 20%.
+		frac := math.Sqrt(float64(g.Degree(uint32(v))) / float64(maxDeg))
+		light := 85 - 65*frac
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="hsl(215,70%%,%.0f%%)"/>`+"\n",
+			tx(pos[v].X), ty(pos[v].Y), o.NodeRadius, light)
+	}
+	fmt.Fprintf(bw, "</g>\n</svg>\n")
+	return bw.Flush()
+}

@@ -1,0 +1,264 @@
+// Package mpi provides an in-process message-passing substrate that
+// stands in for the MPI layer beneath Repast HPC in the paper's chiSIM
+// deployment.
+//
+// A World runs N ranks as goroutines; each rank holds a Comm through
+// which it can exchange point-to-point messages and participate in
+// collectives (Barrier, Allgather, Allreduce, Alltoall). The semantics
+// mirror the MPI subset the simulation needs: ranks are peers, messages
+// between a pair of ranks are delivered in send order, and every rank
+// must participate in every collective in the same order.
+//
+// Running ranks as goroutines rather than OS processes preserves the
+// code structure the paper describes — per-rank place ownership, agent
+// migration between ranks, one logger per rank — while remaining
+// runnable on a single machine.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload in flight.
+type message struct {
+	from, tag int
+	payload   any
+}
+
+// inbox is a rank's incoming message queue with blocking matched receive.
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) put(m message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take blocks until a message matching (from, tag) is available and
+// removes it. from == AnySource matches any sender.
+func (b *inbox) take(from, tag int) (message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.pending {
+			if (from == AnySource || m.from == from) && m.tag == tag {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				return m, nil
+			}
+		}
+		if b.closed {
+			return message{}, fmt.Errorf("mpi: receive on closed world (from %d, tag %d)", from, tag)
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// AnySource matches any sending rank in Recv.
+const AnySource = -1
+
+// barrier is a reusable generation-counted barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// World is a set of ranks executing together.
+type World struct {
+	size    int
+	inboxes []*inbox
+	bar     *barrier
+	scratch []any // collective exchange buffer, one slot per rank
+}
+
+// NewWorld creates a world with the given number of ranks. Size must be
+// positive.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{
+		size:    size,
+		bar:     newBarrier(size),
+		scratch: make([]any, size),
+	}
+	for i := 0; i < size; i++ {
+		w.inboxes = append(w.inboxes, newInbox())
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank concurrently and waits for all ranks to
+// finish. It returns the first non-nil error by rank order. Run may be
+// called again after it returns (the world is reusable), but not
+// concurrently with itself.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Unblock peers waiting on receives from this rank.
+					for _, ib := range w.inboxes {
+						ib.close()
+					}
+				}
+			}()
+			errs[rank] = fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, ib := range w.inboxes {
+		ib.mu.Lock()
+		ib.pending = nil
+		ib.closed = false
+		ib.mu.Unlock()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's communication handle.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers payload to rank `to` under the given tag. Sends are
+// asynchronous and never block. Sending to self is allowed.
+func (c *Comm) Send(to, tag int, payload any) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to rank %d out of [0,%d)", to, c.world.size))
+	}
+	c.world.inboxes[to].put(message{from: c.rank, tag: tag, payload: payload})
+}
+
+// Recv blocks until a message with the given tag from rank `from`
+// (or any rank when from == AnySource) arrives, and returns its payload
+// and actual source.
+func (c *Comm) Recv(from, tag int) (payload any, source int, err error) {
+	m, err := c.world.inboxes[c.rank].take(from, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.payload, m.from, nil
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (c *Comm) Barrier() { c.world.bar.wait() }
+
+// allgatherSlot publishes v in the shared scratch and returns a snapshot
+// of every rank's value. Two barriers ensure the scratch can be reused by
+// the next collective.
+func (c *Comm) allgatherSlot(v any) []any {
+	c.world.scratch[c.rank] = v
+	c.Barrier()
+	out := make([]any, c.world.size)
+	copy(out, c.world.scratch)
+	c.Barrier()
+	return out
+}
+
+// Allgather returns every rank's value, indexed by rank. All ranks must
+// call it collectively.
+func Allgather[T any](c *Comm, v T) []T {
+	raw := c.allgatherSlot(v)
+	out := make([]T, len(raw))
+	for i, x := range raw {
+		out[i] = x.(T)
+	}
+	return out
+}
+
+// Allreduce folds every rank's value with op (which must be associative
+// and commutative) and returns the result on all ranks.
+func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
+	all := Allgather(c, v)
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// Alltoall performs a personalized all-to-all exchange: send[i] is
+// delivered to rank i, and the result's element j is what rank j sent to
+// this rank. len(send) must equal Size.
+func Alltoall[T any](c *Comm, send []T) []T {
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoall send has %d slots for %d ranks", len(send), c.Size()))
+	}
+	matrix := Allgather(c, send)
+	out := make([]T, c.Size())
+	for j := 0; j < c.Size(); j++ {
+		out[j] = matrix[j][c.rank]
+	}
+	return out
+}
+
+// Bcast distributes root's value to all ranks.
+func Bcast[T any](c *Comm, v T, root int) T {
+	return Allgather(c, v)[root]
+}

@@ -1,0 +1,418 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldSize(t *testing.T) {
+	w := NewWorld(4)
+	if w.Size() != 4 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+}
+
+func TestNewWorldPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestRunAllRanksExecute(t *testing.T) {
+	w := NewWorld(8)
+	var mask int64
+	err := w.Run(func(c *Comm) error {
+		for {
+			old := atomic.LoadInt64(&mask)
+			if atomic.CompareAndSwapInt64(&mask, old, old|1<<c.Rank()) {
+				break
+			}
+		}
+		if c.Size() != 8 {
+			t.Errorf("rank %d sees size %d", c.Rank(), c.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != 0xff {
+		t.Fatalf("rank mask = %b, want 11111111", mask)
+	}
+}
+
+func TestRunReturnsFirstErrorByRank(t *testing.T) {
+	w := NewWorld(4)
+	sentinel := errors.New("rank 1 failed")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		if c.Rank() == 3 {
+			return errors.New("rank 3 failed")
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want rank 1's error", err)
+	}
+}
+
+func TestSendRecvPairwise(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, "hello")
+			p, src, err := c.Recv(1, 7)
+			if err != nil {
+				return err
+			}
+			if p.(string) != "world" || src != 1 {
+				t.Errorf("rank 0 got %v from %d", p, src)
+			}
+		} else {
+			p, src, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if p.(string) != "hello" || src != 0 {
+				t.Errorf("rank 1 got %v from %d", p, src)
+			}
+			c.Send(0, 7, "world")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOrderPreservedPerPair(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				p, _, err := c.Recv(0, 1)
+				if err != nil {
+					return err
+				}
+				if p.(int) != i {
+					t.Errorf("message %d arrived out of order: %v", i, p)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvByTagFiltering(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, "tag5")
+			c.Send(1, 6, "tag6")
+		} else {
+			// Receive tag 6 first even though tag 5 was sent first.
+			p6, _, err := c.Recv(0, 6)
+			if err != nil {
+				return err
+			}
+			p5, _, err := c.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			if p6.(string) != "tag6" || p5.(string) != "tag5" {
+				t.Errorf("tag filtering broken: %v %v", p5, p6)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			seen := make(map[int]bool)
+			for i := 0; i < 3; i++ {
+				_, src, err := c.Recv(AnySource, 2)
+				if err != nil {
+					return err
+				}
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("AnySource saw senders %v", seen)
+			}
+		} else {
+			c.Send(0, 2, c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		c.Send(0, 9, 42)
+		p, _, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if p.(int) != 42 {
+			t.Errorf("self-send got %v", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(6)
+	var before, after int64
+	err := w.Run(func(c *Comm) error {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		// After the barrier, every rank must have incremented before.
+		if atomic.LoadInt64(&before) != 6 {
+			t.Errorf("rank %d passed barrier with before=%d", c.Rank(), before)
+		}
+		atomic.AddInt64(&after, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&after) != 6 {
+			t.Errorf("rank %d passed second barrier with after=%d", c.Rank(), after)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusableManyTimes(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < 500; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		got := Allgather(c, c.Rank()*10)
+		for i, v := range got {
+			if v != i*10 {
+				t.Errorf("rank %d: Allgather[%d] = %d", c.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherRepeated(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		for round := 0; round < 50; round++ {
+			got := Allgather(c, c.Rank()+round*100)
+			for i, v := range got {
+				if v != i+round*100 {
+					t.Errorf("round %d rank %d: slot %d = %d", round, c.Rank(), i, v)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(7)
+	err := w.Run(func(c *Comm) error {
+		sum := Allreduce(c, c.Rank()+1, func(a, b int) int { return a + b })
+		if sum != 28 { // 1+2+...+7
+			t.Errorf("rank %d: sum = %d, want 28", c.Rank(), sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		m := Allreduce(c, c.Rank()*c.Rank(), func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if m != 9 {
+			t.Errorf("max = %d, want 9", m)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		// Rank r sends value r*10+dest to rank dest.
+		send := make([]int, 4)
+		for d := range send {
+			send[d] = c.Rank()*10 + d
+		}
+		got := Alltoall(c, send)
+		for src, v := range got {
+			want := src*10 + c.Rank()
+			if v != want {
+				t.Errorf("rank %d: from %d got %d, want %d", c.Rank(), src, v, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		v := -1
+		if c.Rank() == 2 {
+			v = 777
+		}
+		got := Bcast(c, v, 2)
+		if got != 777 {
+			t.Errorf("rank %d: Bcast = %d", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldReusableAcrossRuns(t *testing.T) {
+	w := NewWorld(3)
+	for run := 0; run < 5; run++ {
+		err := w.Run(func(c *Comm) error {
+			sum := Allreduce(c, 1, func(a, b int) int { return a + b })
+			if sum != 3 {
+				t.Errorf("run %d: sum = %d", run, sum)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPanicInRankSurfacesAsError(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		// Rank 1 blocks on a receive that will never be satisfied; the
+		// panic path must close inboxes so this unblocks with an error.
+		_, _, err := c.Recv(0, 1)
+		if err == nil {
+			t.Error("rank 1 receive should fail after peer panic")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic did not surface as error")
+	}
+}
+
+// Property: Allreduce with addition equals the arithmetic series sum for
+// any world size in [1, 12].
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%12) + 1
+		w := NewWorld(size)
+		ok := true
+		err := w.Run(func(c *Comm) error {
+			sum := Allreduce(c, c.Rank(), func(a, b int) int { return a + b })
+			if sum != size*(size-1)/2 {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	w := NewWorld(8)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAlltoall8(b *testing.B) {
+	w := NewWorld(8)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		send := make([]int, 8)
+		for i := 0; i < b.N; i++ {
+			Alltoall(c, send)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

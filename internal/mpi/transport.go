@@ -1,0 +1,48 @@
+package mpi
+
+// Transport is the minimal communication surface the simulation's hot
+// loop needs, satisfied both by the in-process Comm and by the TCP-based
+// mpinet.Node. Keeping it byte-oriented lets implementations ship blobs
+// across process boundaries without reflection-based serialization.
+type Transport interface {
+	// Rank returns this participant's index in [0, Size).
+	Rank() int
+	// Size returns the number of participants.
+	Size() int
+	// Barrier blocks until all participants have entered it.
+	Barrier() error
+	// Exchange performs a personalized all-to-all: out[i] is delivered
+	// to rank i, and the result's element j is the blob rank j sent to
+	// this rank. len(out) must equal Size. A nil blob is delivered as a
+	// nil or empty slice.
+	Exchange(out [][]byte) ([][]byte, error)
+	// Gather collects every rank's blob on rank 0 (result indexed by
+	// rank, nil on other ranks).
+	Gather(blob []byte) ([][]byte, error)
+}
+
+// commTransport adapts Comm to Transport.
+type commTransport struct{ c *Comm }
+
+// AsTransport wraps an in-process Comm in the Transport interface.
+func AsTransport(c *Comm) Transport { return commTransport{c} }
+
+func (t commTransport) Rank() int { return t.c.Rank() }
+func (t commTransport) Size() int { return t.c.Size() }
+
+func (t commTransport) Barrier() error {
+	t.c.Barrier()
+	return nil
+}
+
+func (t commTransport) Exchange(out [][]byte) ([][]byte, error) {
+	return Alltoall(t.c, out), nil
+}
+
+func (t commTransport) Gather(blob []byte) ([][]byte, error) {
+	all := Allgather(t.c, blob)
+	if t.c.Rank() != 0 {
+		return nil, nil
+	}
+	return all, nil
+}

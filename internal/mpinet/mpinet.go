@@ -1,0 +1,476 @@
+// Package mpinet is a TCP-based implementation of the mpi.Transport
+// interface, letting the simulation's ranks run as separate OS processes
+// — the "distributed compute cluster" deployment of the paper — instead
+// of goroutines inside one process.
+//
+// Topology is a star: rank 0 hosts a coordinator that the other ranks
+// join. Collectives (Barrier, Exchange, Gather) are synchronous rounds:
+// every rank submits one frame, the coordinator routes, every rank
+// receives its reply. Because the simulation already requires all ranks
+// to enter every collective in the same order, the star adds no extra
+// synchronization constraints; it trades the O(P²) connection mesh of
+// real MPI for implementation clarity at the modest rank counts this
+// reproduction targets.
+//
+// Wire format: every frame is length-prefixed
+//
+//	frameLen u32 | op u8 | nblobs u32 | { blobLen u32 | blob }*
+//
+// with all integers little-endian. The handshake after connect is
+//
+//	magic "CSIM" | rank u32 | size u32
+//
+// from coordinator to client.
+package mpinet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+const handshakeMagic = "CSIM"
+
+// Collective opcodes.
+const (
+	opBarrier byte = iota + 1
+	opExchange
+	opGather
+)
+
+// maxFrame bounds a single frame to guard against corrupt length
+// prefixes (256 MiB is far above any batch the simulation exchanges).
+const maxFrame = 256 << 20
+
+// frame is one collective contribution or reply.
+type frame struct {
+	op    byte
+	blobs [][]byte
+}
+
+func writeFrame(w *bufio.Writer, f frame) error {
+	total := 1 + 4
+	for _, b := range f.blobs {
+		total += 4 + len(b)
+	}
+	if total > maxFrame {
+		return fmt.Errorf("mpinet: frame of %d bytes exceeds limit", total)
+	}
+	var u32 [4]byte
+	le := binary.LittleEndian
+	le.PutUint32(u32[:], uint32(total))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(f.op); err != nil {
+		return err
+	}
+	le.PutUint32(u32[:], uint32(len(f.blobs)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	for _, b := range f.blobs {
+		le.PutUint32(u32[:], uint32(len(b)))
+		if _, err := w.Write(u32[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (frame, error) {
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return frame{}, err
+	}
+	le := binary.LittleEndian
+	total := le.Uint32(u32[:])
+	if total < 5 || total > maxFrame {
+		return frame{}, fmt.Errorf("mpinet: bad frame length %d", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	f := frame{op: body[0]}
+	n := le.Uint32(body[1:5])
+	off := uint32(5)
+	for i := uint32(0); i < n; i++ {
+		if off+4 > total {
+			return frame{}, fmt.Errorf("mpinet: truncated frame")
+		}
+		bl := le.Uint32(body[off:])
+		off += 4
+		if off+bl > total {
+			return frame{}, fmt.Errorf("mpinet: truncated blob")
+		}
+		f.blobs = append(f.blobs, body[off:off+bl])
+		off += bl
+	}
+	return f, nil
+}
+
+// contribution is one rank's collective input arriving at the
+// coordinator.
+type contribution struct {
+	rank int
+	f    frame
+	err  error
+}
+
+// Node is one rank's handle; it implements mpi.Transport.
+type Node struct {
+	rank, size int
+
+	// Client side (rank > 0).
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// Coordinator side (rank 0).
+	coord *coordinator
+}
+
+type coordinator struct {
+	ln net.Listener
+
+	mu    sync.Mutex // guards conns
+	conns []net.Conn // index 0 unused
+
+	contribs  chan contribution
+	replies   []chan frame // per rank; rank 0's reply read locally
+	done      chan struct{}
+	closeOnce sync.Once
+	errs      chan error
+}
+
+// stop records err (best effort), signals shutdown and releases the
+// sockets. Safe to call from any goroutine, any number of times.
+func (c *coordinator) stop(err error) {
+	if err != nil {
+		select {
+		case c.errs <- err:
+		default:
+		}
+	}
+	c.closeOnce.Do(func() { close(c.done) })
+	c.teardown()
+}
+
+// Host listens on addr, waits for size-1 ranks to join, and returns the
+// rank-0 Node. Size must be at least 1; with size 1 the transport is
+// fully local.
+func Host(addr string, size int) (*Node, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpinet: size must be ≥ 1, got %d", size)
+	}
+	c := &coordinator{
+		contribs: make(chan contribution, size),
+		replies:  make([]chan frame, size),
+		done:     make(chan struct{}),
+		errs:     make(chan error, size),
+	}
+	for i := range c.replies {
+		c.replies[i] = make(chan frame, 1)
+	}
+	if size == 1 {
+		go c.run(size)
+		return &Node{rank: 0, size: size, coord: c}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	c.conns = make([]net.Conn, size)
+	// Accept joins in the background so callers can publish Addr()
+	// before the other ranks dial in; the first collective blocks until
+	// everyone has joined, because the round needs all contributions.
+	go func() {
+		for r := 1; r < size; r++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				c.stop(err)
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			// Handshake: assign the next rank.
+			var hs [12]byte
+			copy(hs[:4], handshakeMagic)
+			binary.LittleEndian.PutUint32(hs[4:], uint32(r))
+			binary.LittleEndian.PutUint32(hs[8:], uint32(size))
+			if _, err := conn.Write(hs[:]); err != nil {
+				c.stop(err)
+				return
+			}
+			c.mu.Lock()
+			c.conns[r] = conn
+			c.mu.Unlock()
+			go c.readLoop(r, conn)
+		}
+		c.run(size)
+	}()
+	return &Node{rank: 0, size: size, coord: c}, nil
+}
+
+// Join dials the coordinator at addr and returns this process's Node.
+// The coordinator assigns the rank.
+func Join(addr string) (*Node, error) {
+	var conn net.Conn
+	var err error
+	// The coordinator may not be listening yet; retry briefly.
+	for attempt := 0; attempt < 50; attempt++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpinet: joining %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	var hs [12]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mpinet: handshake: %w", err)
+	}
+	if string(hs[:4]) != handshakeMagic {
+		conn.Close()
+		return nil, fmt.Errorf("mpinet: bad handshake magic %q", hs[:4])
+	}
+	rank := int(binary.LittleEndian.Uint32(hs[4:]))
+	size := int(binary.LittleEndian.Uint32(hs[8:]))
+	return &Node{
+		rank: rank,
+		size: size,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// readLoop feeds one client's frames into the coordinator.
+func (c *coordinator) readLoop(rank int, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			select {
+			case c.contribs <- contribution{rank: rank, err: err}:
+			case <-c.done:
+			}
+			return
+		}
+		select {
+		case c.contribs <- contribution{rank: rank, f: f}:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// run processes collective rounds until teardown.
+func (c *coordinator) run(size int) {
+	writers := make([]*bufio.Writer, size)
+	c.mu.Lock()
+	for r := 1; r < size; r++ {
+		if c.conns != nil && c.conns[r] != nil {
+			writers[r] = bufio.NewWriterSize(c.conns[r], 1<<16)
+		}
+	}
+	c.mu.Unlock()
+	fail := c.stop
+	for {
+		// Collect one contribution per rank.
+		round := make([]frame, size)
+		for got := 0; got < size; got++ {
+			var ct contribution
+			select {
+			case ct = <-c.contribs:
+			case <-c.done:
+				return
+			}
+			if ct.err != nil {
+				if ct.err == io.EOF && got == 0 && ct.rank != 0 {
+					// Orderly shutdown: a client closed between rounds.
+					fail(io.EOF)
+					return
+				}
+				fail(fmt.Errorf("mpinet: rank %d: %w", ct.rank, ct.err))
+				return
+			}
+			round[ct.rank] = ct.f
+		}
+		op := round[0].op
+		for r := 1; r < size; r++ {
+			if round[r].op != op {
+				fail(fmt.Errorf("mpinet: collective mismatch: rank 0 in op %d, rank %d in op %d", op, r, round[r].op))
+				return
+			}
+		}
+		// Route.
+		out := make([]frame, size)
+		switch op {
+		case opBarrier:
+			for r := range out {
+				out[r] = frame{op: op}
+			}
+		case opExchange:
+			for dst := 0; dst < size; dst++ {
+				blobs := make([][]byte, size)
+				for src := 0; src < size; src++ {
+					if dst < len(round[src].blobs) {
+						blobs[src] = round[src].blobs[dst]
+					}
+				}
+				out[dst] = frame{op: op, blobs: blobs}
+			}
+		case opGather:
+			blobs := make([][]byte, size)
+			for src := 0; src < size; src++ {
+				if len(round[src].blobs) > 0 {
+					blobs[src] = round[src].blobs[0]
+				}
+			}
+			out[0] = frame{op: op, blobs: blobs}
+			for r := 1; r < size; r++ {
+				out[r] = frame{op: op}
+			}
+		default:
+			fail(fmt.Errorf("mpinet: unknown op %d", op))
+			return
+		}
+		// Deliver.
+		for r := 0; r < size; r++ {
+			if r == 0 || writers[r] == nil {
+				select {
+				case c.replies[r] <- out[r]:
+				case <-c.done:
+					return
+				}
+				continue
+			}
+			if err := writeFrame(writers[r], out[r]); err != nil {
+				fail(fmt.Errorf("mpinet: reply to rank %d: %w", r, err))
+				return
+			}
+		}
+	}
+}
+
+func (c *coordinator) teardown() {
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// Rank returns this node's rank.
+func (n *Node) Rank() int { return n.rank }
+
+// Size returns the number of participating ranks.
+func (n *Node) Size() int { return n.size }
+
+// roundTrip submits f and waits for the reply.
+func (n *Node) roundTrip(f frame) (frame, error) {
+	if n.coord != nil {
+		select {
+		case n.coord.contribs <- contribution{rank: 0, f: f}:
+		case <-n.coord.done:
+			return frame{}, n.coordErr()
+		}
+		select {
+		case rep := <-n.coord.replies[0]:
+			return rep, nil
+		case <-n.coord.done:
+			return frame{}, n.coordErr()
+		}
+	}
+	if err := writeFrame(n.bw, f); err != nil {
+		return frame{}, err
+	}
+	return readFrame(n.br)
+}
+
+func (n *Node) coordErr() error {
+	select {
+	case err := <-n.coord.errs:
+		return err
+	default:
+		return fmt.Errorf("mpinet: coordinator stopped")
+	}
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (n *Node) Barrier() error {
+	_, err := n.roundTrip(frame{op: opBarrier})
+	return err
+}
+
+// Exchange performs a personalized all-to-all of byte blobs.
+func (n *Node) Exchange(out [][]byte) ([][]byte, error) {
+	if len(out) != n.size {
+		return nil, fmt.Errorf("mpinet: Exchange with %d blobs for %d ranks", len(out), n.size)
+	}
+	rep, err := n.roundTrip(frame{op: opExchange, blobs: out})
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.blobs) != n.size {
+		return nil, fmt.Errorf("mpinet: Exchange reply has %d blobs", len(rep.blobs))
+	}
+	return rep.blobs, nil
+}
+
+// Gather collects every rank's blob on rank 0.
+func (n *Node) Gather(blob []byte) ([][]byte, error) {
+	rep, err := n.roundTrip(frame{op: opGather, blobs: [][]byte{blob}})
+	if err != nil {
+		return nil, err
+	}
+	if n.rank != 0 {
+		return nil, nil
+	}
+	if len(rep.blobs) != n.size {
+		return nil, fmt.Errorf("mpinet: Gather reply has %d blobs", len(rep.blobs))
+	}
+	return rep.blobs, nil
+}
+
+// Close releases the node's connection. Rank 0's Close tears the whole
+// coordinator down; call it only after every rank has finished its
+// collectives.
+func (n *Node) Close() error {
+	if n.coord != nil {
+		n.coord.stop(nil)
+		return nil
+	}
+	return n.conn.Close()
+}
+
+// Addr returns the coordinator's listen address (rank 0 only), useful
+// when hosting on ":0".
+func (n *Node) Addr() string {
+	if n.coord != nil && n.coord.ln != nil {
+		return n.coord.ln.Addr().String()
+	}
+	return ""
+}

@@ -1,0 +1,211 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schedule"
+	"repro/internal/synthpop"
+)
+
+// setup generates a population with enough neighborhoods for the rank
+// counts under test — as in the paper's deployment, spatial units
+// outnumber compute processes.
+func setup(t testing.TB, persons int) (*synthpop.Population, []Edge, []uint64) {
+	t.Helper()
+	pop, err := synthpop.Generate(synthpop.Config{Persons: persons, Seed: 3, Neighborhoods: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 3)
+	edges, loads := TransitionGraph(pop, gen, 5, persons)
+	return pop, edges, loads
+}
+
+func TestRandomAssignmentValid(t *testing.T) {
+	for _, ranks := range []int{1, 2, 7, 16} {
+		a := Random(1000, ranks)
+		if len(a) != 1000 {
+			t.Fatalf("ranks=%d: assignment length %d", ranks, len(a))
+		}
+		if err := a.Validate(ranks); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomSpreadsPlaces(t *testing.T) {
+	const ranks = 8
+	a := Random(10000, ranks)
+	counts := make([]int, ranks)
+	for _, r := range a {
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < 500 || c > 2500 {
+			t.Fatalf("rank %d owns %d of 10000 places; hash spread broken", r, c)
+		}
+	}
+}
+
+func TestTransitionGraphBasics(t *testing.T) {
+	pop, edges, loads := setup(t, 4000)
+	if len(edges) == 0 {
+		t.Fatal("no transitions sampled")
+	}
+	for _, e := range edges {
+		if e.A >= e.B {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+		if int(e.B) >= pop.NumPlaces() {
+			t.Fatalf("edge references unknown place: %+v", e)
+		}
+		if e.W == 0 {
+			t.Fatalf("zero-weight edge: %+v", e)
+		}
+	}
+	// Total load = sample persons × days × 24 hours.
+	var total uint64
+	for _, l := range loads {
+		total += l
+	}
+	want := uint64(4000 * 5 * 24)
+	if total != want {
+		t.Fatalf("total load = %d person-hours, want %d", total, want)
+	}
+}
+
+func TestSpatialAssignmentValidAndBalanced(t *testing.T) {
+	pop, edges, loads := setup(t, 8000)
+	for _, ranks := range []int{2, 4, 8} {
+		a := Spatial(pop, edges, loads, ranks)
+		if err := a.Validate(ranks); err != nil {
+			t.Fatal(err)
+		}
+		if imb := LoadImbalance(loads, a, ranks); imb > 1.6 {
+			t.Errorf("ranks=%d: load imbalance %.2f too high", ranks, imb)
+		}
+	}
+}
+
+func TestSpatialBeatsRandomOnCut(t *testing.T) {
+	pop, edges, loads := setup(t, 8000)
+	const ranks = 8
+	spatial := Spatial(pop, edges, loads, ranks)
+	random := Random(pop.NumPlaces(), ranks)
+	cs, cr := CutWeight(edges, spatial), CutWeight(edges, random)
+	if cs >= cr {
+		t.Fatalf("spatial cut %d not better than random cut %d", cs, cr)
+	}
+	// The paper's point is a dramatic reduction; expect at least 2x.
+	if float64(cs) > float64(cr)/2 {
+		t.Errorf("spatial cut %d is less than 2x better than random %d", cs, cr)
+	}
+}
+
+func TestSpatialStillHelpsWhenRanksExceedNeighborhoods(t *testing.T) {
+	// Oversubscribed case: more ranks than neighborhoods forces
+	// neighborhood splits; spatial should still not lose to random.
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 6000, Seed: 3, Neighborhoods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 3)
+	edges, loads := TransitionGraph(pop, gen, 5, 6000)
+	const ranks = 8
+	spatial := Spatial(pop, edges, loads, ranks)
+	random := Random(pop.NumPlaces(), ranks)
+	if cs, cr := CutWeight(edges, spatial), CutWeight(edges, random); cs >= cr {
+		t.Fatalf("spatial cut %d not better than random cut %d", cs, cr)
+	}
+}
+
+func TestSingleRankHasZeroCut(t *testing.T) {
+	pop, edges, loads := setup(t, 2000)
+	a := Spatial(pop, edges, loads, 1)
+	if err := a.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if cut := CutWeight(edges, a); cut != 0 {
+		t.Fatalf("single-rank cut = %d", cut)
+	}
+}
+
+func TestCutWeightCountsOnlyCrossRank(t *testing.T) {
+	edges := []Edge{{0, 1, 10}, {1, 2, 5}, {2, 3, 7}}
+	a := Assignment{0, 0, 1, 1}
+	if cut := CutWeight(edges, a); cut != 5 {
+		t.Fatalf("cut = %d, want 5", cut)
+	}
+}
+
+func TestLoadImbalancePerfect(t *testing.T) {
+	loads := []uint64{10, 10, 10, 10}
+	a := Assignment{0, 1, 0, 1}
+	if imb := LoadImbalance(loads, a, 2); imb != 1.0 {
+		t.Fatalf("imbalance = %v, want 1.0", imb)
+	}
+}
+
+func TestLoadImbalanceSkewed(t *testing.T) {
+	loads := []uint64{30, 10}
+	a := Assignment{0, 1}
+	if imb := LoadImbalance(loads, a, 2); imb != 1.5 {
+		t.Fatalf("imbalance = %v, want 1.5", imb)
+	}
+}
+
+func TestLoadImbalanceZeroTotal(t *testing.T) {
+	if imb := LoadImbalance([]uint64{0, 0}, Assignment{0, 1}, 2); imb != 1 {
+		t.Fatalf("zero-load imbalance = %v", imb)
+	}
+}
+
+func TestValidateCatchesBadRank(t *testing.T) {
+	a := Assignment{0, 3}
+	if err := a.Validate(2); err == nil {
+		t.Fatal("rank 3 of 2 accepted")
+	}
+}
+
+// Spatial must be bit-deterministic: every process of a distributed run
+// recomputes the assignment independently from the same inputs and they
+// must agree exactly. (Go map iteration order differs between calls, so
+// repeated calls catch any order-dependent step.)
+func TestSpatialDeterministicAcrossCalls(t *testing.T) {
+	pop, edges, loads := setup(t, 5000)
+	for _, ranks := range []int{3, 8} {
+		ref := Spatial(pop, edges, loads, ranks)
+		for trial := 0; trial < 5; trial++ {
+			got := Spatial(pop, edges, loads, ranks)
+			for p := range ref {
+				if got[p] != ref[p] {
+					t.Fatalf("ranks=%d trial %d: place %d assigned to %d then %d",
+						ranks, trial, p, ref[p], got[p])
+				}
+			}
+		}
+	}
+}
+
+// Property: Spatial always emits a valid assignment with every place on
+// exactly one rank, for any rank count.
+func TestQuickSpatialValid(t *testing.T) {
+	pop, edges, loads := setup(t, 3000)
+	f := func(r uint8) bool {
+		ranks := int(r%16) + 1
+		a := Spatial(pop, edges, loads, ranks)
+		return a.Validate(ranks) == nil && len(a) == pop.NumPlaces()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpatial8Ranks(b *testing.B) {
+	pop, edges, loads := setup(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spatial(pop, edges, loads, 8)
+	}
+}

@@ -1,0 +1,91 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Categorical samples indices with probabilities proportional to the
+// provided non-negative weights. It precomputes the alias tables' simpler
+// cousin, a cumulative table with binary search, which is fast enough for
+// the table sizes used here and is allocation-free per draw.
+type Categorical struct {
+	cum []float64
+}
+
+// NewCategorical builds a sampler over weights. It panics if weights is
+// empty, any weight is negative, or all weights are zero.
+func NewCategorical(weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("rng: NewCategorical with no weights")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: NewCategorical with negative or NaN weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		panic("rng: NewCategorical with all-zero weights")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[len(cum)-1] = 1 // guard against accumulated rounding
+	return &Categorical{cum: cum}
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.cum) }
+
+// Sample draws one category index using the provided source.
+func (c *Categorical) Sample(r *Source) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(c.cum, u)
+}
+
+// Zipf samples integers in [1, n] with probability proportional to
+// 1/k^s. It uses a precomputed cumulative table, which is exact and fine
+// for the n (place popularity, degree targets) used in this repository.
+type Zipf struct {
+	cat *Categorical
+}
+
+// NewZipf builds a Zipf sampler with exponent s over support [1, n].
+func NewZipf(s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	w := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		w[k-1] = 1 / math.Pow(float64(k), s)
+	}
+	return &Zipf{cat: NewCategorical(w)}
+}
+
+// Sample draws a value in [1, n].
+func (z *Zipf) Sample(r *Source) int { return z.cat.Sample(r) + 1 }
+
+// WeightedChoice draws one index i with probability weights[i]/sum
+// without precomputing a table; O(n) per draw, for one-shot use.
+func WeightedChoice(r *Source, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: WeightedChoice with non-positive total weight")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

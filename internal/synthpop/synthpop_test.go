@@ -1,0 +1,363 @@
+package synthpop
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func gen(t testing.TB, persons int, seed uint64) *Population {
+	t.Helper()
+	pop, err := Generate(Config{Persons: persons, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestGenerateRejectsNonPositive(t *testing.T) {
+	if _, err := Generate(Config{Persons: 0}); err == nil {
+		t.Fatal("Persons=0 accepted")
+	}
+	if _, err := Generate(Config{Persons: -5}); err == nil {
+		t.Fatal("negative Persons accepted")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := gen(t, 5000, 42)
+	b := gen(t, 5000, 42)
+	if a.NumPlaces() != b.NumPlaces() {
+		t.Fatalf("place counts differ: %d vs %d", a.NumPlaces(), b.NumPlaces())
+	}
+	for i := range a.Persons {
+		if a.Persons[i] != b.Persons[i] {
+			t.Fatalf("person %d differs: %+v vs %+v", i, a.Persons[i], b.Persons[i])
+		}
+	}
+	for i := range a.Places {
+		if a.Places[i] != b.Places[i] {
+			t.Fatalf("place %d differs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := gen(t, 5000, 1)
+	b := gen(t, 5000, 2)
+	same := 0
+	for i := range a.Persons {
+		if a.Persons[i].Age == b.Persons[i].Age {
+			same++
+		}
+	}
+	if same == len(a.Persons) {
+		t.Fatal("seeds 1 and 2 produced identical ages")
+	}
+}
+
+func TestEveryPersonHasAHome(t *testing.T) {
+	pop := gen(t, 10000, 7)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Home == NoPlace {
+			t.Fatalf("person %d has no home", i)
+		}
+		ht := pop.Places[p.Home].Type
+		if ht != Home && ht != Prison && ht != RetirementHome {
+			t.Fatalf("person %d lives at a %v", i, ht)
+		}
+	}
+}
+
+func TestAgePyramidShares(t *testing.T) {
+	pop := gen(t, 50000, 11)
+	counts := pop.AgeGroupCounts()
+	want := []float64{0.19, 0.05, 0.42, 0.22, 0.12}
+	for g, c := range counts {
+		frac := float64(c) / float64(pop.NumPersons())
+		if math.Abs(frac-want[g]) > 0.02 {
+			t.Errorf("group %v share = %.3f, want ~%.2f", AgeGroup(g), frac, want[g])
+		}
+	}
+}
+
+func TestGroupOfAgeBoundaries(t *testing.T) {
+	cases := []struct {
+		age  int
+		want AgeGroup
+	}{
+		{0, Age0_14}, {14, Age0_14}, {15, Age15_18}, {18, Age15_18},
+		{19, Age19_44}, {44, Age19_44}, {45, Age45_64}, {64, Age45_64},
+		{65, Age65Plus}, {89, Age65Plus},
+	}
+	for _, c := range cases {
+		if got := GroupOfAge(c.age); got != c.want {
+			t.Errorf("GroupOfAge(%d) = %v, want %v", c.age, got, c.want)
+		}
+	}
+}
+
+func TestSchoolChildrenHaveClassrooms(t *testing.T) {
+	pop := gen(t, 20000, 13)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Age >= 5 && p.Age <= 18 && pop.Places[p.Home].Type == Home {
+			if p.Daytime == NoPlace {
+				t.Fatalf("school-age person %d (age %d) has no classroom", i, p.Age)
+			}
+			if pt := pop.Places[p.Daytime].Type; pt != Classroom {
+				t.Fatalf("school-age person %d assigned to %v", i, pt)
+			}
+		}
+	}
+}
+
+func TestClassroomCapacityCap(t *testing.T) {
+	pop := gen(t, 30000, 17)
+	occupancy := make(map[uint32]int)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Daytime != NoPlace && pop.Places[p.Daytime].Type == Classroom {
+			occupancy[p.Daytime]++
+		}
+	}
+	if len(occupancy) == 0 {
+		t.Fatal("no classrooms populated")
+	}
+	for room, n := range occupancy {
+		if n > highSchoolClassCap {
+			t.Fatalf("classroom %d holds %d students, cap %d", room, n, highSchoolClassCap)
+		}
+	}
+}
+
+func TestClassroomsHaveSchoolParents(t *testing.T) {
+	pop := gen(t, 20000, 19)
+	rooms := 0
+	for _, pl := range pop.Places {
+		if pl.Type == Classroom {
+			rooms++
+			if pl.Parent == NoPlace {
+				t.Fatalf("classroom %d has no parent school", pl.ID)
+			}
+			if pop.Places[pl.Parent].Type != School {
+				t.Fatalf("classroom %d parent is %v", pl.ID, pop.Places[pl.Parent].Type)
+			}
+			if pop.Places[pl.Parent].Neighborhood != pl.Neighborhood {
+				t.Fatalf("classroom %d in different neighborhood than its school", pl.ID)
+			}
+		} else if pl.Parent != NoPlace {
+			t.Fatalf("non-classroom place %d (%v) has a parent", pl.ID, pl.Type)
+		}
+	}
+	if rooms == 0 {
+		t.Fatal("no classrooms generated")
+	}
+}
+
+func TestClassroomsAreNeighborhoodLocal(t *testing.T) {
+	pop := gen(t, 20000, 23)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Daytime == NoPlace || pop.Places[p.Daytime].Type != Classroom {
+			continue
+		}
+		if pop.Places[p.Daytime].Neighborhood != pop.Places[p.Home].Neighborhood {
+			t.Fatalf("person %d attends school outside home neighborhood", i)
+		}
+	}
+}
+
+func TestWorkplaceSizesHeavyTailed(t *testing.T) {
+	pop := gen(t, 50000, 29)
+	sizes := make(map[uint32]int)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.Daytime != NoPlace && pop.Places[p.Daytime].Type == Workplace {
+			sizes[p.Daytime]++
+		}
+	}
+	if len(sizes) == 0 {
+		t.Fatal("no workplaces populated")
+	}
+	small, large := 0, 0
+	max := 0
+	for _, n := range sizes {
+		if n <= 5 {
+			small++
+		}
+		if n >= 50 {
+			large++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("workplace sizes not heavy-tailed: %d small, %d large, max %d", small, large, max)
+	}
+	if max > maxWorkplaceSize {
+		t.Fatalf("workplace of size %d exceeds cap %d", max, maxWorkplaceSize)
+	}
+}
+
+func TestInstitutionsPopulated(t *testing.T) {
+	pop := gen(t, 100000, 31)
+	byType := make(map[PlaceType]int)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		byType[pop.Places[p.Home].Type]++
+		if p.Daytime != NoPlace {
+			byType[pop.Places[p.Daytime].Type]++
+		}
+	}
+	for _, want := range []PlaceType{Prison, RetirementHome, University, Hospital} {
+		if byType[want] == 0 {
+			t.Errorf("no persons attached to any %v", want)
+		}
+	}
+}
+
+func TestPrisonersAreAdults(t *testing.T) {
+	pop := gen(t, 100000, 37)
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if pop.Places[p.Home].Type == Prison && p.AgeGroup() != Age19_44 {
+			t.Fatalf("person %d (age %d) in prison outside 19-44 policy", i, p.Age)
+		}
+		if pop.Places[p.Home].Type == RetirementHome && p.AgeGroup() != Age65Plus {
+			t.Fatalf("person %d (age %d) in retirement home under 65", i, p.Age)
+		}
+	}
+}
+
+func TestPlacePersonRatio(t *testing.T) {
+	pop := gen(t, 50000, 41)
+	ratio := float64(pop.NumPlaces()) / float64(pop.NumPersons())
+	// Paper: 1.2M places / 2.9M persons ≈ 0.41.
+	if ratio < 0.30 || ratio > 0.55 {
+		t.Fatalf("places/persons = %.3f, want ≈0.41", ratio)
+	}
+}
+
+func TestRetailPerNeighborhood(t *testing.T) {
+	pop := gen(t, 20000, 43)
+	if pop.Neighborhoods() != 10 {
+		t.Fatalf("Neighborhoods = %d, want 10 for 20000 persons", pop.Neighborhoods())
+	}
+	for n, retail := range pop.RetailByNeighborhood {
+		if len(retail) != retailPerNeighborhood {
+			t.Fatalf("neighborhood %d has %d retail places", n, len(retail))
+		}
+		for _, id := range retail {
+			if pop.Places[id].Type != Retail {
+				t.Fatalf("retail list entry %d is %v", id, pop.Places[id].Type)
+			}
+			if int(pop.Places[id].Neighborhood) != n {
+				t.Fatalf("retail %d listed under wrong neighborhood", id)
+			}
+		}
+	}
+}
+
+func TestPlaceIDsAreIndexes(t *testing.T) {
+	pop := gen(t, 10000, 47)
+	for i, pl := range pop.Places {
+		if pl.ID != uint32(i) {
+			t.Fatalf("place %d has ID %d", i, pl.ID)
+		}
+	}
+	for i, p := range pop.Persons {
+		if p.ID != uint32(i) {
+			t.Fatalf("person %d has ID %d", i, p.ID)
+		}
+	}
+}
+
+func TestPlaceTypeCounts(t *testing.T) {
+	pop := gen(t, 30000, 53)
+	counts := pop.PlaceTypeCounts()
+	if counts[Home] == 0 || counts[Classroom] == 0 || counts[Workplace] == 0 || counts[Retail] == 0 {
+		t.Fatalf("missing core place types: %v", counts)
+	}
+	// Homes dominate the place count, as in census data.
+	if counts[Home] < pop.NumPlaces()/2 {
+		t.Fatalf("homes are %d of %d places; expected majority", counts[Home], pop.NumPlaces())
+	}
+}
+
+func TestTinyPopulationStillValid(t *testing.T) {
+	pop := gen(t, 10, 59)
+	if pop.NumPersons() != 10 {
+		t.Fatalf("NumPersons = %d", pop.NumPersons())
+	}
+	for i := range pop.Persons {
+		if pop.Persons[i].Home == NoPlace {
+			t.Fatalf("tiny population person %d homeless", i)
+		}
+	}
+}
+
+func TestAgeGroupsSliceMatchesPersons(t *testing.T) {
+	pop := gen(t, 5000, 61)
+	groups := pop.AgeGroups()
+	if len(groups) != pop.NumPersons() {
+		t.Fatal("AgeGroups length mismatch")
+	}
+	for i := range groups {
+		if groups[i] != pop.Persons[i].AgeGroup() {
+			t.Fatalf("group mismatch at %d", i)
+		}
+	}
+}
+
+func TestPlaceTypeStrings(t *testing.T) {
+	if Home.String() != "home" || Classroom.String() != "classroom" || Retail.String() != "retail" {
+		t.Fatal("place type names wrong")
+	}
+	if Age0_14.String() != "0-14" || Age65Plus.String() != "65+" {
+		t.Fatal("age group names wrong")
+	}
+}
+
+// Property: for any population size and seed, every person has a valid
+// home and any daytime reference points at a real place of a plausible
+// type.
+func TestQuickStructuralInvariants(t *testing.T) {
+	f := func(seed uint64, size uint16) bool {
+		n := int(size%3000) + 1
+		pop, err := Generate(Config{Persons: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := range pop.Persons {
+			p := &pop.Persons[i]
+			if p.Home == NoPlace || int(p.Home) >= len(pop.Places) {
+				return false
+			}
+			if p.Daytime != NoPlace {
+				if int(p.Daytime) >= len(pop.Places) {
+					return false
+				}
+				switch pop.Places[p.Daytime].Type {
+				case Classroom, Workplace, University, Hospital:
+				default:
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{Persons: 10000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

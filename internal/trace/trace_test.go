@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/abm"
+	"repro/internal/disease"
+	"repro/internal/eventlog"
+	"repro/internal/schedule"
+	"repro/internal/synthpop"
+)
+
+func TestContactsBasic(t *testing.T) {
+	// Persons 1 and 2 share place 7 during [3,6); person 3 elsewhere.
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 6, Person: 1, Place: 7},
+		{Start: 3, Stop: 10, Person: 2, Place: 7},
+		{Start: 0, Stop: 10, Person: 3, Place: 8},
+	}
+	ix := NewIndex(entries)
+	cs := ix.Contacts(1, 0, 24)
+	if len(cs) != 1 {
+		t.Fatalf("contacts = %v, want 1", cs)
+	}
+	if cs[0].Person != 2 || cs[0].Hours != 3 || cs[0].FirstHour != 3 || cs[0].Place != 7 {
+		t.Fatalf("contact = %+v", cs[0])
+	}
+}
+
+func TestContactsWindowClipping(t *testing.T) {
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 10, Person: 1, Place: 7},
+		{Start: 0, Stop: 10, Person: 2, Place: 7},
+	}
+	ix := NewIndex(entries)
+	cs := ix.Contacts(1, 4, 6)
+	if len(cs) != 1 || cs[0].Hours != 2 {
+		t.Fatalf("clipped contacts = %v", cs)
+	}
+	if cs := ix.Contacts(1, 20, 30); len(cs) != 0 {
+		t.Fatalf("out-of-window contacts = %v", cs)
+	}
+}
+
+func TestContactsAccumulateAcrossPlaces(t *testing.T) {
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 2, Person: 1, Place: 7},
+		{Start: 0, Stop: 2, Person: 2, Place: 7},
+		{Start: 5, Stop: 8, Person: 1, Place: 9},
+		{Start: 5, Stop: 8, Person: 2, Place: 9},
+	}
+	ix := NewIndex(entries)
+	cs := ix.Contacts(1, 0, 24)
+	if len(cs) != 1 || cs[0].Hours != 5 {
+		t.Fatalf("multi-place contact = %v", cs)
+	}
+	if cs[0].FirstHour != 0 || cs[0].Place != 7 {
+		t.Fatalf("first contact attribution wrong: %+v", cs[0])
+	}
+}
+
+func TestContactsSortedByHours(t *testing.T) {
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 10, Person: 1, Place: 7},
+		{Start: 0, Stop: 2, Person: 2, Place: 7},
+		{Start: 0, Stop: 9, Person: 3, Place: 7},
+	}
+	ix := NewIndex(entries)
+	cs := ix.Contacts(1, 0, 24)
+	if len(cs) != 2 || cs[0].Person != 3 || cs[1].Person != 2 {
+		t.Fatalf("ordering = %v", cs)
+	}
+}
+
+func TestContactsAt(t *testing.T) {
+	entries := []eventlog.Entry{
+		{Start: 0, Stop: 10, Person: 1, Place: 7},
+		{Start: 5, Stop: 6, Person: 2, Place: 7},
+		{Start: 6, Stop: 7, Person: 3, Place: 7},
+	}
+	ix := NewIndex(entries)
+	got := ix.ContactsAt(1, 5)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("ContactsAt(5) = %v", got)
+	}
+}
+
+func TestTraceToPatientZeroSyntheticChain(t *testing.T) {
+	// 0 infects 1 at hour 10 (shared place A), 1 infects 2 at hour 30
+	// (shared place B).
+	entries := []eventlog.Entry{
+		{Start: 8, Stop: 12, Person: 0, Place: 100},
+		{Start: 9, Stop: 12, Person: 1, Place: 100},
+		{Start: 28, Stop: 32, Person: 1, Place: 200},
+		{Start: 29, Stop: 33, Person: 2, Place: 200},
+	}
+	ix := NewIndex(entries)
+	exposedAt := map[uint32]uint32{0: 0, 1: 10, 2: 30}
+	chain, err := TraceToPatientZero(ix, exposedAt, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{2, 1, 0}
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+}
+
+func TestTraceRejectsUninfected(t *testing.T) {
+	ix := NewIndex(nil)
+	if _, err := TraceToPatientZero(ix, map[uint32]uint32{}, 1, 5); err == nil {
+		t.Fatal("uninfected person accepted")
+	}
+}
+
+func TestTraceIncubationFilter(t *testing.T) {
+	// Person 1 and 2 collocated at hour 10; 2 exposed at hour 9 — too
+	// recent to be infectious with incubation 4 → chain stops at 1.
+	entries := []eventlog.Entry{
+		{Start: 8, Stop: 12, Person: 1, Place: 100},
+		{Start: 8, Stop: 12, Person: 2, Place: 100},
+	}
+	ix := NewIndex(entries)
+	chain, err := TraceToPatientZero(ix, map[uint32]uint32{1: 10, 2: 9}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0] != 1 {
+		t.Fatalf("chain = %v, want just [1]", chain)
+	}
+}
+
+// End-to-end: run an epidemic over the ABM with disease-state logging,
+// rebuild the chain from the logs alone, and validate every hop against
+// the model's ground truth contacts.
+func TestEndToEndLogTraceback(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 1500, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 33)
+	m := disease.New(pop.NumPersons(), disease.Config{
+		Beta: 0.06, IncubationHours: 24, InfectiousHours: 96, Seed: 33,
+	})
+	m.SeedCase(11)
+	res, err := abm.Run(abm.Config{
+		Pop: pop, Gen: gen, Ranks: 4, Days: 8,
+		LogDir:   t.TempDir(),
+		Log:      eventlog.Config{ExtColumns: []string{"disease"}},
+		Interact: m.Hook(),
+		LogExt: func(person, _ uint32) []uint32 {
+			return []uint32{uint32(m.State(person))}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalInfections() < 5 {
+		t.Skip("epidemic fizzled at this seed; nothing to trace")
+	}
+
+	ix, err := FromFiles(res.LogPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exposure hours from the model (an analyst would read these from
+	// the disease-state column transitions; the model is the oracle
+	// here).
+	exposedAt := make(map[uint32]uint32)
+	for p := uint32(0); p < uint32(pop.NumPersons()); p++ {
+		if m.State(p) != disease.Susceptible {
+			exposedAt[p] = m.ExposedAt(p)
+		}
+	}
+
+	// Pick a late case and trace it.
+	var last uint32
+	for p, h := range exposedAt {
+		if h > exposedAt[last] {
+			last = p
+		}
+	}
+	chain, err := TraceToPatientZero(ix, exposedAt, 24, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) < 2 {
+		t.Fatalf("no chain reconstructed for person %d", last)
+	}
+	if chain[len(chain)-1] != 11 {
+		t.Fatalf("log trace ended at %d, want patient zero 11 (chain %v)", chain[len(chain)-1], chain)
+	}
+	// Every hop must be a genuine collocation at the infectee's exposure
+	// hour.
+	for i := 0; i+1 < len(chain); i++ {
+		infectee, infector := chain[i], chain[i+1]
+		hour := exposedAt[infectee]
+		found := false
+		for _, c := range ix.ContactsAt(infectee, hour) {
+			if c == infector {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("hop %d→%d not supported by logs at hour %d", infectee, infector, hour)
+		}
+	}
+}
+
+// The disease-state ext column must round-trip through the log files.
+func TestDiseaseStateColumnLogged(t *testing.T) {
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 400, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, 44)
+	m := disease.New(pop.NumPersons(), disease.Config{Beta: 0.05, IncubationHours: 12, InfectiousHours: 48, Seed: 44})
+	m.SeedCase(0)
+	res, err := abm.Run(abm.Config{
+		Pop: pop, Gen: gen, Ranks: 2, Days: 3,
+		LogDir:   t.TempDir(),
+		Log:      eventlog.Config{ExtColumns: []string{"disease"}},
+		Interact: m.Hook(),
+		LogExt:   func(person, _ uint32) []uint32 { return []uint32{uint32(m.State(person))} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make(map[uint32]bool)
+	for _, p := range res.LogPaths {
+		r, err := eventlog.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cols := r.ExtColumns(); len(cols) != 1 || cols[0] != "disease" {
+			t.Fatalf("ext columns = %v", cols)
+		}
+		err = r.ForEach(func(e eventlog.Entry, ext []uint32) error {
+			states[ext[0]] = true
+			return nil
+		})
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !states[uint32(disease.Susceptible)] {
+		t.Fatal("no susceptible states logged")
+	}
+	if len(states) < 2 {
+		t.Fatalf("only states %v logged; expected disease progression visible", states)
+	}
+}

@@ -1,0 +1,189 @@
+// Package repro is the top-level facade of this reproduction of
+// "Endogenous Social Networks from Large-Scale Agent-Based Models"
+// (Tatara, Collier, Ozik, Macal — IPPS 2017).
+//
+// It wires the full pipeline together: synthetic population → activity
+// schedules → parallel ABM with event-based logging → parallel
+// collocation-network synthesis → network analysis. Each stage is also
+// available individually from the internal packages; this package exists
+// so that examples and tools can run the end-to-end flow in a few lines:
+//
+//	p, err := repro.NewPipeline(repro.Config{Persons: 20000, Days: 7, Seed: 1})
+//	res, err := p.Simulate(logDir)
+//	net, err := p.Synthesize(res.LogPaths, 0, 168)
+//	g := net.Graph()
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/abm"
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/graph"
+	"repro/internal/netstat"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/sparse"
+	"repro/internal/synthpop"
+)
+
+// Config parameterizes an end-to-end pipeline.
+type Config struct {
+	// Persons is the synthetic population size. Must be positive.
+	Persons int
+	// Days is the simulated duration. Must be positive.
+	Days int
+	// Seed drives population generation, schedules and partitioning.
+	Seed uint64
+	// Ranks is the simulated process count; zero selects 16.
+	Ranks int
+	// Workers is the synthesis worker count; zero selects GOMAXPROCS.
+	Workers int
+	// CacheEntries is the event-log cache size; zero selects the
+	// paper's nominal 10,000.
+	CacheEntries int
+	// Compress enables DEFLATE compression of log chunks.
+	Compress bool
+	// Neighborhoods overrides the population's neighborhood count.
+	Neighborhoods int
+}
+
+func (c *Config) ranks() int {
+	if c.Ranks > 0 {
+		return c.Ranks
+	}
+	return 16
+}
+
+// Pipeline holds the generated population and schedules and runs the
+// simulation/synthesis stages.
+type Pipeline struct {
+	cfg Config
+
+	// Pop is the generated synthetic population.
+	Pop *synthpop.Population
+	// Gen produces activity schedules over Pop.
+	Gen *schedule.Generator
+}
+
+// NewPipeline generates the population and schedule generator.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Persons <= 0 {
+		return nil, fmt.Errorf("repro: Persons must be positive")
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("repro: Days must be positive")
+	}
+	pop, err := synthpop.Generate(synthpop.Config{
+		Persons:       cfg.Persons,
+		Seed:          cfg.Seed,
+		Neighborhoods: cfg.Neighborhoods,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg: cfg,
+		Pop: pop,
+		Gen: schedule.NewGenerator(pop, cfg.Seed+1),
+	}, nil
+}
+
+// Simulate runs the ABM for the configured duration, writing one event
+// log per rank into logDir, and returns the run statistics.
+func (p *Pipeline) Simulate(logDir string) (*abm.Result, error) {
+	return abm.Run(abm.Config{
+		Pop:    p.Pop,
+		Gen:    p.Gen,
+		Ranks:  p.cfg.ranks(),
+		Days:   p.cfg.Days,
+		LogDir: logDir,
+		Log:    eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+	})
+}
+
+// SimulateWith runs the ABM with an interaction hook (e.g. a disease
+// model) and optional logging.
+func (p *Pipeline) SimulateWith(logDir string, interact abm.InteractFunc) (*abm.Result, error) {
+	return abm.Run(abm.Config{
+		Pop:      p.Pop,
+		Gen:      p.Gen,
+		Ranks:    p.cfg.ranks(),
+		Days:     p.cfg.Days,
+		LogDir:   logDir,
+		Log:      eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Interact: interact,
+	})
+}
+
+// Network is a synthesized collocation network together with the person
+// metadata needed for the paper's analyses.
+type Network struct {
+	// Tri is the sparse upper-triangular weighted adjacency matrix.
+	Tri *sparse.Tri
+	// Persons is the population size (the graph's vertex space).
+	Persons int
+	// Stats reports what the synthesis did.
+	Stats *core.Stats
+
+	g *graph.Graph
+}
+
+// Synthesize builds the collocation network for hours [t0, t1) from the
+// given per-rank log files.
+func (p *Pipeline) Synthesize(logPaths []string, t0, t1 uint32) (*Network, error) {
+	tri, stats, err := core.SynthesizeFiles(logPaths, t0, t1, core.Config{Workers: p.cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Tri: tri, Persons: p.Pop.NumPersons(), Stats: stats}, nil
+}
+
+// Graph returns (and caches) the CSR graph over the full person ID
+// space.
+func (n *Network) Graph() *graph.Graph {
+	if n.g == nil {
+		n.g = graph.FromTri(n.Tri, n.Persons)
+	}
+	return n.g
+}
+
+// DegreeDistribution returns the network's degree distribution points
+// (k ≥ 1), with fractions scaled by the total person count as in the
+// paper's Figure 3.
+func (n *Network) DegreeDistribution() []netstat.Point {
+	return netstat.Distribution(n.Graph().DegreeDistribution(), n.Persons)
+}
+
+// AgeGroupNetworks returns the within-group collocation networks, one
+// per age group (Figure 5: "edges between age groups are removed").
+func (p *Pipeline) AgeGroupNetworks(n *Network) []*Network {
+	groups := make([]int, p.Pop.NumPersons())
+	for i, g := range p.Pop.AgeGroups() {
+		groups[i] = int(g)
+	}
+	per := netstat.WithinGroup(n.Tri, groups, int(synthpop.NumAgeGroups))
+	out := make([]*Network, len(per))
+	for i, tri := range per {
+		out[i] = &Network{Tri: tri, Persons: p.Pop.NumPersons()}
+	}
+	return out
+}
+
+// Days returns the configured simulation duration.
+func (p *Pipeline) Days() int { return p.cfg.Days }
+
+// SpatialAssignment computes the locality-aware place partition used by
+// default when simulating; exposed for the partitioning experiments.
+func (p *Pipeline) SpatialAssignment(ranks int) partition.Assignment {
+	edges, loads := partition.TransitionGraph(p.Pop, p.Gen, minInt(p.cfg.Days, 7), p.Pop.NumPersons())
+	return partition.Spatial(p.Pop, edges, loads, ranks)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/synthpop"
+)
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(Config{Persons: 0, Days: 1}); err == nil {
+		t.Error("zero persons accepted")
+	}
+	if _, err := NewPipeline(Config{Persons: 10, Days: 0}); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p, err := NewPipeline(Config{Persons: 1500, Days: 3, Seed: 9, Ranks: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := p.Simulate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Entries == 0 || len(sim.LogPaths) != 4 {
+		t.Fatalf("simulation produced no logs: %+v", sim)
+	}
+	net, err := p.Synthesize(sim.LogPaths, 0, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Tri.NNZ() == 0 {
+		t.Fatal("empty network")
+	}
+	g := net.Graph()
+	if g.NumVertices() != 1500 {
+		t.Fatalf("graph over %d vertices, want population size 1500", g.NumVertices())
+	}
+	if g.NumEdges() != net.Tri.NNZ() {
+		t.Fatal("graph edge count differs from adjacency nnz")
+	}
+	if pts := net.DegreeDistribution(); len(pts) == 0 {
+		t.Fatal("empty degree distribution")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() uint64 {
+		p, err := NewPipeline(Config{Persons: 800, Days: 2, Seed: 5, Ranks: 3, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := p.Simulate(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := p.Synthesize(sim.LogPaths, 0, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net.Tri.TotalWeight() + uint64(net.Tri.NNZ())<<32
+	}
+	if run() != run() {
+		t.Fatal("same-seed pipelines produced different networks")
+	}
+}
+
+func TestAgeGroupNetworksPartitionEdges(t *testing.T) {
+	p, err := NewPipeline(Config{Persons: 1200, Days: 2, Seed: 13, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := p.Simulate(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := p.Synthesize(sim.LogPaths, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := p.AgeGroupNetworks(net)
+	if len(per) != int(synthpop.NumAgeGroups) {
+		t.Fatalf("got %d group networks", len(per))
+	}
+	groups := p.Pop.AgeGroups()
+	within := 0
+	for k := range net.Tri.I {
+		if groups[net.Tri.I[k]] == groups[net.Tri.J[k]] {
+			within++
+		}
+	}
+	got := 0
+	for gi, n := range per {
+		got += n.Tri.NNZ()
+		// Every edge in a group network connects two members of that
+		// group.
+		for k := range n.Tri.I {
+			if int(groups[n.Tri.I[k]]) != gi || int(groups[n.Tri.J[k]]) != gi {
+				t.Fatalf("group %d network contains out-of-group edge", gi)
+			}
+		}
+	}
+	if got != within {
+		t.Fatalf("group networks hold %d edges, full network has %d within-group", got, within)
+	}
+}
+
+func TestSpatialAssignmentCoversAllPlaces(t *testing.T) {
+	p, err := NewPipeline(Config{Persons: 1000, Days: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.SpatialAssignment(4)
+	if len(a) != p.Pop.NumPlaces() {
+		t.Fatalf("assignment covers %d of %d places", len(a), p.Pop.NumPlaces())
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
