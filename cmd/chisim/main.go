@@ -14,6 +14,15 @@
 //	chisim -persons 20000 -days 28 -ranks 4 -dist-host :7946 ...   # rank 0
 //	chisim -persons 20000 -days 28 -ranks 4 -dist-join host:7946   # ranks 1..3
 //
+// A SIGINT or SIGTERM stops the run gracefully at the next simulated
+// hour: every rank flushes and closes its log with a valid footer, and
+// the run can be continued later with -resume. -resume also recovers
+// from hard crashes (kill -9, power loss): each rank salvages the
+// intact prefix of its log, the ranks agree on a common resume hour,
+// and the finished logs match an uninterrupted run.
+//
+//	chisim -persons 20000 -days 28 -ranks 16 -logdir logs -resume
+//
 // The resulting logs/rankNNNN.h5l files feed cmd/netsynth.
 package main
 
@@ -21,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro"
@@ -29,6 +40,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/mpi"
 	"repro/internal/mpinet"
+	"repro/internal/schedule"
 )
 
 func main() {
@@ -39,6 +51,7 @@ func main() {
 	logdir := flag.String("logdir", "logs", "directory for per-rank event logs")
 	cache := flag.Int("cache", eventlog.DefaultCacheEntries, "logger cache entries before each chunked write")
 	compress := flag.Bool("compress", false, "DEFLATE-compress log chunks")
+	resume := flag.Bool("resume", false, "continue a crashed or interrupted run from the logs in -logdir")
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
 	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address (rank assigned by coordinator)")
 	flag.Parse()
@@ -53,20 +66,37 @@ func main() {
 	fmt.Printf("population: %d persons, %d places, %d neighborhoods\n",
 		p.Pop.NumPersons(), p.Pop.NumPlaces(), p.Pop.Neighborhoods())
 
+	stop := trapSignals()
+
 	if *distHost != "" || *distJoin != "" {
-		runDistributed(p, *distHost, *distJoin, *ranks, *logdir, eventlog.Config{
+		runDistributed(p, *distHost, *distJoin, *ranks, *logdir, *resume, stop, eventlog.Config{
 			CacheEntries: *cache, Compress: *compress,
 		})
 		return
 	}
 
 	start := time.Now()
-	res, err := p.Simulate(*logdir)
-	if err != nil {
-		fatal(err)
+	var res *abm.Result
+	if *resume {
+		var reports []*abm.ResumeReport
+		res, reports, err = p.Resume(*logdir, stop)
+		if err != nil {
+			fatal(err)
+		}
+		printResumeReport(reports)
+	} else {
+		res, err = p.SimulateUntil(*logdir, stop)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 
+	endHour := uint32(*days * schedule.HoursPerDay)
+	if res.StoppedAt < endHour {
+		fmt.Printf("stopped gracefully at hour %d of %d; rerun with -resume to continue\n",
+			res.StoppedAt, endHour)
+	}
 	fmt.Printf("simulated %d hours on %d ranks in %s\n", res.Steps, *ranks, elapsed.Round(time.Millisecond))
 	fmt.Printf("events logged: %d (%.2f per person-day), %d chunked writes\n",
 		res.Entries, float64(res.Entries)/float64(*persons**days), res.Flushes)
@@ -75,10 +105,44 @@ func main() {
 	fmt.Printf("agent moves: %d local, %d inter-rank migrations\n", res.LocalMoves, res.Migrations)
 }
 
+// trapSignals converts the first SIGINT/SIGTERM into a graceful-stop
+// request (closing the returned channel) and lets a second signal kill
+// the process the traditional way.
+func trapSignals() <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "chisim: %v: stopping at the next simulated hour (repeat to kill)\n", s)
+		close(stop)
+		<-sigs
+		os.Exit(1)
+	}()
+	return stop
+}
+
+func printResumeReport(reports []*abm.ResumeReport) {
+	if len(reports) == 0 || reports[0] == nil {
+		return
+	}
+	if reports[0].Restarted {
+		fmt.Println("resume: nothing salvageable, restarted from hour 0")
+		return
+	}
+	var recovered, dropped uint64
+	for _, rep := range reports {
+		recovered += rep.RecoveredEntries
+		dropped += rep.DroppedEntries
+	}
+	fmt.Printf("resume: continued at hour %d (%d entries salvaged, %d beyond the boundary regenerated)\n",
+		reports[0].StartHour, recovered, dropped)
+}
+
 // runDistributed executes one rank of the simulation in this process
 // over the TCP transport, then gathers and prints the combined summary
 // on rank 0.
-func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, logCfg eventlog.Config) {
+func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, resume bool, stop <-chan struct{}, logCfg eventlog.Config) {
 	var node *mpinet.Node
 	var err error
 	if hostAddr != "" {
@@ -103,14 +167,30 @@ func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, log
 	// Every process derives the identical spatial partition from the
 	// shared seed; no partition data crosses the wire.
 	assign := p.SpatialAssignment(node.Size())
-	start := time.Now()
-	rr, err := abm.RunRank(mpi.Transport(node), abm.RankConfig{
+	cfg := abm.RankConfig{
 		Pop: p.Pop, Gen: p.Gen, Days: p.Days(), Assign: assign,
 		LogPath: filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
 		Log:     logCfg,
-	})
+		Stop:    stop,
+	}
+	start := time.Now()
+	var rr abm.RankResult
+	if resume {
+		var rep *abm.ResumeReport
+		rr, rep, err = abm.ResumeRank(mpi.Transport(node), cfg)
+		if err == nil && rep != nil {
+			printResumeReport([]*abm.ResumeReport{rep})
+		}
+	} else {
+		rr, err = abm.RunRank(mpi.Transport(node), cfg)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	endHour := uint32(p.Days() * schedule.HoursPerDay)
+	if rr.StoppedAt < endHour {
+		fmt.Printf("rank %d: stopped gracefully at hour %d of %d; rerun with -resume to continue\n",
+			node.Rank(), rr.StoppedAt, endHour)
 	}
 	fmt.Printf("rank %d: %d entries, %d migrations out, wall %s\n",
 		node.Rank(), rr.Entries, rr.Migrations, time.Since(start).Round(time.Millisecond))

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/eventlog"
 	"repro/internal/mpi"
@@ -66,6 +67,11 @@ type Config struct {
 	// rank's goroutine at the moment the entry is written; the returned
 	// slice length must match Log.ExtColumns.
 	LogExt func(person uint32, stopHour uint32) []uint32
+	// Stop, when non-nil, requests a graceful stop of all ranks at the
+	// next hour boundary once the channel is closed (or receives). The
+	// logs are closed with valid footers and the run can be continued
+	// later with Resume. See RankConfig.Stop.
+	Stop <-chan struct{}
 }
 
 // Result summarizes a run.
@@ -84,6 +90,9 @@ type Result struct {
 	LocalMoves uint64
 	// Steps is the number of simulated hours.
 	Steps int
+	// StoppedAt is the hour the run ended: Days*24 for a complete run,
+	// less when a graceful stop was requested (identical on all ranks).
+	StoppedAt uint32
 }
 
 // agent is the per-rank state of one person: their current activity
@@ -95,14 +104,27 @@ type agent struct {
 
 // Run executes the simulation and returns aggregate statistics.
 func Run(cfg Config) (*Result, error) {
+	res, _, err := run(cfg, false)
+	return res, err
+}
+
+// run is the shared engine behind Run and Resume: it validates the
+// configuration, derives the partition and per-rank log paths, and
+// executes one goroutine per rank. When resume is true each rank goes
+// through ResumeRank instead of RunRank and the per-rank salvage
+// reports are returned alongside the result.
+func run(cfg Config, resume bool) (*Result, []*ResumeReport, error) {
 	if cfg.Pop == nil || cfg.Gen == nil {
-		return nil, fmt.Errorf("abm: Pop and Gen are required")
+		return nil, nil, fmt.Errorf("abm: Pop and Gen are required")
 	}
 	if cfg.Ranks <= 0 {
-		return nil, fmt.Errorf("abm: Ranks must be positive, got %d", cfg.Ranks)
+		return nil, nil, fmt.Errorf("abm: Ranks must be positive, got %d", cfg.Ranks)
 	}
 	if cfg.Days <= 0 {
-		return nil, fmt.Errorf("abm: Days must be positive, got %d", cfg.Days)
+		return nil, nil, fmt.Errorf("abm: Days must be positive, got %d", cfg.Days)
+	}
+	if resume && cfg.LogDir == "" {
+		return nil, nil, fmt.Errorf("abm: Resume requires a LogDir")
 	}
 	assign := cfg.Assign
 	if assign == nil {
@@ -110,17 +132,17 @@ func Run(cfg Config) (*Result, error) {
 		assign = partition.Spatial(cfg.Pop, edges, loads, cfg.Ranks)
 	}
 	if len(assign) != cfg.Pop.NumPlaces() {
-		return nil, fmt.Errorf("abm: assignment covers %d places, population has %d", len(assign), cfg.Pop.NumPlaces())
+		return nil, nil, fmt.Errorf("abm: assignment covers %d places, population has %d", len(assign), cfg.Pop.NumPlaces())
 	}
 	if err := assign.Validate(cfg.Ranks); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	res := &Result{Steps: cfg.Days * schedule.HoursPerDay}
 	logging := cfg.LogDir != ""
 	if logging {
 		if err := os.MkdirAll(cfg.LogDir, 0o755); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.LogPaths = make([]string, cfg.Ranks)
 		for r := range res.LogPaths {
@@ -129,17 +151,30 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	results := make([]RankResult, cfg.Ranks)
+	var reports []*ResumeReport
+	if resume {
+		reports = make([]*ResumeReport, cfg.Ranks)
+	}
 	world := mpi.NewWorld(cfg.Ranks)
 	err := world.Run(func(c *mpi.Comm) error {
 		logPath := ""
 		if logging {
 			logPath = res.LogPaths[c.Rank()]
 		}
-		rr, err := RunRank(mpi.AsTransport(c), RankConfig{
+		rc := RankConfig{
 			Pop: cfg.Pop, Gen: cfg.Gen, Days: cfg.Days, Assign: assign,
 			LogPath: logPath, Log: cfg.Log, FullStateLog: cfg.FullStateLog,
-			Interact: cfg.Interact, LogExt: cfg.LogExt,
-		})
+			Interact: cfg.Interact, LogExt: cfg.LogExt, Stop: cfg.Stop,
+		}
+		var rr RankResult
+		var err error
+		if resume {
+			var rep *ResumeReport
+			rr, rep, err = ResumeRank(mpi.AsTransport(c), rc)
+			reports[c.Rank()] = rep
+		} else {
+			rr, err = RunRank(mpi.AsTransport(c), rc)
+		}
 		if err != nil {
 			return err
 		}
@@ -147,9 +182,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, reports, err
 	}
 
+	res.StoppedAt = results[0].StoppedAt
 	for _, rr := range results {
 		res.Entries += rr.Entries
 		res.Flushes += rr.Flushes
@@ -157,7 +193,7 @@ func Run(cfg Config) (*Result, error) {
 		res.LocalMoves += rr.LocalMoves
 		res.LogBytes += rr.LogBytes
 	}
-	return res, nil
+	return res, reports, nil
 }
 
 // RankConfig configures a single rank's simulation for RunRank. Unlike
@@ -174,6 +210,24 @@ type RankConfig struct {
 	FullStateLog bool
 	Interact     InteractFunc
 	LogExt       func(person uint32, stopHour uint32) []uint32
+
+	// StartHour resumes the simulation at the given hour instead of 0:
+	// the state at StartHour is reconstructed deterministically from the
+	// schedule generator (each agent's segment is the one active at hour
+	// StartHour-1) and only entries with Stop >= StartHour are logged.
+	// Used by ResumeRank; must not exceed Days*24.
+	StartHour uint32
+	// Logger, when non-nil, is used instead of creating a fresh log at
+	// LogPath — typically a logger returned by eventlog.ResumeBefore so
+	// a crashed rank appends to its salvaged file. RunRank takes
+	// ownership and closes it.
+	Logger *eventlog.Logger
+	// Stop, when non-nil, requests a graceful stop: the channel is
+	// polled every simulated hour and a one-byte stop flag is exchanged
+	// so ALL ranks leave the hourly loop at the same hour (collectives
+	// stay aligned). The loggers are then flushed and closed with valid
+	// footers, and the run can later be continued with ResumeRank.
+	Stop <-chan struct{}
 }
 
 // RankResult is one rank's counters.
@@ -183,16 +237,19 @@ type RankResult struct {
 	LogBytes   uint64
 	Migrations uint64
 	LocalMoves uint64
-	LogPath    string
+	// StoppedAt is the hour the run ended: Days*24 for a complete run,
+	// less when a graceful stop was requested.
+	StoppedAt uint32
+	LogPath   string
 }
 
 // Encode serializes the result for transport to rank 0 in a distributed
 // deployment.
 func (rr RankResult) Encode() []byte {
-	out := make([]byte, 0, 5*8+len(rr.LogPath))
+	out := make([]byte, 0, 6*8+len(rr.LogPath))
 	var u [8]byte
 	le := binary.LittleEndian
-	for _, v := range [5]uint64{rr.Entries, rr.Flushes, rr.LogBytes, rr.Migrations, rr.LocalMoves} {
+	for _, v := range [6]uint64{rr.Entries, rr.Flushes, rr.LogBytes, rr.Migrations, rr.LocalMoves, uint64(rr.StoppedAt)} {
 		le.PutUint64(u[:], v)
 		out = append(out, u[:]...)
 	}
@@ -201,7 +258,7 @@ func (rr RankResult) Encode() []byte {
 
 // DecodeRankResult reverses Encode.
 func DecodeRankResult(b []byte) (RankResult, error) {
-	if len(b) < 5*8 {
+	if len(b) < 6*8 {
 		return RankResult{}, fmt.Errorf("abm: rank result blob of %d bytes too short", len(b))
 	}
 	le := binary.LittleEndian
@@ -211,7 +268,8 @@ func DecodeRankResult(b []byte) (RankResult, error) {
 		LogBytes:   le.Uint64(b[16:]),
 		Migrations: le.Uint64(b[24:]),
 		LocalMoves: le.Uint64(b[32:]),
-		LogPath:    string(b[40:]),
+		StoppedAt:  uint32(le.Uint64(b[40:])),
+		LogPath:    string(b[48:]),
 	}, nil
 }
 
@@ -277,14 +335,22 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 	}
 	assign := cfg.Assign
 	endHour := uint32(cfg.Days * schedule.HoursPerDay)
+	if cfg.StartHour > endHour {
+		return rr, fmt.Errorf("abm: StartHour %d beyond end of run (%d hours)", cfg.StartHour, endHour)
+	}
+	if cfg.StartHour > 0 && cfg.FullStateLog {
+		return rr, fmt.Errorf("abm: resume (StartHour > 0) is not supported with FullStateLog")
+	}
 
-	var logger *eventlog.Logger
-	if cfg.LogPath != "" {
+	logger := cfg.Logger
+	if logger == nil && cfg.LogPath != "" {
 		var err error
 		logger, err = eventlog.Create(cfg.LogPath, cfg.Log)
 		if err != nil {
 			return rr, err
 		}
+	}
+	if logger != nil {
 		defer logger.Close()
 		rr.LogPath = cfg.LogPath
 	}
@@ -305,11 +371,29 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 		}, ext...)
 	}
 
-	// Initial residency: each rank claims the agents whose first
-	// segment is at one of its places.
+	nextSegment := func(person uint32, hour uint32) schedule.Segment {
+		day := int(hour) / schedule.HoursPerDay
+		for _, s := range cfg.Gen.Day(person, day) {
+			if hour >= s.Start && hour < s.Stop {
+				return s
+			}
+		}
+		// Schedules tile the day, so this is unreachable.
+		panic(fmt.Sprintf("abm: person %d has no segment at hour %d", person, hour))
+	}
+
+	// Initial residency: each rank claims the agents whose current
+	// segment is at one of its places. For a fresh run that is the first
+	// segment of day 0; for a resumed run it is the segment active at
+	// hour StartHour-1, which fully reconstructs the pre-crash state
+	// because schedules are deterministic per (person, day).
+	baseHour := uint32(0)
+	if cfg.StartHour > 0 {
+		baseHour = cfg.StartHour - 1
+	}
 	var local []agent
 	for p := range cfg.Pop.Persons {
-		seg := cfg.Gen.Day(uint32(p), 0)[0]
+		seg := nextSegment(uint32(p), baseHour)
 		if assign[seg.Place] == rank {
 			local = append(local, agent{person: uint32(p), seg: seg})
 		}
@@ -338,17 +422,6 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 		}
 	}
 
-	nextSegment := func(person uint32, hour uint32) schedule.Segment {
-		day := int(hour) / schedule.HoursPerDay
-		for _, s := range cfg.Gen.Day(person, day) {
-			if hour >= s.Start && hour < s.Stop {
-				return s
-			}
-		}
-		// Schedules tile the day, so this is unreachable.
-		panic(fmt.Sprintf("abm: person %d has no segment at hour %d", person, hour))
-	}
-
 	// Under FullStateLog the event-based segment logging is replaced
 	// by one entry per agent per hour, emitted at the bottom of the
 	// hour loop.
@@ -356,7 +429,50 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 		logSegment = func(uint32, schedule.Segment, uint32) error { return nil }
 	}
 
-	for hour := uint32(0); hour < endHour; hour++ {
+	// Canonical per-hour iteration order. Agents arriving by migration
+	// are appended to local in arrival order, which encodes the entire
+	// migration history; a resumed rank rebuilds local from scratch and
+	// would interleave the same hour's log entries differently. Sorting
+	// by person at the top of every hour makes the entry order within an
+	// hour a pure function of the simulation state, so resumed logs are
+	// bit-identical in content to uninterrupted ones.
+	sortLocal := func() {
+		sort.Slice(local, func(i, j int) bool { return local[i].person < local[j].person })
+	}
+
+	stopped := false
+	rr.StoppedAt = endHour
+	for hour := cfg.StartHour; hour < endHour; hour++ {
+		sortLocal()
+		if cfg.Stop != nil {
+			// Graceful-stop alignment: every rank contributes a stop
+			// flag each hour; if ANY rank saw the signal, all ranks
+			// leave the loop at the same hour, keeping the collective
+			// schedule identical on every rank.
+			var flag byte
+			select {
+			case <-cfg.Stop:
+				flag = 1
+			default:
+			}
+			blobs := make([][]byte, size)
+			for r := range blobs {
+				blobs[r] = []byte{flag}
+			}
+			in, err := t.Exchange(blobs)
+			if err != nil {
+				return rr, err
+			}
+			for _, b := range in {
+				if len(b) > 0 && b[0] != 0 {
+					stopped = true
+				}
+			}
+			if stopped {
+				rr.StoppedAt = hour
+				break
+			}
+		}
 		if hour > 0 {
 			// Agents whose segment expired decide their next
 			// activity and location.
@@ -434,8 +550,11 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 		}
 	}
 
-	// Close out the final in-progress segments.
-	if !cfg.FullStateLog {
+	// Close out the final in-progress segments. After a graceful stop
+	// the in-progress segments are NOT logged: the log then ends at an
+	// hour boundary, exactly the shape ResumeRank restarts from.
+	if !cfg.FullStateLog && !stopped {
+		sortLocal()
 		for _, a := range local {
 			stop := a.seg.Stop
 			if stop > endHour {

@@ -67,6 +67,12 @@ type Config struct {
 	Workers int
 	// Balance selects the stage-4 load-balancing strategy.
 	Balance BalanceMode
+	// MaxRankRetries bounds how many rank failures SynthesizeDistributed
+	// absorbs before giving up: each detected failure re-stripes the dead
+	// rank's log files over the survivors and retries. Zero selects the
+	// transport size (every peer may die once); negative disables
+	// failure tolerance entirely.
+	MaxRankRetries int
 }
 
 func (c *Config) workers() int {
@@ -347,51 +353,109 @@ func SynthesizeFile(path string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats
 }
 
 // SynthesizeDistributed runs the synthesis across the ranks of a
-// Transport: rank r processes the log files paths[r], paths[r+size], ...
-// (the paper's batching of log files across cluster jobs), each rank
-// reduces its files to one partial adjacency matrix, and rank 0 gathers
-// and merges the partials into the complete network. Only rank 0
-// receives the result; other ranks return (nil, nil).
+// Transport: with all ranks healthy, rank r processes the log files
+// paths[r], paths[r+size], ... (the paper's batching of log files across
+// cluster jobs), each rank reduces its files to one partial adjacency
+// matrix, and rank 0 gathers and merges the partials into the complete
+// network. Only rank 0 receives the result; other ranks return
+// (nil, nil).
 //
 // Every rank must pass the identical paths slice; files a rank cannot
 // reach locally are simply assigned to the ranks that can reach them by
 // ordering paths accordingly.
+//
+// # Failure tolerance
+//
+// When a collective reports a dead peer (a typed *mpi.RankFailedError,
+// as mpinet produces), the survivors re-stripe the complete paths slice
+// over the remaining live ranks and retry, up to Config.MaxRankRetries
+// times. The transport guarantees every survivor observes the same
+// failed rank per aborted round, so all survivors recompute the same
+// assignment without further communication and the merged result is
+// bit-identical to a healthy run — provided the dead rank's files remain
+// reachable by the survivors (e.g. on shared storage). Unattributable
+// failures (the coordinator itself is gone) are returned as-is.
 func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no log files given")
 	}
-	var mine []string
-	for i := t.Rank(); i < len(paths); i += t.Size() {
-		mine = append(mine, paths[i])
+	size := t.Size()
+	retries := cfg.MaxRankRetries
+	if retries == 0 {
+		retries = size
 	}
-	partial := sparse.NewAccum().Tri()
-	if len(mine) > 0 {
-		var err error
-		partial, _, err = SynthesizeFiles(mine, t0, t1, cfg)
+	dead := make([]bool, size)
+	failures := 0
+	for {
+		// Live ranks, in rank order; identical on every survivor because
+		// the transport reports every death to every survivor in the
+		// same round order.
+		alive := make([]int, 0, size)
+		slot := -1
+		for r := 0; r < size; r++ {
+			if dead[r] {
+				continue
+			}
+			if r == t.Rank() {
+				slot = len(alive)
+			}
+			alive = append(alive, r)
+		}
+		if slot < 0 {
+			// This rank was declared dead by the cluster (e.g. a false
+			// positive of the failure detector); its contributions are
+			// being discarded, so stop rather than burn cycles.
+			return nil, fmt.Errorf("core: rank %d was declared failed by the cluster", t.Rank())
+		}
+		var mine []string
+		for i := slot; i < len(paths); i += len(alive) {
+			mine = append(mine, paths[i])
+		}
+		partial := sparse.NewAccum().Tri()
+		if len(mine) > 0 {
+			var err error
+			partial, _, err = SynthesizeFiles(mine, t0, t1, cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		blob, err := partial.MarshalBinary()
 		if err != nil {
 			return nil, err
 		}
-	}
-	blob, err := partial.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	gathered, err := t.Gather(blob)
-	if err != nil {
-		return nil, err
-	}
-	if t.Rank() != 0 {
-		return nil, nil
-	}
-	tris := make([]*sparse.Tri, len(gathered))
-	for i, b := range gathered {
-		var tr sparse.Tri
-		if err := tr.UnmarshalBinary(b); err != nil {
-			return nil, fmt.Errorf("core: partial from rank %d: %w", i, err)
+		gathered, err := t.Gather(blob)
+		if err != nil {
+			rf, ok := mpi.AsRankFailed(err)
+			if !ok || rf.Rank < 0 || rf.Rank >= size || retries < 0 {
+				return nil, err
+			}
+			failures++
+			if failures > retries {
+				return nil, fmt.Errorf("core: giving up after %d rank failures: %w", failures, err)
+			}
+			dead[rf.Rank] = true
+			continue // re-stripe over the survivors and retry
 		}
-		tris[i] = &tr
+		if t.Rank() != 0 {
+			return nil, nil
+		}
+		tris := make([]*sparse.Tri, 0, len(alive))
+		for _, r := range alive {
+			if gathered[r] == nil {
+				// Cannot happen under mpinet's ordering guarantees (a
+				// completed round has contributions from every rank this
+				// side believes alive); other survivors have already
+				// returned, so retrying here could hang. Fail loudly.
+				return nil, fmt.Errorf("core: live rank %d produced no partial", r)
+			}
+			var tr sparse.Tri
+			if err := tr.UnmarshalBinary(gathered[r]); err != nil {
+				return nil, fmt.Errorf("core: partial from rank %d: %w", r, err)
+			}
+			tris = append(tris, &tr)
+		}
+		return sparse.MergeTris(tris...), nil
 	}
-	return sparse.MergeTris(tris...), nil
 }
 
 // SynthesizeSeries builds one collocation network per consecutive time

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abm"
+	"repro/internal/faultinject"
+	"repro/internal/mpi"
+	"repro/internal/mpinet"
+	"repro/internal/schedule"
+	"repro/internal/sparse"
+	"repro/internal/synthpop"
+)
+
+// buildLogs runs a small ABM and returns its per-rank log paths plus the
+// reference network synthesized serially.
+func buildLogs(t *testing.T, seed int64) ([]string, *sparse.Tri) {
+	t.Helper()
+	pop, err := synthpop.Generate(synthpop.Config{Persons: 400, Seed: uint64(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, uint64(seed))
+	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 5, Days: 2, LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := SynthesizeFiles(res.LogPaths, 0, 48, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.LogPaths, serial
+}
+
+// TestSynthesizeDistributedSurvivesRankDeath kills one rank before it
+// contributes anything; the survivors must re-stripe its files and
+// produce the bit-identical network.
+func TestSynthesizeDistributedSurvivesRankDeath(t *testing.T) {
+	paths, serial := buildLogs(t, 91)
+
+	opts := mpinet.Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	}
+	const size = 3
+	host, err := mpinet.Host("127.0.0.1:0", size, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	survivor, err := mpinet.Join(host.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	victim, err := mpinet.Join(host.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimRank := victim.Rank()
+	// The victim dies before participating in any collective.
+	victim.Close()
+
+	var wg sync.WaitGroup
+	var hostTri, survTri *sparse.Tri
+	var hostErr, survErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		hostTri, hostErr = SynthesizeDistributed(host, paths, 0, 48, Config{Workers: 1})
+	}()
+	go func() {
+		defer wg.Done()
+		survTri, survErr = SynthesizeDistributed(survivor, paths, 0, 48, Config{Workers: 1})
+	}()
+	wg.Wait()
+
+	if hostErr != nil {
+		t.Fatalf("rank 0: %v", hostErr)
+	}
+	if survErr != nil {
+		t.Fatalf("rank %d: %v", survivor.Rank(), survErr)
+	}
+	if survTri != nil {
+		t.Error("non-root rank received a network")
+	}
+	if hostTri == nil || !hostTri.Equal(serial) {
+		t.Fatalf("network after rank %d death differs from healthy reference", victimRank)
+	}
+}
+
+// TestSynthesizeDistributedSurvivesMidGatherDeath severs the victim's
+// connection mid-frame during its Gather contribution (a deterministic
+// torn frame via the fault injector): the survivors see the abort, retry
+// with the victim's files re-assigned, and still produce the
+// bit-identical network.
+func TestSynthesizeDistributedSurvivesMidGatherDeath(t *testing.T) {
+	paths, serial := buildLogs(t, 92)
+
+	opts := mpinet.Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  5 * time.Second,
+	}
+	const size = 3
+	host, err := mpinet.Host("127.0.0.1:0", size, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	survivor, err := mpinet.Join(host.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+
+	victimOpts := opts
+	victimOpts.DisableHeartbeat = true // all written bytes budget to the torn frame
+	victimOpts.WrapConn = func(c net.Conn) net.Conn {
+		// The Gather frame (header + marshaled partial matrix) is far
+		// larger than 64 bytes, so the cut tears it mid-frame.
+		return faultinject.NewFlakyConn(c, faultinject.ConnFaults{CutAfterWriteBytes: 64})
+	}
+	victim, err := mpinet.Join(host.Addr(), victimOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+
+	var wg sync.WaitGroup
+	var hostTri *sparse.Tri
+	var hostErr, survErr, vicErr error
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		hostTri, hostErr = SynthesizeDistributed(host, paths, 0, 48, Config{Workers: 1})
+	}()
+	go func() {
+		defer wg.Done()
+		_, survErr = SynthesizeDistributed(survivor, paths, 0, 48, Config{Workers: 1})
+	}()
+	go func() {
+		defer wg.Done()
+		_, vicErr = SynthesizeDistributed(victim, paths, 0, 48, Config{Workers: 1})
+	}()
+	wg.Wait()
+
+	if vicErr == nil {
+		t.Fatal("victim's synthesis succeeded through a severed conn")
+	}
+	if hostErr != nil {
+		t.Fatalf("rank 0: %v", hostErr)
+	}
+	if survErr != nil {
+		t.Fatalf("survivor: %v", survErr)
+	}
+	if hostTri == nil || !hostTri.Equal(serial) {
+		t.Fatal("network after mid-gather death differs from healthy reference")
+	}
+}
+
+// TestSynthesizeDistributedRetriesDisabled: with MaxRankRetries < 0 the
+// first failure is returned as-is (typed), with no retry.
+func TestSynthesizeDistributedRetriesDisabled(t *testing.T) {
+	paths, _ := buildLogs(t, 93)
+
+	opts := mpinet.Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	}
+	host, err := mpinet.Host("127.0.0.1:0", 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	victim, err := mpinet.Join(host.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Close()
+
+	_, err = SynthesizeDistributed(host, paths, 0, 48, Config{Workers: 1, MaxRankRetries: -1})
+	if err == nil {
+		t.Fatal("synthesis succeeded with retries disabled and a dead peer")
+	}
+	if rf, ok := mpi.AsRankFailed(err); !ok || rf.Rank != 1 {
+		t.Fatalf("error = %v, want RankFailedError{Rank:1}", err)
+	}
+}

@@ -21,8 +21,13 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/h5"
 )
+
+// CrashFlush is the crash-point name armed by chaos tests to kill a
+// logger exactly at a cache flush (see internal/faultinject).
+const CrashFlush = "eventlog.flush"
 
 // BaseColumns are the five mandatory entry fields, in storage order.
 var BaseColumns = []string{"start", "stop", "person", "activity", "place"}
@@ -43,6 +48,19 @@ type Entry struct {
 	Place    uint32
 }
 
+var le = binary.LittleEndian
+
+// decodeEntry decodes the five base fields from the head of a record.
+func decodeEntry(b []byte) Entry {
+	return Entry{
+		Start:    le.Uint32(b[0:4]),
+		Stop:     le.Uint32(b[4:8]),
+		Person:   le.Uint32(b[8:12]),
+		Activity: le.Uint32(b[12:16]),
+		Place:    le.Uint32(b[16:20]),
+	}
+}
+
 // Config configures a Logger.
 type Config struct {
 	// CacheEntries is the number of entries buffered in memory before a
@@ -53,6 +71,29 @@ type Config struct {
 	ExtColumns []string
 	// Compress enables per-chunk DEFLATE in the output file.
 	Compress bool
+	// DisableChecksums turns off the per-chunk CRC32 trailers that are
+	// written by default. Checksums cost 4 bytes per chunk and protect
+	// long-running logs against silent corruption; they also let
+	// Resume distinguish intact chunks from torn tails after a crash.
+	DisableChecksums bool
+}
+
+func (c *Config) flags() uint16 {
+	var flags uint16
+	if c.Compress {
+		flags |= h5.FlagDeflate
+	}
+	if !c.DisableChecksums {
+		flags |= h5.FlagCRC32
+	}
+	return flags
+}
+
+func (c *Config) schema() h5.Schema {
+	return h5.Schema{
+		RecordSize: c.recordSize(),
+		Columns:    append(append([]string{}, BaseColumns...), c.ExtColumns...),
+	}
 }
 
 func (c *Config) cacheEntries() int {
@@ -79,15 +120,7 @@ type Logger struct {
 
 // Create opens path and returns a Logger writing to it.
 func Create(path string, cfg Config) (*Logger, error) {
-	schema := h5.Schema{
-		RecordSize: cfg.recordSize(),
-		Columns:    append(append([]string{}, BaseColumns...), cfg.ExtColumns...),
-	}
-	var flags uint16
-	if cfg.Compress {
-		flags = h5.FlagDeflate
-	}
-	w, err := h5.Create(path, schema, flags)
+	w, err := h5.Create(path, cfg.schema(), cfg.flags())
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +139,6 @@ func (l *Logger) Log(e Entry, ext ...uint32) error {
 		return fmt.Errorf("eventlog: %d ext values for %d ext columns", len(ext), len(l.cfg.ExtColumns))
 	}
 	var rec [4]byte
-	le := binary.LittleEndian
 	for _, v := range [5]uint32{e.Start, e.Stop, e.Person, e.Activity, e.Place} {
 		le.PutUint32(rec[:], v)
 		l.cache = append(l.cache, rec[:]...)
@@ -128,6 +160,9 @@ func (l *Logger) Log(e Entry, ext ...uint32) error {
 func (l *Logger) Flush() error {
 	if l.n == 0 {
 		return nil
+	}
+	if err := faultinject.Hit(CrashFlush); err != nil {
+		return err
 	}
 	if err := l.w.WriteChunk(l.cache); err != nil {
 		return err
@@ -199,17 +234,10 @@ func (r *Reader) Close() error { return r.r.Close() }
 func (r *Reader) ForEach(fn func(e Entry, ext []uint32) error) error {
 	rec := 4 * (5 + r.next)
 	ext := make([]uint32, r.next)
-	le := binary.LittleEndian
 	return r.r.ForEachChunk(func(_ int, payload []byte) error {
 		for off := 0; off < len(payload); off += rec {
 			b := payload[off : off+rec]
-			e := Entry{
-				Start:    le.Uint32(b[0:4]),
-				Stop:     le.Uint32(b[4:8]),
-				Person:   le.Uint32(b[8:12]),
-				Activity: le.Uint32(b[12:16]),
-				Place:    le.Uint32(b[16:20]),
-			}
+			e := decodeEntry(b)
 			for k := 0; k < r.next; k++ {
 				ext[k] = le.Uint32(b[20+4*k:])
 			}

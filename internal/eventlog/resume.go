@@ -1,0 +1,259 @@
+// Crash recovery for event logs.
+//
+// A rank killed mid-run (node failure, OOM kill, wall-clock limit)
+// leaves its log without the chunk index that h5.Writer.Close writes.
+// Resume reopens such a file via the h5 salvage scanner, truncates the
+// torn tail, and returns a Logger that continues appending — so a killed
+// simulation loses at most one cache-worth of entries (the paper's cache
+// tradeoff, Sec. III, gains a durability axis: a larger cache now also
+// means a larger crash-loss window).
+//
+// ResumeBefore additionally trims a suffix of recovered entries chosen
+// by a predicate. Deterministic re-simulation uses it to cut the log at
+// a simulation-hour boundary so the rerun can regenerate exactly the
+// missing entries without duplicating the survivors (see abm.ResumeRank).
+package eventlog
+
+import (
+	"fmt"
+
+	"repro/internal/h5"
+)
+
+// ResumeInfo reports what Resume salvaged.
+type ResumeInfo struct {
+	// RecoveredEntries is the number of entries preserved in the
+	// resumed log (including entries of a partially-kept chunk that
+	// were re-staged into the cache).
+	RecoveredEntries uint64
+	// DroppedEntries counts intact entries removed by a ResumeBefore
+	// predicate (zero for plain Resume).
+	DroppedEntries uint64
+	// Chunks is the number of intact chunks found on disk.
+	Chunks int
+	// Complete reports whether the file had a valid footer — i.e. the
+	// previous run closed cleanly and nothing was lost.
+	Complete bool
+	// TruncatedBytes is the torn tail discarded by the salvage.
+	TruncatedBytes int64
+	// MaxStop is the largest Stop hour among recovered entries (zero
+	// when none were recovered).
+	MaxStop uint32
+}
+
+// Resume reopens a (possibly crashed) log file and returns a Logger that
+// appends after the longest intact chunk prefix. The configuration must
+// match the one the file was created with; mismatches are rejected
+// rather than silently corrupting the record layout.
+func Resume(path string, cfg Config) (*Logger, *ResumeInfo, error) {
+	return resume(path, cfg, nil)
+}
+
+// ResumeBefore is Resume plus a boundary trim: the maximal suffix of
+// recovered entries for which drop returns true is discarded before
+// appending resumes. The log's entries must be ordered so that the
+// entries to drop form a suffix (event logs are written in nondecreasing
+// Stop order, so predicates of the form Stop >= M qualify).
+func ResumeBefore(path string, cfg Config, drop func(e Entry, ext []uint32) bool) (*Logger, *ResumeInfo, error) {
+	if drop == nil {
+		return nil, nil, fmt.Errorf("eventlog: ResumeBefore requires a predicate")
+	}
+	return resume(path, cfg, drop)
+}
+
+// Inspect runs the salvage scan without modifying the file and reports
+// what Resume would recover. MaxStop is the key output for computing a
+// cross-rank resume boundary.
+func Inspect(path string) (*ResumeInfo, error) {
+	sal, err := h5.Recover(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSalvageSchema(sal, nil); err != nil {
+		return nil, err
+	}
+	info := &ResumeInfo{
+		RecoveredEntries: sal.Records(),
+		Chunks:           sal.Chunks(),
+		Complete:         sal.Complete(),
+		TruncatedBytes:   sal.TruncatedBytes(),
+	}
+	rd, err := sal.Reader()
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	err = forEachSalvaged(rd, func(e Entry, _ []uint32) error {
+		if e.Stop > info.MaxStop {
+			info.MaxStop = e.Stop
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+func resume(path string, cfg Config, drop func(Entry, []uint32) bool) (*Logger, *ResumeInfo, error) {
+	sal, err := h5.Recover(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkSalvageSchema(sal, &cfg); err != nil {
+		return nil, nil, err
+	}
+
+	info := &ResumeInfo{
+		Chunks:         sal.Chunks(),
+		Complete:       sal.Complete(),
+		TruncatedBytes: sal.TruncatedBytes(),
+	}
+
+	// Scan every salvaged entry: validates payload decoding end to end,
+	// finds the trim boundary, and computes MaxStop.
+	rd, err := sal.Reader()
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := sal.Schema().RecordSize
+	total := int(sal.Records())
+	// cut is the index just past the last entry to KEEP: entries in
+	// [cut, total) form the maximal suffix with drop == true.
+	cut := total
+	type kept struct {
+		e   Entry
+		ext []uint32
+	}
+	chunkOfEntry := make([]int, 0, total) // chunk index of each entry
+	err = rd.ForEachChunk(func(chunk int, payload []byte) error {
+		for off := 0; off < len(payload); off += rec {
+			chunkOfEntry = append(chunkOfEntry, chunk)
+		}
+		return nil
+	})
+	if err != nil {
+		rd.Close()
+		return nil, nil, fmt.Errorf("eventlog: salvage scan: %w", err)
+	}
+	entries := make([]kept, 0, total)
+	if err := forEachSalvaged(rd, func(e Entry, ext []uint32) error {
+		entries = append(entries, kept{e: e, ext: append([]uint32(nil), ext...)})
+		return nil
+	}); err != nil {
+		rd.Close()
+		return nil, nil, fmt.Errorf("eventlog: salvage scan: %w", err)
+	}
+	rd.Close()
+	if drop != nil {
+		for cut > 0 && drop(entries[cut-1].e, entries[cut-1].ext) {
+			cut--
+		}
+	}
+
+	// keepChunks = chunks whose entries all fall below the cut.
+	keepChunks := sal.Chunks()
+	if cut < total {
+		keepChunks = chunkOfEntry[cut] // first affected chunk is rewritten
+	}
+	// Entries of the boundary chunk that survive the cut get re-staged
+	// through the cache.
+	var restage []kept
+	if cut < total {
+		for i := cut - 1; i >= 0 && chunkOfEntry[i] == keepChunks; i-- {
+			restage = append(restage, entries[i])
+		}
+		// reverse to restore order
+		for i, j := 0, len(restage)-1; i < j; i, j = i+1, j-1 {
+			restage[i], restage[j] = restage[j], restage[i]
+		}
+	}
+
+	w, err := sal.Resume(keepChunks)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fullyKept uint64
+	for i := 0; i < cut; i++ {
+		if chunkOfEntry[i] < keepChunks {
+			fullyKept++
+		}
+	}
+	l := &Logger{
+		w:      w,
+		cfg:    cfg,
+		rec:    rec,
+		cache:  make([]byte, 0, cfg.cacheEntries()*rec),
+		logged: fullyKept,
+	}
+	for _, k := range restage {
+		if err := l.Log(k.e, k.ext...); err != nil {
+			l.w.Close()
+			return nil, nil, err
+		}
+	}
+	info.RecoveredEntries = uint64(cut)
+	info.DroppedEntries = uint64(total - cut)
+	for i := 0; i < cut; i++ {
+		if s := entries[i].e.Stop; s > info.MaxStop {
+			info.MaxStop = s
+		}
+	}
+	return l, info, nil
+}
+
+// checkSalvageSchema verifies the salvaged file is an event log and, when
+// cfg is non-nil, that it matches the logger configuration.
+func checkSalvageSchema(sal *h5.Salvage, cfg *Config) error {
+	s := sal.Schema()
+	if s.RecordSize < BaseEntrySize || s.RecordSize%4 != 0 {
+		return fmt.Errorf("eventlog: record size %d is not a valid entry size", s.RecordSize)
+	}
+	if len(s.Columns) < len(BaseColumns) {
+		return fmt.Errorf("eventlog: file has %d columns, want at least %d", len(s.Columns), len(BaseColumns))
+	}
+	for i, c := range BaseColumns {
+		if s.Columns[i] != c {
+			return fmt.Errorf("eventlog: column %d is %q, want %q", i, s.Columns[i], c)
+		}
+	}
+	if cfg == nil {
+		return nil
+	}
+	want := cfg.schema()
+	if s.RecordSize != want.RecordSize {
+		return fmt.Errorf("eventlog: resume config has record size %d, file has %d", want.RecordSize, s.RecordSize)
+	}
+	if len(s.Columns) != len(want.Columns) {
+		return fmt.Errorf("eventlog: resume config has %d columns, file has %d", len(want.Columns), len(s.Columns))
+	}
+	for i := range want.Columns {
+		if s.Columns[i] != want.Columns[i] {
+			return fmt.Errorf("eventlog: resume column %d is %q, config says %q", i, s.Columns[i], want.Columns[i])
+		}
+	}
+	if sal.Flags() != cfg.flags() {
+		return fmt.Errorf("eventlog: resume config flags %#x, file flags %#x", cfg.flags(), sal.Flags())
+	}
+	return nil
+}
+
+// forEachSalvaged decodes every entry of a salvaged reader in order.
+func forEachSalvaged(rd *h5.Reader, fn func(e Entry, ext []uint32) error) error {
+	rec := rd.Schema().RecordSize
+	next := rec/4 - 5
+	ext := make([]uint32, next)
+	return rd.ForEachChunk(func(_ int, payload []byte) error {
+		for off := 0; off < len(payload); off += rec {
+			b := payload[off : off+rec]
+			e := decodeEntry(b)
+			for k := 0; k < next; k++ {
+				ext[k] = le.Uint32(b[20+4*k:])
+			}
+			if err := fn(e, ext); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

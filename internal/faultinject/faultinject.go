@@ -1,0 +1,323 @@
+// Package faultinject provides deterministic, seeded fault injectors for
+// chaos-testing the I/O and transport layers of the pipeline.
+//
+// The injectors are plain wrappers around io.Writer / io.ReaderAt /
+// net.Conn that fail on a precise, reproducible schedule (fail after N
+// bytes, short writes, connection resets after N frames), plus a global
+// crash-point registry that lets tests arm named points inside production
+// code paths (e.g. "eventlog.flush") and observe how recovery behaves
+// when the process "dies" exactly there.
+//
+// Everything in this package is deterministic: the same configuration
+// produces the same failure at the same byte. The chaos tests in
+// internal/h5, internal/eventlog, internal/mpinet and internal/core rely
+// on this to assert that recovery yields exactly the reference result or
+// a well-defined intact prefix.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by armed injectors. Callers
+// can detect injected faults with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ---------------------------------------------------------------------------
+// FlakyWriter
+
+// FlakyWriter wraps an io.Writer and fails deterministically once
+// FailAfter bytes have been written through it. When Short is true the
+// failing Write first delivers the bytes that fit under the budget (a
+// torn/short write, as a crashing process or full disk produces);
+// otherwise the failing Write delivers nothing.
+//
+// After the first failure every subsequent Write fails immediately,
+// modelling a dead file descriptor.
+type FlakyWriter struct {
+	W         io.Writer
+	FailAfter int64 // byte budget; < 0 means never fail
+	Short     bool  // deliver the partial write before failing
+	Err       error // error to return; nil selects ErrInjected
+
+	written int64
+	failed  bool
+}
+
+// Write implements io.Writer.
+func (w *FlakyWriter) Write(p []byte) (int, error) {
+	if w.failed {
+		return 0, w.err()
+	}
+	if w.FailAfter < 0 || w.written+int64(len(p)) <= w.FailAfter {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	w.failed = true
+	if !w.Short {
+		return 0, w.err()
+	}
+	keep := w.FailAfter - w.written
+	if keep < 0 {
+		keep = 0
+	}
+	n, err := w.W.Write(p[:keep])
+	w.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, w.err()
+}
+
+// Written returns the number of bytes delivered to the underlying writer.
+func (w *FlakyWriter) Written() int64 { return w.written }
+
+// Failed reports whether the injected fault has fired.
+func (w *FlakyWriter) Failed() bool { return w.failed }
+
+func (w *FlakyWriter) err() error {
+	if w.Err != nil {
+		return w.Err
+	}
+	return ErrInjected
+}
+
+// ---------------------------------------------------------------------------
+// FlakyReaderAt
+
+// FlakyReaderAt wraps an io.ReaderAt and fails deterministically once
+// FailAfter total bytes have been served. Reads that would cross the
+// budget return the bytes under the budget together with the injected
+// error (a short read).
+type FlakyReaderAt struct {
+	R         io.ReaderAt
+	FailAfter int64 // byte budget; < 0 means never fail
+	Err       error // error to return; nil selects ErrInjected
+
+	served int64
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *FlakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if r.FailAfter >= 0 && r.served >= r.FailAfter {
+		return 0, r.err()
+	}
+	if r.FailAfter >= 0 && r.served+int64(len(p)) > r.FailAfter {
+		keep := r.FailAfter - r.served
+		n, err := r.R.ReadAt(p[:keep], off)
+		r.served += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, r.err()
+	}
+	n, err := r.R.ReadAt(p, off)
+	r.served += int64(n)
+	return n, err
+}
+
+func (r *FlakyReaderAt) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// ---------------------------------------------------------------------------
+// FlakyConn
+
+// ConnFaults configures a FlakyConn. Zero values disable each fault.
+type ConnFaults struct {
+	// CutAfterWriteBytes hard-closes the connection once this many bytes
+	// have been written through it (0 disables).
+	CutAfterWriteBytes int64
+	// CutAfterReadBytes hard-closes the connection once this many bytes
+	// have been read through it (0 disables).
+	CutAfterReadBytes int64
+	// WriteDelay is added before every write, modelling a slow link.
+	WriteDelay time.Duration
+	// Err is the error surfaced on the cut; nil selects ErrInjected.
+	Err error
+}
+
+// FlakyConn wraps a net.Conn and severs it deterministically after a
+// configured number of bytes in either direction, modelling a rank that
+// dies mid-frame. It is safe for the usual one-reader/one-writer
+// net.Conn concurrency.
+type FlakyConn struct {
+	net.Conn
+	f ConnFaults
+
+	read, wrote atomic.Int64
+	cut         atomic.Bool
+}
+
+// NewFlakyConn wraps c with the given fault schedule.
+func NewFlakyConn(c net.Conn, f ConnFaults) *FlakyConn {
+	return &FlakyConn{Conn: c, f: f}
+}
+
+func (c *FlakyConn) errCut() error {
+	if c.f.Err != nil {
+		return c.f.Err
+	}
+	return ErrInjected
+}
+
+// sever closes the underlying conn so the peer observes a reset/EOF, the
+// behaviour of a killed process.
+func (c *FlakyConn) sever() error {
+	if c.cut.CompareAndSwap(false, true) {
+		c.Conn.Close()
+	}
+	return c.errCut()
+}
+
+// Read implements net.Conn.
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	if c.cut.Load() {
+		return 0, c.errCut()
+	}
+	lim := c.f.CutAfterReadBytes
+	if lim > 0 {
+		if rem := lim - c.read.Load(); rem <= 0 {
+			return 0, c.sever()
+		} else if int64(len(p)) > rem {
+			p = p[:rem]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	if lim > 0 && c.read.Load() >= lim {
+		c.sever()
+		if err == nil {
+			err = c.errCut()
+		}
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	if c.f.WriteDelay > 0 {
+		time.Sleep(c.f.WriteDelay)
+	}
+	if c.cut.Load() {
+		return 0, c.errCut()
+	}
+	lim := c.f.CutAfterWriteBytes
+	if lim > 0 {
+		rem := lim - c.wrote.Load()
+		if rem <= 0 {
+			return 0, c.sever()
+		}
+		if int64(len(p)) > rem {
+			// Torn frame: deliver the prefix, then die.
+			n, _ := c.Conn.Write(p[:rem])
+			c.wrote.Add(int64(n))
+			return n, c.sever()
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.wrote.Add(int64(n))
+	return n, err
+}
+
+// Severed reports whether the injected cut has fired.
+func (c *FlakyConn) Severed() bool { return c.cut.Load() }
+
+// ---------------------------------------------------------------------------
+// Crash-point registry
+
+// The registry lets tests arm named crash points compiled into
+// production code. A production call site does
+//
+//	if err := faultinject.Hit("eventlog.flush"); err != nil { return err }
+//
+// and pays a single atomic load when nothing is armed. A test arms the
+// point with Arm("eventlog.flush", 3) to make the 3rd hit fail.
+
+var (
+	crashArmed atomic.Int32 // number of armed points; fast-path gate
+	crashMu    sync.Mutex
+	crashPts   = map[string]*crashPoint{}
+)
+
+type crashPoint struct {
+	after int   // remaining hits before firing
+	fired int   // times this point has fired
+	err   error // error returned when firing
+}
+
+// Arm makes the nth subsequent Hit(name) (1-based) and every later one
+// return an error. err may be nil to use ErrInjected.
+func Arm(name string, nth int, err error) {
+	if nth < 1 {
+		nth = 1
+	}
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	if _, ok := crashPts[name]; !ok {
+		crashArmed.Add(1)
+	}
+	crashPts[name] = &crashPoint{after: nth - 1, err: err}
+}
+
+// Disarm removes a single crash point.
+func Disarm(name string) {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	if _, ok := crashPts[name]; ok {
+		delete(crashPts, name)
+		crashArmed.Add(-1)
+	}
+}
+
+// Reset disarms every crash point.
+func Reset() {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	crashArmed.Store(0)
+	crashPts = map[string]*crashPoint{}
+}
+
+// Fired returns how many times the named point has fired.
+func Fired(name string) int {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	if p, ok := crashPts[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Hit reports the named crash point. It returns nil when the point is
+// not armed or its countdown has not elapsed; otherwise it returns the
+// armed error. The unarmed fast path is one atomic load.
+func Hit(name string) error {
+	if crashArmed.Load() == 0 {
+		return nil
+	}
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	p, ok := crashPts[name]
+	if !ok {
+		return nil
+	}
+	if p.after > 0 {
+		p.after--
+		return nil
+	}
+	p.fired++
+	if p.err != nil {
+		return p.err
+	}
+	return fmt.Errorf("%w: crash point %q", ErrInjected, name)
+}

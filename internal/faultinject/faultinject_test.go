@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestFlakyWriterFailsAfterBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FlakyWriter{W: &buf, FailAfter: 10}
+	if _, err := w.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("write inside budget failed: %v", err)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("underlying got %d bytes, want 10", buf.Len())
+	}
+	// Dead after first failure.
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write after failure: %v", err)
+	}
+	if !w.Failed() || w.Written() != 10 {
+		t.Fatalf("state: failed=%v written=%d", w.Failed(), w.Written())
+	}
+}
+
+func TestFlakyWriterShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FlakyWriter{W: &buf, FailAfter: 7, Short: true}
+	n, err := w.Write(make([]byte, 20))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 7 || buf.Len() != 7 {
+		t.Fatalf("short write delivered %d (%d underlying), want 7", n, buf.Len())
+	}
+}
+
+func TestFlakyWriterNeverFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FlakyWriter{W: &buf, FailAfter: -1}
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write(make([]byte, 97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 9700 {
+		t.Fatal("bytes lost")
+	}
+}
+
+func TestFlakyWriterCustomError(t *testing.T) {
+	myErr := errors.New("disk on fire")
+	w := &FlakyWriter{W: io.Discard, FailAfter: 0, Err: myErr}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, myErr) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestFlakyReaderAt(t *testing.T) {
+	src := bytes.NewReader([]byte(strings.Repeat("x", 100)))
+	r := &FlakyReaderAt{R: src, FailAfter: 30}
+	p := make([]byte, 20)
+	if _, err := r.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Crosses the budget: short read + error.
+	n, err := r.ReadAt(p, 20)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("short read %d, want 10", n)
+	}
+	if _, err := r.ReadAt(p, 50); !errors.Is(err, ErrInjected) {
+		t.Fatal("reader revived after failure")
+	}
+}
+
+func TestFlakyConnCutsAfterWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := NewFlakyConn(a, ConnFaults{CutAfterWriteBytes: 8})
+	go io.Copy(io.Discard, b) //nolint:errcheck
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write inside budget: %v", err)
+	}
+	if _, err := fc.Write(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !fc.Severed() {
+		t.Fatal("conn not severed")
+	}
+	if _, err := fc.Write([]byte{1}); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+}
+
+func TestFlakyConnTornWriteDeliversPrefix(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := NewFlakyConn(a, ConnFaults{CutAfterWriteBytes: 5})
+	got := make(chan []byte, 1)
+	go func() {
+		p := make([]byte, 16)
+		n, _ := io.ReadFull(b, p)
+		got <- p[:n]
+	}()
+	n, err := fc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write delivered %d, want 5", n)
+	}
+	if string(<-got) != "01234" {
+		t.Fatal("peer did not observe torn prefix")
+	}
+}
+
+func TestFlakyConnCutsAfterReads(t *testing.T) {
+	a, b := net.Pipe()
+	fc := NewFlakyConn(a, ConnFaults{CutAfterReadBytes: 6})
+	go b.Write(make([]byte, 64)) //nolint:errcheck
+	p := make([]byte, 6)
+	if _, err := io.ReadFull(fc, p); err == nil {
+		// Reaching the budget severs on the boundary; a follow-up read
+		// must fail.
+		if _, err2 := fc.Read(p); !errors.Is(err2, ErrInjected) {
+			t.Fatalf("read past budget: %v", err2)
+		}
+	}
+	if !fc.Severed() {
+		t.Fatal("conn not severed after read budget")
+	}
+	b.Close()
+}
+
+func TestCrashPointRegistry(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Hit("unarmed"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	Arm("p", 3, nil)
+	if err := Hit("p"); err != nil {
+		t.Fatal("fired on hit 1")
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatal("fired on hit 2")
+	}
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 should fire, got %v", err)
+	}
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatal("hit 4 should keep firing")
+	}
+	if Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("p"))
+	}
+	Disarm("p")
+	if err := Hit("p"); err != nil {
+		t.Fatal("disarmed point fired")
+	}
+	// Custom error.
+	myErr := errors.New("boom")
+	Arm("q", 1, myErr)
+	if err := Hit("q"); !errors.Is(err, myErr) {
+		t.Fatalf("custom error not returned: %v", err)
+	}
+}

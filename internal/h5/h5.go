@@ -17,9 +17,17 @@
 //
 //	header : magic "H5LT" | version u16 | flags u16 | recordSize u32 |
 //	         ncols u16 | {nameLen u16, name bytes} × ncols
-//	chunks : {compLen u32 | rawLen u32 | records u32 | payload} × nchunks
+//	chunks : {compLen u32 | rawLen u32 | records u32 | payload [| crc u32]} × nchunks
 //	index  : {offset u64 | compLen u32 | rawLen u32 | records u32} × nchunks
 //	footer : indexOffset u64 | nchunks u32 | magic "H5IX"
+//
+// The optional per-chunk crc u32 trailer (CRC-32/IEEE over the stored
+// payload) is present when FlagCRC32 is set in the header flags; it
+// protects long-running logs against silent corruption and lets the
+// salvage scanner (Recover) distinguish intact chunks from torn tails in
+// a crashed, footer-less file. Because every chunk is self-delimiting
+// (12-byte header + declared payload length), a file whose process died
+// before Close can be rebuilt from its longest intact chunk prefix.
 //
 // All integers are little-endian.
 package h5
@@ -30,8 +38,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 const (
@@ -41,12 +52,30 @@ const (
 
 	// FlagDeflate enables per-chunk DEFLATE compression.
 	FlagDeflate uint16 = 1 << 0
+	// FlagCRC32 appends a CRC-32/IEEE checksum trailer to every chunk.
+	// Readers verify it on every chunk read; Recover uses it to validate
+	// salvaged chunks. Files without the flag read exactly as before.
+	FlagCRC32 uint16 = 1 << 1
 
 	footerSize = 8 + 4 + 4
+	// chunkHdrSize is the self-delimiting per-chunk header:
+	// compLen u32 | rawLen u32 | records u32.
+	chunkHdrSize = 12
+	crcSize      = 4
 )
+
+// knownFlags is the mask of flags this implementation understands.
+const knownFlags = FlagDeflate | FlagCRC32
 
 // ErrCorrupt is returned when a file fails structural validation.
 var ErrCorrupt = errors.New("h5: corrupt file")
+
+// Crash-point names compiled into the writer, for chaos tests
+// (see internal/faultinject).
+const (
+	CrashWriteChunk = "h5.writechunk"
+	CrashClose      = "h5.close"
+)
 
 // chunkMeta is one index entry describing a stored chunk.
 type chunkMeta struct {
@@ -71,7 +100,9 @@ type Writer struct {
 	w        io.Writer
 	closer   io.Closer
 	schema   Schema
+	flags    uint16
 	compress bool
+	crc      bool
 	offset   uint64
 	index    []chunkMeta
 	closed   bool
@@ -100,7 +131,14 @@ func NewWriter(w io.Writer, schema Schema, flags uint16) (*Writer, error) {
 	if schema.RecordSize <= 0 {
 		return nil, fmt.Errorf("h5: record size must be positive, got %d", schema.RecordSize)
 	}
-	hw := &Writer{w: w, schema: schema, compress: flags&FlagDeflate != 0}
+	if flags&^knownFlags != 0 {
+		return nil, fmt.Errorf("h5: unknown flags %#x", flags&^knownFlags)
+	}
+	hw := &Writer{
+		w: w, schema: schema, flags: flags,
+		compress: flags&FlagDeflate != 0,
+		crc:      flags&FlagCRC32 != 0,
+	}
 	var hdr bytes.Buffer
 	hdr.WriteString(headerMagic)
 	le := binary.LittleEndian
@@ -144,6 +182,9 @@ func (w *Writer) WriteChunk(payload []byte) error {
 	if w.closed {
 		return errors.New("h5: write on closed writer")
 	}
+	if err := faultinject.Hit(CrashWriteChunk); err != nil {
+		return err
+	}
 	rs := w.schema.RecordSize
 	if len(payload) == 0 || len(payload)%rs != 0 {
 		return fmt.Errorf("h5: chunk payload %d bytes is not a positive multiple of record size %d", len(payload), rs)
@@ -166,7 +207,7 @@ func (w *Writer) WriteChunk(payload []byte) error {
 		stored = w.comp.Bytes()
 	}
 
-	var hdr [12]byte
+	var hdr [chunkHdrSize]byte
 	le := binary.LittleEndian
 	le.PutUint32(hdr[0:], uint32(len(stored)))
 	le.PutUint32(hdr[4:], uint32(len(payload)))
@@ -177,13 +218,22 @@ func (w *Writer) WriteChunk(payload []byte) error {
 	if _, err := w.w.Write(stored); err != nil {
 		return err
 	}
+	stride := uint64(chunkHdrSize + len(stored))
+	if w.crc {
+		var sum [crcSize]byte
+		le.PutUint32(sum[:], crc32.ChecksumIEEE(stored))
+		if _, err := w.w.Write(sum[:]); err != nil {
+			return err
+		}
+		stride += crcSize
+	}
 	w.index = append(w.index, chunkMeta{
-		offset:  w.offset + 12,
+		offset:  w.offset + chunkHdrSize,
 		compLen: uint32(len(stored)),
 		rawLen:  uint32(len(payload)),
 		records: records,
 	})
-	w.offset += 12 + uint64(len(stored))
+	w.offset += stride
 	return nil
 }
 
@@ -192,6 +242,9 @@ func (w *Writer) WriteChunk(payload []byte) error {
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
+	}
+	if err := faultinject.Hit(CrashClose); err != nil {
+		return err
 	}
 	w.closed = true
 	var buf bytes.Buffer
@@ -230,6 +283,7 @@ type Reader struct {
 	flags    uint16
 	index    []chunkMeta
 	compress bool
+	crc      bool
 }
 
 // Open opens path for reading.
@@ -252,6 +306,103 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
+// readHeader parses the fixed header and column names, returning the
+// schema, the flag word, and the file offset of the first chunk.
+func readHeader(r io.ReaderAt, size int64) (Schema, uint16, int64, error) {
+	le := binary.LittleEndian
+	fixed := make([]byte, 4+2+2+4+2)
+	if size < int64(len(fixed)) {
+		return Schema{}, 0, 0, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	if _, err := r.ReadAt(fixed, 0); err != nil {
+		return Schema{}, 0, 0, err
+	}
+	if string(fixed[0:4]) != headerMagic {
+		return Schema{}, 0, 0, fmt.Errorf("%w: bad header magic", ErrCorrupt)
+	}
+	if v := le.Uint16(fixed[4:6]); v != version {
+		return Schema{}, 0, 0, fmt.Errorf("h5: unsupported version %d", v)
+	}
+	flags := le.Uint16(fixed[6:8])
+	if flags&^knownFlags != 0 {
+		return Schema{}, 0, 0, fmt.Errorf("h5: unknown flags %#x", flags&^knownFlags)
+	}
+	recordSize := le.Uint32(fixed[8:12])
+	ncols := le.Uint16(fixed[12:14])
+	if recordSize == 0 {
+		return Schema{}, 0, 0, fmt.Errorf("%w: zero record size", ErrCorrupt)
+	}
+	cols := make([]string, 0, ncols)
+	off := int64(len(fixed))
+	var l2 [2]byte
+	for i := 0; i < int(ncols); i++ {
+		if off+2 > size {
+			return Schema{}, 0, 0, fmt.Errorf("%w: truncated column table", ErrCorrupt)
+		}
+		if _, err := r.ReadAt(l2[:], off); err != nil {
+			return Schema{}, 0, 0, err
+		}
+		n := int(le.Uint16(l2[:]))
+		off += 2
+		if off+int64(n) > size {
+			return Schema{}, 0, 0, fmt.Errorf("%w: truncated column name %d", ErrCorrupt, i)
+		}
+		name := make([]byte, n)
+		if _, err := r.ReadAt(name, off); err != nil {
+			return Schema{}, 0, 0, err
+		}
+		off += int64(n)
+		cols = append(cols, string(name))
+	}
+	return Schema{RecordSize: int(recordSize), Columns: cols}, flags, off, nil
+}
+
+// chunkStride returns the on-disk size of a chunk with the given stored
+// payload length under the given flags.
+func chunkStride(compLen uint32, flags uint16) int64 {
+	s := int64(chunkHdrSize) + int64(compLen)
+	if flags&FlagCRC32 != 0 {
+		s += crcSize
+	}
+	return s
+}
+
+// validateIndex checks every index entry against the file geometry:
+// chunk payloads must lie entirely between the end of the header and the
+// start of the index, with no arithmetic overflow, and the record
+// accounting must be internally consistent. It returns descriptive
+// ErrCorrupt errors so hostile or damaged index entries never cause
+// undefined behaviour (huge allocations, negative offsets, reads inside
+// the header).
+func validateIndex(index []chunkMeta, recordSize uint32, headerEnd, indexOffset int64, flags uint16) error {
+	for i, c := range index {
+		if c.offset > uint64(1)<<62 {
+			return fmt.Errorf("%w: chunk %d offset %d overflows", ErrCorrupt, i, c.offset)
+		}
+		start := int64(c.offset) - chunkHdrSize
+		if start < headerEnd {
+			return fmt.Errorf("%w: chunk %d offset %d points before data section (header ends at %d)", ErrCorrupt, i, c.offset, headerEnd)
+		}
+		end := start + chunkStride(c.compLen, flags)
+		if end > indexOffset {
+			return fmt.Errorf("%w: chunk %d [%d,%d) overlaps index at %d", ErrCorrupt, i, start, end, indexOffset)
+		}
+		if c.records == 0 {
+			return fmt.Errorf("%w: chunk %d has zero records", ErrCorrupt, i)
+		}
+		if c.rawLen%recordSize != 0 || c.rawLen/recordSize != c.records {
+			return fmt.Errorf("%w: chunk %d record accounting (%d raw bytes, %d records, record size %d)", ErrCorrupt, i, c.rawLen, c.records, recordSize)
+		}
+		if flags&FlagDeflate == 0 && c.compLen != c.rawLen {
+			return fmt.Errorf("%w: chunk %d stored length %d differs from raw length %d in uncompressed file", ErrCorrupt, i, c.compLen, c.rawLen)
+		}
+		if i > 0 && int64(c.offset) < int64(index[i-1].offset)+int64(index[i-1].compLen) {
+			return fmt.Errorf("%w: chunk %d overlaps chunk %d", ErrCorrupt, i, i-1)
+		}
+	}
+	return nil
+}
+
 // NewReader parses the header and index from r, which must contain a
 // complete file of the given size.
 func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
@@ -271,42 +422,20 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 	indexOffset := le.Uint64(foot[0:8])
 	nchunks := le.Uint32(foot[8:12])
 	indexBytes := int64(nchunks) * 20
+	if indexOffset > uint64(1)<<62 {
+		return nil, fmt.Errorf("%w: index offset %d overflows", ErrCorrupt, indexOffset)
+	}
 	if int64(indexOffset)+indexBytes+footerSize != size {
 		return nil, fmt.Errorf("%w: index does not fit file size", ErrCorrupt)
 	}
 
 	// Header.
-	fixed := make([]byte, 4+2+2+4+2)
-	if _, err := r.ReadAt(fixed, 0); err != nil {
+	schema, flags, headerEnd, err := readHeader(r, size)
+	if err != nil {
 		return nil, err
 	}
-	if string(fixed[0:4]) != headerMagic {
-		return nil, fmt.Errorf("%w: bad header magic", ErrCorrupt)
-	}
-	if v := le.Uint16(fixed[4:6]); v != version {
-		return nil, fmt.Errorf("h5: unsupported version %d", v)
-	}
-	flags := le.Uint16(fixed[6:8])
-	recordSize := le.Uint32(fixed[8:12])
-	ncols := le.Uint16(fixed[12:14])
-	if recordSize == 0 {
-		return nil, fmt.Errorf("%w: zero record size", ErrCorrupt)
-	}
-	cols := make([]string, 0, ncols)
-	off := int64(len(fixed))
-	var l2 [2]byte
-	for i := 0; i < int(ncols); i++ {
-		if _, err := r.ReadAt(l2[:], off); err != nil {
-			return nil, err
-		}
-		n := int(le.Uint16(l2[:]))
-		off += 2
-		name := make([]byte, n)
-		if _, err := r.ReadAt(name, off); err != nil {
-			return nil, err
-		}
-		off += int64(n)
-		cols = append(cols, string(name))
+	if int64(indexOffset) < headerEnd {
+		return nil, fmt.Errorf("%w: index offset %d inside header (ends at %d)", ErrCorrupt, indexOffset, headerEnd)
 	}
 
 	// Index.
@@ -323,20 +452,18 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 			rawLen:  le.Uint32(e[12:16]),
 			records: le.Uint32(e[16:20]),
 		}
-		if int64(index[i].offset)+int64(index[i].compLen) > int64(indexOffset) {
-			return nil, fmt.Errorf("%w: chunk %d overlaps index", ErrCorrupt, i)
-		}
-		if index[i].rawLen%recordSize != 0 || index[i].rawLen/recordSize != index[i].records {
-			return nil, fmt.Errorf("%w: chunk %d record accounting", ErrCorrupt, i)
-		}
+	}
+	if err := validateIndex(index, uint32(schema.RecordSize), headerEnd, int64(indexOffset), flags); err != nil {
+		return nil, err
 	}
 
 	return &Reader{
 		r:        r,
-		schema:   Schema{RecordSize: int(recordSize), Columns: cols},
+		schema:   schema,
 		flags:    flags,
 		index:    index,
 		compress: flags&FlagDeflate != 0,
+		crc:      flags&FlagCRC32 != 0,
 	}, nil
 }
 
@@ -371,6 +498,15 @@ func (r *Reader) ReadChunk(i int) ([]byte, error) {
 	stored := make([]byte, c.compLen)
 	if _, err := r.r.ReadAt(stored, int64(c.offset)); err != nil {
 		return nil, err
+	}
+	if r.crc {
+		var sum [crcSize]byte
+		if _, err := r.r.ReadAt(sum[:], int64(c.offset)+int64(c.compLen)); err != nil {
+			return nil, err
+		}
+		if got, want := crc32.ChecksumIEEE(stored), binary.LittleEndian.Uint32(sum[:]); got != want {
+			return nil, fmt.Errorf("%w: chunk %d checksum mismatch (stored %#x, computed %#x)", ErrCorrupt, i, want, got)
+		}
 	}
 	if !r.compress {
 		if uint32(len(stored)) != c.rawLen {

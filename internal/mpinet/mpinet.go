@@ -12,9 +12,33 @@
 // real MPI for implementation clarity at the modest rank counts this
 // reproduction targets.
 //
-// Wire format: every frame is length-prefixed
+// # Failure model
 //
-//	frameLen u32 | op u8 | nblobs u32 | { blobLen u32 | blob }*
+// A rank that dies (connection reset, premature EOF, heartbeat timeout)
+// does not hang the cluster. The coordinator aborts the round in
+// progress, marks the rank dead, and broadcasts an error frame carrying
+// the failed rank's identity to every survivor, whose pending collective
+// returns a typed *mpi.RankFailedError. Every survivor receives the same
+// rank in the same order, so failure-aware callers (such as
+// core.SynthesizeDistributed) can deterministically agree on how to
+// redistribute the dead rank's work and retry. Subsequent collectives
+// run among the survivors; a dead rank contributes nil blobs.
+//
+// Round consistency across aborts is kept by a sequence number stamped
+// on every frame: both sides count one round per collective call
+// (successful or aborted), so a contribution from before an abort is
+// recognizably stale and discarded rather than corrupting a retry.
+//
+// Liveness is coordinator-driven: clients heartbeat the coordinator so
+// silent deaths are detected even mid-computation, and the coordinator
+// heartbeats blocked clients so a rank waiting in a collective can
+// distinguish "peers are slow" from "coordinator is gone".
+//
+// # Wire format
+//
+// Every frame is length-prefixed
+//
+//	frameLen u32 | op u8 | seq u32 | nblobs u32 | { blobLen u32 | blob }*
 //
 // with all integers little-endian. The handshake after connect is
 //
@@ -26,11 +50,16 @@ package mpinet
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/mpi"
 )
 
 const handshakeMagic = "CSIM"
@@ -40,20 +69,85 @@ const (
 	opBarrier byte = iota + 1
 	opExchange
 	opGather
+	opHeartbeat // liveness signal; never part of a round
+	opError     // round abort: blobs[0] = failed rank (int32 LE)
 )
+
+func opName(op byte) string {
+	switch op {
+	case opBarrier:
+		return "Barrier"
+	case opExchange:
+		return "Exchange"
+	case opGather:
+		return "Gather"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
 
 // maxFrame bounds a single frame to guard against corrupt length
 // prefixes (256 MiB is far above any batch the simulation exchanges).
 const maxFrame = 256 << 20
 
+// frameHdrSize is op + seq + nblobs.
+const frameHdrSize = 1 + 4 + 4
+
+// Options tunes the transport's robustness machinery. The zero value of
+// each field selects its default; use Host(addr, size, opts) / Join(addr,
+// opts) to apply.
+type Options struct {
+	// DialTimeout is Join's total retry budget when the coordinator is
+	// not yet listening (exponential backoff with jitter underneath) and
+	// the coordinator's window for accepting all joins. Default 15s.
+	DialTimeout time.Duration
+	// IOTimeout is the per-frame write deadline and the handshake read
+	// deadline. Default 30s.
+	IOTimeout time.Duration
+	// HeartbeatInterval is how often liveness frames are sent in both
+	// directions. Default 500ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer may stay silent before being
+	// declared dead. Default 5s.
+	HeartbeatTimeout time.Duration
+	// DisableHeartbeat turns the failure detector off entirely; dead
+	// ranks are then only detected by connection errors.
+	DisableHeartbeat bool
+	// WrapConn, when non-nil, wraps the dialed connection before use —
+	// a fault-injection hook for chaos tests (see
+	// faultinject.NewFlakyConn). Join only.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func withDefaults(opts []Options) Options {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 15 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 5 * time.Second
+	}
+	return o
+}
+
 // frame is one collective contribution or reply.
 type frame struct {
 	op    byte
+	seq   uint32
 	blobs [][]byte
 }
 
 func writeFrame(w *bufio.Writer, f frame) error {
-	total := 1 + 4
+	total := frameHdrSize
 	for _, b := range f.blobs {
 		total += 4 + len(b)
 	}
@@ -67,6 +161,10 @@ func writeFrame(w *bufio.Writer, f frame) error {
 		return err
 	}
 	if err := w.WriteByte(f.op); err != nil {
+		return err
+	}
+	le.PutUint32(u32[:], f.seq)
+	if _, err := w.Write(u32[:]); err != nil {
 		return err
 	}
 	le.PutUint32(u32[:], uint32(len(f.blobs)))
@@ -92,29 +190,44 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	}
 	le := binary.LittleEndian
 	total := le.Uint32(u32[:])
-	if total < 5 || total > maxFrame {
+	if total < frameHdrSize || total > maxFrame {
 		return frame{}, fmt.Errorf("mpinet: bad frame length %d", total)
 	}
 	body := make([]byte, total)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return frame{}, err
 	}
-	f := frame{op: body[0]}
-	n := le.Uint32(body[1:5])
-	off := uint32(5)
+	f := frame{op: body[0], seq: le.Uint32(body[1:5])}
+	n := le.Uint32(body[5:9])
+	off := uint32(frameHdrSize)
 	for i := uint32(0); i < n; i++ {
 		if off+4 > total {
 			return frame{}, fmt.Errorf("mpinet: truncated frame")
 		}
 		bl := le.Uint32(body[off:])
 		off += 4
-		if off+bl > total {
+		if off+bl > total || off+bl < off {
 			return frame{}, fmt.Errorf("mpinet: truncated blob")
 		}
 		f.blobs = append(f.blobs, body[off:off+bl])
 		off += bl
 	}
 	return f, nil
+}
+
+// errorFrame builds the round-abort broadcast for a failed rank.
+func errorFrame(seq uint32, failed int) frame {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(int32(failed)))
+	return frame{op: opError, seq: seq, blobs: [][]byte{b[:]}}
+}
+
+// failedRank decodes an opError frame.
+func failedRank(f frame) int {
+	if len(f.blobs) < 1 || len(f.blobs[0]) < 4 {
+		return -1
+	}
+	return int(int32(binary.LittleEndian.Uint32(f.blobs[0])))
 }
 
 // contribution is one rank's collective input arriving at the
@@ -125,31 +238,58 @@ type contribution struct {
 	err  error
 }
 
+// peer is the coordinator's per-client connection state.
+type peer struct {
+	conn     net.Conn
+	bw       *bufio.Writer
+	wmu      sync.Mutex // serializes reply and heartbeat writes
+	lastSeen atomic.Int64
+	dead     atomic.Bool
+}
+
+// send writes one frame to the peer under its write lock with deadline.
+func (p *peer) send(f frame, timeout time.Duration) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := writeFrame(p.bw, f)
+	p.conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
 // Node is one rank's handle; it implements mpi.Transport.
 type Node struct {
 	rank, size int
+	opts       Options
+	seq        uint32 // next collective round number
 
 	// Client side (rank > 0).
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	wmu    sync.Mutex // serializes collective and heartbeat writes
+	hbStop chan struct{}
+	hbOnce sync.Once
 
 	// Coordinator side (rank 0).
 	coord *coordinator
 }
 
 type coordinator struct {
-	ln net.Listener
+	ln   net.Listener
+	opts Options
 
-	mu    sync.Mutex // guards conns
-	conns []net.Conn // index 0 unused
+	mu    sync.Mutex // guards peers slots for the failure detector
+	peers []*peer    // index 0 unused
 
 	contribs  chan contribution
-	replies   []chan frame // per rank; rank 0's reply read locally
+	replies   []chan frame // only [0] is used: rank 0's local delivery
 	done      chan struct{}
 	closeOnce sync.Once
 	errs      chan error
 }
+
+var errHeartbeatExpired = errors.New("mpinet: heartbeat timeout")
 
 // stop records err (best effort), signals shutdown and releases the
 // sockets. Safe to call from any goroutine, any number of times.
@@ -167,37 +307,44 @@ func (c *coordinator) stop(err error) {
 // Host listens on addr, waits for size-1 ranks to join, and returns the
 // rank-0 Node. Size must be at least 1; with size 1 the transport is
 // fully local.
-func Host(addr string, size int) (*Node, error) {
+func Host(addr string, size int, opts ...Options) (*Node, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpinet: size must be ≥ 1, got %d", size)
 	}
+	o := withDefaults(opts)
 	c := &coordinator{
-		contribs: make(chan contribution, size),
+		opts:     o,
+		contribs: make(chan contribution, 2*size+2),
 		replies:  make([]chan frame, size),
 		done:     make(chan struct{}),
 		errs:     make(chan error, size),
 	}
-	for i := range c.replies {
-		c.replies[i] = make(chan frame, 1)
-	}
+	// replies[0] must absorb one abort broadcast per possible rank death
+	// without blocking the round loop, even if rank 0 is between
+	// collectives at the time.
+	c.replies[0] = make(chan frame, size+1)
+	node := &Node{rank: 0, size: size, opts: o, coord: c}
 	if size == 1 {
 		go c.run(size)
-		return &Node{rank: 0, size: size, coord: c}, nil
+		return node, nil
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c.ln = ln
-	c.conns = make([]net.Conn, size)
+	c.peers = make([]*peer, size)
 	// Accept joins in the background so callers can publish Addr()
 	// before the other ranks dial in; the first collective blocks until
 	// everyone has joined, because the round needs all contributions.
 	go func() {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(o.DialTimeout))
+		}
 		for r := 1; r < size; r++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				c.stop(err)
+				c.stop(fmt.Errorf("mpinet: accepting rank %d/%d: %w", r, size-1, err))
 				return
 			}
 			if tc, ok := conn.(*net.TCPConn); ok {
@@ -208,62 +355,161 @@ func Host(addr string, size int) (*Node, error) {
 			copy(hs[:4], handshakeMagic)
 			binary.LittleEndian.PutUint32(hs[4:], uint32(r))
 			binary.LittleEndian.PutUint32(hs[8:], uint32(size))
+			conn.SetWriteDeadline(time.Now().Add(o.IOTimeout))
 			if _, err := conn.Write(hs[:]); err != nil {
 				c.stop(err)
 				return
 			}
+			conn.SetWriteDeadline(time.Time{})
+			p := &peer{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+			p.lastSeen.Store(time.Now().UnixNano())
 			c.mu.Lock()
-			c.conns[r] = conn
+			c.peers[r] = p
 			c.mu.Unlock()
-			go c.readLoop(r, conn)
+			go c.readLoop(r, p)
+		}
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Time{})
 		}
 		c.run(size)
 	}()
-	return &Node{rank: 0, size: size, coord: c}, nil
+	if !o.DisableHeartbeat {
+		go c.heartbeatLoop()
+	}
+	return node, nil
 }
 
 // Join dials the coordinator at addr and returns this process's Node.
-// The coordinator assigns the rank.
-func Join(addr string) (*Node, error) {
+// The coordinator assigns the rank. Dialing retries with exponential
+// backoff plus jitter until Options.DialTimeout elapses, so ranks can be
+// launched in any order without a thundering-herd of reconnects.
+func Join(addr string, opts ...Options) (*Node, error) {
+	o := withDefaults(opts)
 	var conn net.Conn
+	deadline := time.Now().Add(o.DialTimeout)
+	backoff := 10 * time.Millisecond
+	const backoffCap = time.Second
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	attempts := 0
 	var err error
-	// The coordinator may not be listening yet; retry briefly.
-	for attempt := 0; attempt < 50; attempt++ {
-		conn, err = net.Dial("tcp", addr)
+	for {
+		attempts++
+		conn, err = net.DialTimeout("tcp", addr, o.IOTimeout)
 		if err == nil {
 			break
 		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("mpinet: joining %s: %w", addr, err)
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("mpinet: joining %s: %d attempts over %v: %w",
+				addr, attempts, o.DialTimeout, err)
+		}
+		// Full jitter on top of the exponential base keeps simultaneous
+		// joiners from hammering the coordinator in lockstep.
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)))
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff < backoffCap {
+			backoff *= 2
+		}
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	if o.WrapConn != nil {
+		conn = o.WrapConn(conn)
+	}
 	var hs [12]byte
+	conn.SetReadDeadline(time.Now().Add(o.IOTimeout))
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("mpinet: handshake: %w", err)
 	}
+	conn.SetReadDeadline(time.Time{})
 	if string(hs[:4]) != handshakeMagic {
 		conn.Close()
 		return nil, fmt.Errorf("mpinet: bad handshake magic %q", hs[:4])
 	}
 	rank := int(binary.LittleEndian.Uint32(hs[4:]))
 	size := int(binary.LittleEndian.Uint32(hs[8:]))
-	return &Node{
-		rank: rank,
-		size: size,
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<16),
-		bw:   bufio.NewWriterSize(conn, 1<<16),
-	}, nil
+	n := &Node{
+		rank:   rank,
+		size:   size,
+		opts:   o,
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 1<<16),
+		bw:     bufio.NewWriterSize(conn, 1<<16),
+		hbStop: make(chan struct{}),
+	}
+	if !o.DisableHeartbeat {
+		go n.heartbeatLoop()
+	}
+	return n, nil
+}
+
+// heartbeatLoop (client side) keeps the coordinator's failure detector
+// fed while this rank computes between collectives.
+func (n *Node) heartbeatLoop() {
+	t := time.NewTicker(n.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.hbStop:
+			return
+		case <-t.C:
+		}
+		n.wmu.Lock()
+		n.conn.SetWriteDeadline(time.Now().Add(n.opts.HeartbeatInterval))
+		err := writeFrame(n.bw, frame{op: opHeartbeat})
+		n.conn.SetWriteDeadline(time.Time{})
+		n.wmu.Unlock()
+		if err != nil {
+			return // conn is dead; the next collective will surface it
+		}
+	}
+}
+
+// heartbeatLoop (coordinator side) does two jobs per tick: declare
+// silent clients dead (feeding the round loop an error contribution) and
+// send liveness frames to healthy clients so ranks blocked in a
+// collective don't mistake slow peers for a dead coordinator.
+func (c *coordinator) heartbeatLoop() {
+	t := time.NewTicker(c.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		peers := append([]*peer(nil), c.peers...)
+		c.mu.Unlock()
+		now := time.Now()
+		for r, p := range peers {
+			if p == nil || p.dead.Load() {
+				continue
+			}
+			if now.Sub(time.Unix(0, p.lastSeen.Load())) > c.opts.HeartbeatTimeout {
+				p.dead.Store(true)
+				select {
+				case c.contribs <- contribution{rank: r, err: errHeartbeatExpired}:
+				case <-c.done:
+					return
+				}
+				continue
+			}
+			// Ignore write errors here: a failed heartbeat write means
+			// the conn is dying, which readLoop reports authoritatively.
+			_ = p.send(frame{op: opHeartbeat}, c.opts.HeartbeatInterval)
+		}
+	}
 }
 
 // readLoop feeds one client's frames into the coordinator.
-func (c *coordinator) readLoop(rank int, conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 1<<16)
+func (c *coordinator) readLoop(rank int, p *peer) {
+	br := bufio.NewReaderSize(p.conn, 1<<16)
 	for {
 		f, err := readFrame(br)
 		if err != nil {
@@ -273,6 +519,10 @@ func (c *coordinator) readLoop(rank int, conn net.Conn) {
 			}
 			return
 		}
+		p.lastSeen.Store(time.Now().UnixNano())
+		if f.op == opHeartbeat {
+			continue
+		}
 		select {
 		case c.contribs <- contribution{rank: rank, f: f}:
 		case <-c.done:
@@ -281,92 +531,192 @@ func (c *coordinator) readLoop(rank int, conn net.Conn) {
 	}
 }
 
-// run processes collective rounds until teardown.
-func (c *coordinator) run(size int) {
-	writers := make([]*bufio.Writer, size)
+// markDead flags a rank's peer and closes its socket (waking its
+// readLoop and failing any in-flight write).
+func (c *coordinator) markDead(rank int) {
+	if rank <= 0 || c.peers == nil {
+		return
+	}
 	c.mu.Lock()
-	for r := 1; r < size; r++ {
-		if c.conns != nil && c.conns[r] != nil {
-			writers[r] = bufio.NewWriterSize(c.conns[r], 1<<16)
+	p := c.peers[rank]
+	c.mu.Unlock()
+	if p != nil {
+		p.dead.Store(true)
+		p.conn.Close()
+	}
+}
+
+// broadcastAbort tells every live rank that `failed` died during round
+// seq. Ranks whose notification cannot be delivered are themselves
+// marked dead and returned for follow-up aborts.
+func (c *coordinator) broadcastAbort(alive []bool, seq uint32, failed int) (more []int) {
+	ef := errorFrame(seq, failed)
+	for r := range alive {
+		if !alive[r] {
+			continue
+		}
+		if r == 0 {
+			select {
+			case c.replies[0] <- ef:
+			case <-c.done:
+			}
+			continue
+		}
+		c.mu.Lock()
+		p := c.peers[r]
+		c.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		if err := p.send(ef, c.opts.IOTimeout); err != nil {
+			alive[r] = false
+			c.markDead(r)
+			more = append(more, r)
 		}
 	}
-	c.mu.Unlock()
-	fail := c.stop
+	return more
+}
+
+// run processes collective rounds until teardown. Round protocol: one
+// contribution per live rank, all carrying the current sequence number;
+// any death aborts the round (survivors get an opError frame) and bumps
+// the sequence so stale retransmissions are discarded.
+func (c *coordinator) run(size int) {
+	alive := make([]bool, size)
+	for i := range alive {
+		alive[i] = true
+	}
+	var seq uint32
+	var pendingDead []int
 	for {
-		// Collect one contribution per rank.
+		if len(pendingDead) > 0 {
+			f := pendingDead[0]
+			pendingDead = append(pendingDead[:0], pendingDead[1:]...)
+			pendingDead = append(pendingDead, c.broadcastAbort(alive, seq, f)...)
+			seq++
+			continue
+		}
+		need := 0
+		for _, a := range alive {
+			if a {
+				need++
+			}
+		}
+		// Collect one contribution per live rank for round seq.
 		round := make([]frame, size)
-		for got := 0; got < size; got++ {
+		have := make([]bool, size)
+		failed := -1
+		for got := 0; got < need; {
 			var ct contribution
 			select {
 			case ct = <-c.contribs:
 			case <-c.done:
 				return
 			}
+			if ct.rank < 0 || ct.rank >= size || !alive[ct.rank] {
+				continue // late traffic from an already-dead rank
+			}
 			if ct.err != nil {
-				if ct.err == io.EOF && got == 0 && ct.rank != 0 {
-					// Orderly shutdown: a client closed between rounds.
-					fail(io.EOF)
-					return
+				alive[ct.rank] = false
+				c.markDead(ct.rank)
+				failed = ct.rank
+				break
+			}
+			if ct.f.seq != seq {
+				if ct.f.seq < seq {
+					continue // stale contribution from an aborted round
 				}
-				fail(fmt.Errorf("mpinet: rank %d: %w", ct.rank, ct.err))
+				c.stop(fmt.Errorf("mpinet: rank %d ahead of round (seq %d, coordinator at %d)", ct.rank, ct.f.seq, seq))
+				return
+			}
+			if have[ct.rank] {
+				c.stop(fmt.Errorf("mpinet: rank %d contributed twice to round %d", ct.rank, seq))
 				return
 			}
 			round[ct.rank] = ct.f
+			have[ct.rank] = true
+			got++
 		}
-		op := round[0].op
-		for r := 1; r < size; r++ {
-			if round[r].op != op {
-				fail(fmt.Errorf("mpinet: collective mismatch: rank 0 in op %d, rank %d in op %d", op, r, round[r].op))
+		if failed >= 0 {
+			pendingDead = append(pendingDead, failed)
+			continue
+		}
+		// All live ranks must be in the same collective.
+		op := byte(0)
+		for r := 0; r < size; r++ {
+			if !alive[r] {
+				continue
+			}
+			if op == 0 {
+				op = round[r].op
+			} else if round[r].op != op {
+				c.stop(fmt.Errorf("mpinet: collective mismatch: op %d vs rank %d in op %d", op, r, round[r].op))
 				return
 			}
 		}
-		// Route.
+		// Route. Dead ranks contribute nil blobs and receive nothing.
 		out := make([]frame, size)
 		switch op {
 		case opBarrier:
 			for r := range out {
-				out[r] = frame{op: op}
+				out[r] = frame{op: op, seq: seq}
 			}
 		case opExchange:
 			for dst := 0; dst < size; dst++ {
+				if !alive[dst] {
+					continue
+				}
 				blobs := make([][]byte, size)
 				for src := 0; src < size; src++ {
-					if dst < len(round[src].blobs) {
+					if alive[src] && dst < len(round[src].blobs) {
 						blobs[src] = round[src].blobs[dst]
 					}
 				}
-				out[dst] = frame{op: op, blobs: blobs}
+				out[dst] = frame{op: op, seq: seq, blobs: blobs}
 			}
 		case opGather:
 			blobs := make([][]byte, size)
 			for src := 0; src < size; src++ {
-				if len(round[src].blobs) > 0 {
+				if alive[src] && len(round[src].blobs) > 0 {
 					blobs[src] = round[src].blobs[0]
 				}
 			}
-			out[0] = frame{op: op, blobs: blobs}
+			out[0] = frame{op: op, seq: seq, blobs: blobs}
 			for r := 1; r < size; r++ {
-				out[r] = frame{op: op}
+				out[r] = frame{op: op, seq: seq}
 			}
 		default:
-			fail(fmt.Errorf("mpinet: unknown op %d", op))
+			c.stop(fmt.Errorf("mpinet: unknown op %d", op))
 			return
 		}
-		// Deliver.
+		// Deliver. A failed delivery marks the rank dead; the round
+		// still counts as complete for everyone else, and the death is
+		// announced at the top of the next iteration.
 		for r := 0; r < size; r++ {
-			if r == 0 || writers[r] == nil {
+			if !alive[r] {
+				continue
+			}
+			if r == 0 {
 				select {
-				case c.replies[r] <- out[r]:
+				case c.replies[0] <- out[0]:
 				case <-c.done:
 					return
 				}
 				continue
 			}
-			if err := writeFrame(writers[r], out[r]); err != nil {
-				fail(fmt.Errorf("mpinet: reply to rank %d: %w", r, err))
-				return
+			c.mu.Lock()
+			p := c.peers[r]
+			c.mu.Unlock()
+			if p == nil {
+				continue
+			}
+			if err := p.send(out[r], c.opts.IOTimeout); err != nil {
+				alive[r] = false
+				c.markDead(r)
+				pendingDead = append(pendingDead, r)
 			}
 		}
+		seq++
 	}
 }
 
@@ -376,9 +726,9 @@ func (c *coordinator) teardown() {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, conn := range c.conns {
-		if conn != nil {
-			conn.Close()
+	for _, p := range c.peers {
+		if p != nil {
+			p.conn.Close()
 		}
 	}
 }
@@ -389,25 +739,65 @@ func (n *Node) Rank() int { return n.rank }
 // Size returns the number of participating ranks.
 func (n *Node) Size() int { return n.size }
 
-// roundTrip submits f and waits for the reply.
+// failErr wraps a transport-level failure where no specific rank can be
+// blamed (from this node's point of view the coordinator is gone).
+func failErr(op string, err error) error {
+	return &mpi.RankFailedError{Rank: -1, Op: op, Err: err}
+}
+
+// roundTrip submits f for the next round and waits for the reply.
+// Heartbeat frames are skipped; an opError reply is surfaced as a
+// *mpi.RankFailedError naming the dead rank.
 func (n *Node) roundTrip(f frame) (frame, error) {
+	op := opName(f.op)
+	f.seq = n.seq
+	n.seq++ // one round consumed per call, successful or aborted
 	if n.coord != nil {
 		select {
 		case n.coord.contribs <- contribution{rank: 0, f: f}:
 		case <-n.coord.done:
-			return frame{}, n.coordErr()
+			return frame{}, failErr(op, n.coordErr())
 		}
 		select {
 		case rep := <-n.coord.replies[0]:
+			if rep.op == opError {
+				return frame{}, &mpi.RankFailedError{Rank: failedRank(rep), Op: op}
+			}
 			return rep, nil
 		case <-n.coord.done:
-			return frame{}, n.coordErr()
+			return frame{}, failErr(op, n.coordErr())
 		}
 	}
-	if err := writeFrame(n.bw, f); err != nil {
-		return frame{}, err
+	n.wmu.Lock()
+	n.conn.SetWriteDeadline(time.Now().Add(n.opts.IOTimeout))
+	err := writeFrame(n.bw, f)
+	n.conn.SetWriteDeadline(time.Time{})
+	n.wmu.Unlock()
+	if err != nil {
+		return frame{}, failErr(op, err)
 	}
-	return readFrame(n.br)
+	for {
+		if !n.opts.DisableHeartbeat {
+			// The coordinator heartbeats at HeartbeatInterval, so a
+			// healthy link always delivers SOMETHING well within the
+			// timeout, no matter how slow the other ranks are.
+			n.conn.SetReadDeadline(time.Now().Add(n.opts.HeartbeatTimeout))
+		}
+		rep, err := readFrame(n.br)
+		if err != nil {
+			return frame{}, failErr(op, err)
+		}
+		switch rep.op {
+		case opHeartbeat:
+			continue
+		case opError:
+			n.conn.SetReadDeadline(time.Time{})
+			return frame{}, &mpi.RankFailedError{Rank: failedRank(rep), Op: op}
+		default:
+			n.conn.SetReadDeadline(time.Time{})
+			return rep, nil
+		}
+	}
 }
 
 func (n *Node) coordErr() error {
@@ -419,13 +809,14 @@ func (n *Node) coordErr() error {
 	}
 }
 
-// Barrier blocks until every rank has entered the barrier.
+// Barrier blocks until every live rank has entered the barrier.
 func (n *Node) Barrier() error {
 	_, err := n.roundTrip(frame{op: opBarrier})
 	return err
 }
 
-// Exchange performs a personalized all-to-all of byte blobs.
+// Exchange performs a personalized all-to-all of byte blobs. Blobs from
+// ranks that have died are delivered as nil.
 func (n *Node) Exchange(out [][]byte) ([][]byte, error) {
 	if len(out) != n.size {
 		return nil, fmt.Errorf("mpinet: Exchange with %d blobs for %d ranks", len(out), n.size)
@@ -440,7 +831,8 @@ func (n *Node) Exchange(out [][]byte) ([][]byte, error) {
 	return rep.blobs, nil
 }
 
-// Gather collects every rank's blob on rank 0.
+// Gather collects every live rank's blob on rank 0 (dead ranks' slots
+// are nil).
 func (n *Node) Gather(blob []byte) ([][]byte, error) {
 	rep, err := n.roundTrip(frame{op: opGather, blobs: [][]byte{blob}})
 	if err != nil {
@@ -463,6 +855,11 @@ func (n *Node) Close() error {
 		n.coord.stop(nil)
 		return nil
 	}
+	n.hbOnce.Do(func() {
+		if n.hbStop != nil {
+			close(n.hbStop)
+		}
+	})
 	return n.conn.Close()
 }
 

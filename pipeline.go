@@ -103,6 +103,40 @@ func (p *Pipeline) Simulate(logDir string) (*abm.Result, error) {
 	})
 }
 
+// SimulateUntil runs the ABM like Simulate but stops gracefully at the
+// next hour boundary once stop is closed: the logs receive valid
+// footers and the run can be continued later with Resume. The returned
+// result's StoppedAt reports where the run ended.
+func (p *Pipeline) SimulateUntil(logDir string, stop <-chan struct{}) (*abm.Result, error) {
+	return abm.Run(abm.Config{
+		Pop:    p.Pop,
+		Gen:    p.Gen,
+		Ranks:  p.cfg.ranks(),
+		Days:   p.cfg.Days,
+		LogDir: logDir,
+		Log:    eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Stop:   stop,
+	})
+}
+
+// Resume continues a crashed or gracefully-stopped simulation whose
+// per-rank logs live in logDir, salvaging whatever the interruption
+// left behind and finishing the run with logs whose content matches an
+// uninterrupted one. The pipeline configuration must match the original
+// run's. A further graceful stop may be requested via stop (may be
+// nil).
+func (p *Pipeline) Resume(logDir string, stop <-chan struct{}) (*abm.Result, []*abm.ResumeReport, error) {
+	return abm.Resume(abm.Config{
+		Pop:    p.Pop,
+		Gen:    p.Gen,
+		Ranks:  p.cfg.ranks(),
+		Days:   p.cfg.Days,
+		LogDir: logDir,
+		Log:    eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Stop:   stop,
+	})
+}
+
 // SimulateWith runs the ABM with an interaction hook (e.g. a disease
 // model) and optional logging.
 func (p *Pipeline) SimulateWith(logDir string, interact abm.InteractFunc) (*abm.Result, error) {

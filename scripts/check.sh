@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Repository health check: vet, build, and the full test suite under the
+# race detector. Run from anywhere inside the repo; any failure aborts.
+#
+#   ./scripts/check.sh            # full check
+#   ./scripts/check.sh -short     # skip the slower chaos/failure tests
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "OK"
