@@ -24,6 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
@@ -40,7 +43,42 @@ func main() {
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
 	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address")
 	distSize := flag.Int("dist-size", 0, "total process count when hosting")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the synthesis to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the synthesis to this file")
+	showStats := flag.Bool("stats", false, "print the per-stage statistics table after the run")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // up-to-date allocation data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	paths := flag.Args()
 	if len(paths) == 0 {
@@ -88,6 +126,37 @@ func main() {
 		elapsed.Round(time.Millisecond))
 	fmt.Printf("worker cost imbalance %.2f, idle fraction %.3f → %s\n",
 		stats.CostImbalance(), stats.IdleFraction(), *out)
+	if *showStats {
+		printStats(stats)
+	}
+}
+
+// printStats renders the per-stage statistics table behind the -stats
+// flag: stage walls, the work-unit partition (including how many places
+// the balancer split into tiles), and the per-worker cost/busy columns.
+func printStats(s *core.Stats) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "stage\twall\t\n")
+	fmt.Fprintf(w, "load\t%s\t\n", s.Load.Round(time.Microsecond))
+	fmt.Fprintf(w, "build\t%s\t\n", s.Build.Round(time.Microsecond))
+	fmt.Fprintf(w, "gram\t%s\t\n", s.Gram.Round(time.Microsecond))
+	fmt.Fprintf(w, "reduce\t%s\t\n", s.Reduce.Round(time.Microsecond))
+	fmt.Fprintf(w, "\t\t\n")
+	fmt.Fprintf(w, "slice hours\t%d\t\n", s.SliceHours)
+	fmt.Fprintf(w, "log entries\t%d\t\n", s.Entries)
+	fmt.Fprintf(w, "places\t%d\t\n", s.Places)
+	fmt.Fprintf(w, "matrix nnz\t%d\t\n", s.TotalNNZ)
+	fmt.Fprintf(w, "work units\t%d\t\n", s.WorkUnits)
+	fmt.Fprintf(w, "split places\t%d\t\n", s.Splits)
+	fmt.Fprintf(w, "cost imbalance\t%.3f\t\n", s.CostImbalance())
+	fmt.Fprintf(w, "idle fraction\t%.3f\t\n", s.IdleFraction())
+	fmt.Fprintf(w, "model speedup\t%.3f\t\n", s.ModelSpeedup())
+	fmt.Fprintf(w, "\t\t\n")
+	fmt.Fprintf(w, "worker\tcost\tbusy\n")
+	for i := range s.WorkerCost {
+		fmt.Fprintf(w, "%d\t%d\t%s\n", i, s.WorkerCost[i], s.WorkerBusy[i].Round(time.Microsecond))
+	}
+	w.Flush()
 }
 
 // runDistributed stripes the log files across the processes of a TCP

@@ -98,6 +98,13 @@ type Stats struct {
 	WorkerCost []int
 	// WorkerBusy is each stage-4 worker's gram-computation time.
 	WorkerBusy []time.Duration
+	// Splits is the number of mega-places whose pairwise loop the
+	// balancer split into block×block tiles because a single place
+	// exceeded the per-worker cost budget.
+	Splits int
+	// WorkUnits is the total number of stage-4 work units after
+	// splitting (≥ Places when places were split).
+	WorkUnits int
 	// Load, Build, Gram, Reduce are per-stage wall times.
 	Load, Build, Gram, Reduce time.Duration
 }
@@ -166,25 +173,81 @@ func (s *Stats) ModelSpeedup() float64 {
 // SynthesizeEntries builds the collocation network for the time slice
 // [t0, t1) from in-memory log entries.
 func SynthesizeEntries(entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	all, stats, err := synthesizeEntriesInto(sparse.GetEntries(), entries, t0, t1, cfg)
+	if err != nil {
+		sparse.PutEntries(all)
+		return nil, nil, err
+	}
+	start := time.Now()
+	final := sparse.TriFromEntries(all)
+	sparse.PutEntries(all)
+	stats.Reduce += time.Since(start)
+	return final, stats, nil
+}
+
+// synthesizeEntriesInto runs stages 1b–4 of the synthesis for one batch
+// of log entries, appending the resulting raw pair entries to dst
+// instead of coalescing them. Callers coalesce with TriFromEntries —
+// once per batch (SynthesizeEntries) or once across many batches
+// (SynthesizeFiles), which is what makes the cross-file reduction a
+// single radix pass instead of a k-way merge of per-file matrices.
+func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 uint32, cfg Config) ([]sparse.Entry, *Stats, error) {
 	if t1 <= t0 {
-		return nil, nil, fmt.Errorf("core: empty time slice [%d,%d)", t0, t1)
+		return dst, nil, fmt.Errorf("core: empty time slice [%d,%d)", t0, t1)
 	}
 	stats := &Stats{SliceHours: int(t1 - t0)}
 
-	// Stage 1b: sub-set to the slice and group by place.
+	// Stage 1b: sub-set to the slice and group by place. A counting pass
+	// sizes one shared backing array, so the per-place buckets are
+	// capacity-exact sub-slices of a single allocation instead of
+	// thousands of independently grown ones.
 	start := time.Now()
-	byPlace := make(map[uint32][]eventlog.Entry)
+	idx := make(map[uint32]int32) // place ID -> dense bucket index
+	var placeIDs []uint32
+	var counts []int
+	// entryIdx records each kept entry's bucket, so the fill pass below
+	// needs no map lookups at all.
+	entryIdx := make([]int32, 0, len(entries))
 	for _, e := range entries {
-		if e.Start < t1 && e.Stop > t0 {
-			byPlace[e.Place] = append(byPlace[e.Place], e)
-			stats.Entries++
+		if e.Start >= t1 || e.Stop <= t0 {
+			entryIdx = append(entryIdx, -1)
+			continue
+		}
+		stats.Entries++
+		d, ok := idx[e.Place]
+		if !ok {
+			d = int32(len(counts))
+			idx[e.Place] = d
+			counts = append(counts, 0)
+			placeIDs = append(placeIDs, e.Place)
+		}
+		counts[d]++
+		entryIdx = append(entryIdx, d)
+	}
+	perm := make([]int32, len(placeIDs))
+	for k := range perm {
+		perm[k] = int32(k)
+	}
+	sort.Slice(perm, func(a, b int) bool { return placeIDs[perm[a]] < placeIDs[perm[b]] })
+	backing := make([]eventlog.Entry, stats.Entries)
+	buckets := make([][]eventlog.Entry, len(placeIDs)) // dense-index order
+	sortedIDs := make([]uint32, len(placeIDs))
+	off := 0
+	for k, d := range perm {
+		sortedIDs[k] = placeIDs[d]
+		buckets[d] = backing[off:off : off+counts[d]]
+		off += counts[d]
+	}
+	for k, e := range entries {
+		if d := entryIdx[k]; d >= 0 {
+			buckets[d] = append(buckets[d], e)
 		}
 	}
-	placeIDs := make([]uint32, 0, len(byPlace))
-	for p := range byPlace {
-		placeIDs = append(placeIDs, p)
+	byPlace := make(map[uint32][]eventlog.Entry, len(placeIDs))
+	for d, p := range placeIDs {
+		byPlace[p] = buckets[d]
 	}
-	sort.Slice(placeIDs, func(i, j int) bool { return placeIDs[i] < placeIDs[j] })
+	placeIDs = sortedIDs
 	stats.Places = len(placeIDs)
 	stats.Load = time.Since(start)
 
@@ -196,21 +259,25 @@ func SynthesizeEntries(entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sp
 	}
 	stats.Build = time.Since(start)
 
-	// Stage 3: partition matrices across workers.
-	assignments := balance(mats, cfg.workers(), cfg.Balance)
+	// Stage 3: partition work units across workers. Places whose
+	// clique-compressed cost exceeds the per-worker budget are split
+	// into block×block tiles of their pairwise loop so one mega-place
+	// cannot serialize stage 4.
+	assignments, splits := balance(mats, cfg.workers(), cfg.Balance)
+	stats.Splits = splits
 	stats.WorkerCost = make([]int, len(assignments))
 	for w, list := range assignments {
-		for _, m := range list {
-			stats.WorkerCost[w] += m.cost
+		stats.WorkUnits += len(list)
+		for _, u := range list {
+			stats.WorkerCost[w] += u.cost
 		}
 	}
 
-	// Stage 4: parallel x·xᵀ. Each worker appends pair entries to a
-	// private slice and coalesces it into a sorted triangular matrix —
-	// "each worker finally sums the set of adjacency matrices it has
-	// created".
+	// Stage 4: parallel x·xᵀ through the clique-compressed tile kernel.
+	// Each worker appends raw pair entries to a pooled slice — "each
+	// worker finally sums the set of adjacency matrices it has created".
 	start = time.Now()
-	tris := make([]*sparse.Tri, len(assignments))
+	bufs := make([][]sparse.Entry, len(assignments))
 	stats.WorkerBusy = make([]time.Duration, len(assignments))
 	var wg sync.WaitGroup
 	for w := range assignments {
@@ -218,24 +285,37 @@ func SynthesizeEntries(entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sp
 		go func(w int) {
 			defer wg.Done()
 			t := time.Now()
-			var entries []sparse.Entry
-			for _, m := range assignments[w] {
-				entries = m.bm.GramAppend(entries)
+			buf := sparse.GetEntries()
+			for _, u := range assignments[w] {
+				buf = u.bm.GramTileAppend(buf, u.p0, u.p1, u.q0, u.q1)
 			}
-			tris[w] = sparse.TriFromEntries(entries)
+			bufs[w] = buf
 			stats.WorkerBusy[w] = time.Since(t)
 		}(w)
 	}
 	wg.Wait()
+	// The per-place matrices are dead now; recycle them (and their row
+	// bitsets) for the next file or slice.
+	for _, m := range mats {
+		m.bm.Recycle()
+	}
 	stats.Gram = time.Since(start)
 
-	// ... and reduction of the worker matrices to a single adjacency
-	// matrix on the root.
+	// Reduce (first half): concatenate the workers' entries onto dst.
+	// The caller's single TriFromEntries coalesce replaces the
+	// per-worker sort plus k-way merge — same total sort work (radix
+	// passes are linear in the entry count) but no intermediate matrices
+	// — and stays bit-identical for any worker count or balance mode
+	// because the tile cover reproduces the untiled entry multiset and
+	// weight summation is commutative.
 	start = time.Now()
-	final := sparse.MergeTris(tris...)
+	for _, b := range bufs {
+		dst = append(dst, b...)
+		sparse.PutEntries(b)
+	}
 	stats.Reduce = time.Since(start)
 
-	return final, stats, nil
+	return dst, stats, nil
 }
 
 // placeMatrix pairs a place's collocation matrix with its balancing
@@ -271,7 +351,7 @@ func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []ui
 					return
 				}
 				place := placeIDs[i]
-				bm := sparse.NewBitMatrix(int(t1 - t0))
+				bm := sparse.GetBitMatrix(int(t1 - t0))
 				for _, e := range byPlace[place] {
 					lo, hi := e.Start, e.Stop
 					if lo < t0 {
@@ -282,6 +362,9 @@ func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []ui
 					}
 					bm.SetRange(e.Person, int(lo-t0), int(hi-t0))
 				}
+				// GramCost triggers the clique compression here, inside
+				// the per-place build worker, so stage 4 can share the
+				// cached compression across goroutines safely.
 				mats[i] = placeMatrix{place: place, bm: bm, nnz: bm.NNZ(), cost: bm.GramCost()}
 			}
 		}()
@@ -290,15 +373,49 @@ func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []ui
 	return mats
 }
 
+// workUnit is one stage-4 task: a block×block tile [p0,p1)×[q0,q1) of a
+// place's pairwise loop in the clique-compressed π row order. A whole
+// (unsplit) place is the full tile (0, rows, 0, rows). Because any
+// diagonal/disjoint tiling of the upper triangle reproduces the untiled
+// entry multiset exactly (see sparse.GramTileAppend), work units can be
+// scattered across workers without changing the synthesized network.
+type workUnit struct {
+	bm             *sparse.BitMatrix
+	p0, p1, q0, q1 int
+	cost           int
+}
+
+func wholePlace(m placeMatrix) workUnit {
+	rows := m.bm.Rows()
+	return workUnit{bm: m.bm, p0: 0, p1: rows, q0: 0, q1: rows, cost: m.cost}
+}
+
+// splitBlocks picks the number of row blocks for a mega-place so its
+// nb·(nb+1)/2 tiles each land near a quarter of the per-worker budget —
+// small enough for LPT to even out, large enough to bound scheduling
+// overhead.
+func splitBlocks(cost, budget, rows int) int {
+	nb := 2
+	for nb*(nb+1)/2 < 4*cost/budget && nb < 16 {
+		nb++
+	}
+	if nb > rows {
+		nb = rows
+	}
+	return nb
+}
+
 // balance implements stage 3. BalanceNNZ uses longest-processing-time
-// greedy assignment on the pairwise-work weight; BalanceNone splits the
-// place list into contiguous equal-count chunks, which is what a naive
+// greedy assignment on the clique-compressed work weight, first
+// splitting any place whose cost exceeds the per-worker budget
+// (totalCost/workers) into block×block tiles so a single mega-place no
+// longer serializes stage 4. BalanceNone assigns whole places in
+// contiguous equal-count chunks with no splitting, which is what a naive
 // parallel map (R SNOW's clusterSplit, the paper's implied baseline)
-// does.
-func balance(mats []placeMatrix, workers int, mode BalanceMode) [][]placeMatrix {
-	out := make([][]placeMatrix, workers)
-	switch mode {
-	case BalanceNone:
+// does. The second return is the number of places that were split.
+func balance(mats []placeMatrix, workers int, mode BalanceMode) ([][]workUnit, int) {
+	out := make([][]workUnit, workers)
+	if mode == BalanceNone {
 		chunk := (len(mats) + workers - 1) / workers
 		for i, m := range mats {
 			w := 0
@@ -308,27 +425,63 @@ func balance(mats []placeMatrix, workers int, mode BalanceMode) [][]placeMatrix 
 			if w >= workers {
 				w = workers - 1
 			}
-			out[w] = append(out[w], m)
+			out[w] = append(out[w], wholePlace(m))
 		}
-	default: // BalanceNNZ
-		order := make([]int, len(mats))
-		for i := range order {
-			order[i] = i
+		return out, 0
+	}
+	// BalanceNNZ: build the work-unit list, splitting over-budget places.
+	total := 0
+	for _, m := range mats {
+		total += m.cost
+	}
+	budget := 0
+	if workers > 1 {
+		budget = total / workers
+	}
+	units := make([]workUnit, 0, len(mats))
+	splits := 0
+	for _, m := range mats {
+		rows := m.bm.Rows()
+		if budget <= 0 || m.cost <= budget || rows < 2 {
+			units = append(units, wholePlace(m))
+			continue
 		}
-		sort.SliceStable(order, func(a, b int) bool { return mats[order[a]].cost > mats[order[b]].cost })
-		loads := make([]int, workers)
-		for _, i := range order {
-			least := 0
-			for w := 1; w < workers; w++ {
-				if loads[w] < loads[least] {
-					least = w
+		splits++
+		nb := splitBlocks(m.cost, budget, rows)
+		bounds := make([]int, nb+1)
+		for b := 0; b <= nb; b++ {
+			bounds[b] = rows * b / nb
+		}
+		for bi := 0; bi < nb; bi++ {
+			for bj := bi; bj < nb; bj++ {
+				u := workUnit{
+					bm: m.bm,
+					p0: bounds[bi], p1: bounds[bi+1],
+					q0: bounds[bj], q1: bounds[bj+1],
 				}
+				u.cost = m.bm.GramTileCost(u.p0, u.p1, u.q0, u.q1)
+				units = append(units, u)
 			}
-			out[least] = append(out[least], mats[i])
-			loads[least] += mats[i].cost
 		}
 	}
-	return out
+	// LPT greedy assignment over the (possibly split) units.
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return units[order[a]].cost > units[order[b]].cost })
+	loads := make([]int, workers)
+	for _, i := range order {
+		least := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[least] {
+				least = w
+			}
+		}
+		out[least] = append(out[least], units[i])
+		loads[least] += units[i].cost
+	}
+	return out, splits
 }
 
 // SynthesizeFile builds the collocation network for [t0, t1) from one
@@ -464,6 +617,10 @@ func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg C
 // The final slice is clipped at t1. Summing the returned networks (for
 // example with sparse.MergeTris) equals a single synthesis over the full
 // window.
+//
+// Each log file is read from disk exactly once: the whole-window entry
+// set is kept in memory and re-sliced per time slice, so an N-slice
+// series costs one file pass instead of N.
 func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]*sparse.Tri, error) {
 	if sliceHours == 0 {
 		return nil, fmt.Errorf("core: sliceHours must be positive")
@@ -471,17 +628,47 @@ func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]
 	if t1 <= t0 {
 		return nil, fmt.Errorf("core: empty window [%d,%d)", t0, t1)
 	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no log files given")
+	}
+	perFile := make([][]eventlog.Entry, len(paths))
+	for i, p := range paths {
+		r, err := eventlog.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", p, err)
+		}
+		entries, err := r.TimeSlice(t0, t1)
+		r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", p, err)
+		}
+		perFile[i] = entries
+	}
 	var out []*sparse.Tri
+	var scratch []eventlog.Entry
 	for lo := t0; lo < t1; lo += sliceHours {
 		hi := lo + sliceHours
 		if hi > t1 {
 			hi = t1
 		}
-		tri, _, err := SynthesizeFiles(paths, lo, hi, cfg)
-		if err != nil {
-			return nil, err
+		// Per-file synthesis then cross-file merge, mirroring
+		// SynthesizeFiles so the outputs are bit-identical to the
+		// one-slice-at-a-time path.
+		tris := make([]*sparse.Tri, len(paths))
+		for i := range perFile {
+			scratch = scratch[:0]
+			for _, e := range perFile[i] {
+				if e.Start < hi && e.Stop > lo {
+					scratch = append(scratch, e)
+				}
+			}
+			tri, _, err := SynthesizeEntries(scratch, lo, hi, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", paths[i], err)
+			}
+			tris[i] = tri
 		}
-		out = append(out, tri)
+		out = append(out, sparse.MergeTrisParallel(cfg.workers(), tris...))
 	}
 	return out, nil
 }
@@ -495,17 +682,37 @@ func SynthesizeFiles(paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *S
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("core: no log files given")
 	}
-	var tris []*sparse.Tri
 	agg := &Stats{SliceHours: int(t1 - t0)}
+	all := sparse.GetEntries()
 	for _, p := range paths {
-		tri, stats, err := SynthesizeFile(p, t0, t1, cfg)
+		stats, err := func() (*Stats, error) {
+			r, err := eventlog.Open(p)
+			if err != nil {
+				return nil, err
+			}
+			defer r.Close()
+			loadStart := time.Now()
+			entries, err := r.TimeSlice(t0, t1)
+			if err != nil {
+				return nil, err
+			}
+			load := time.Since(loadStart)
+			var stats *Stats
+			all, stats, err = synthesizeEntriesInto(all, entries, t0, t1, cfg)
+			if stats != nil {
+				stats.Load += load
+			}
+			return stats, err
+		}()
 		if err != nil {
+			sparse.PutEntries(all)
 			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
 		}
-		tris = append(tris, tri)
 		agg.Entries += stats.Entries
 		agg.Places += stats.Places
 		agg.TotalNNZ += stats.TotalNNZ
+		agg.Splits += stats.Splits
+		agg.WorkUnits += stats.WorkUnits
 		agg.Load += stats.Load
 		agg.Build += stats.Build
 		agg.Gram += stats.Gram
@@ -521,8 +728,11 @@ func SynthesizeFiles(paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *S
 			agg.WorkerBusy[w] += stats.WorkerBusy[w]
 		}
 	}
+	// One radix coalesce over every file's raw pair entries replaces the
+	// per-file coalesce plus cross-file k-way matrix merge.
 	start := time.Now()
-	total := sparse.MergeTris(tris...)
+	total := sparse.TriFromEntries(all)
+	sparse.PutEntries(all)
 	agg.Reduce += time.Since(start)
 	return total, agg, nil
 }

@@ -208,6 +208,76 @@ func TestBalancedBeatsNaiveOnSkewedPlaces(t *testing.T) {
 	}
 }
 
+// megaPlaceEntries builds one dominating place with many persons on
+// distinct schedules (so clique compression cannot collapse it) plus a
+// scattering of small places — the shape that forces the balancer to
+// split the mega-place's pairwise loop into tiles.
+func megaPlaceEntries() []eventlog.Entry {
+	r := rng.New(31)
+	var entries []eventlog.Entry
+	for p := uint32(0); p < 120; p++ {
+		// Two random intervals per person: schedules differ, so the
+		// mega-place stays ~120 distinct row groups.
+		for k := 0; k < 2; k++ {
+			start := uint32(r.Intn(40))
+			entries = append(entries, eventlog.Entry{
+				Start: start, Stop: start + 1 + uint32(r.Intn(8)),
+				Person: p, Place: 7,
+			})
+		}
+	}
+	for p := uint32(200); p < 220; p++ {
+		entries = append(entries, eventlog.Entry{Start: 0, Stop: 3, Person: p, Place: p})
+	}
+	return entries
+}
+
+// TestSplitWorkUnitsBitIdentical is the satellite property test for work
+// unit splitting: with a mega-place that exceeds the per-worker budget,
+// the balancer must actually split (Splits > 0), the split partition
+// must flatten the cost imbalance, and the synthesized network must stay
+// bit-for-bit identical to the unsplit single-worker run at every worker
+// count.
+func TestSplitWorkUnitsBitIdentical(t *testing.T) {
+	entries := megaPlaceEntries()
+	ref, refStats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.Splits != 0 {
+		t.Fatalf("single worker should not split, got %d splits", refStats.Splits)
+	}
+	if ref.NNZ() == 0 {
+		t.Fatal("mega-place scenario produced an empty network")
+	}
+	splitSeen := false
+	for workers := 2; workers <= 8; workers++ {
+		tri, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tri.Equal(ref) {
+			t.Fatalf("workers=%d: split synthesis differs from unsplit reference", workers)
+		}
+		if stats.Splits > 0 {
+			splitSeen = true
+			if stats.WorkUnits <= stats.Places {
+				t.Fatalf("workers=%d: %d splits but only %d work units for %d places",
+					workers, stats.Splits, stats.WorkUnits, stats.Places)
+			}
+			// Splitting exists precisely to flatten the partition: the
+			// dominant place alone outweighs the per-worker budget, so
+			// post-split imbalance must stay near 1.0.
+			if im := stats.CostImbalance(); im > 1.5 {
+				t.Fatalf("workers=%d: post-split cost imbalance %.2f", workers, im)
+			}
+		}
+	}
+	if !splitSeen {
+		t.Fatal("no worker count triggered a split; scenario too small")
+	}
+}
+
 func TestIdleFractionBounds(t *testing.T) {
 	entries := randomEntries(11, 300)
 	_, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 4})

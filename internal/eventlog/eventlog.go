@@ -253,7 +253,9 @@ func (r *Reader) ForEach(fn func(e Entry, ext []uint32) error) error {
 // [t0, t1), the sub-setting step the paper performs with data.table. The
 // ext values of each returned entry are dropped; use ForEach for them.
 func (r *Reader) TimeSlice(t0, t1 uint32) ([]Entry, error) {
-	var out []Entry
+	// Pre-size to the file's record count (known from the header): an
+	// upper bound on the slice size, traded for zero append-growth copies.
+	out := make([]Entry, 0, r.NumEntries())
 	err := r.ForEach(func(e Entry, _ []uint32) error {
 		if e.Start < t1 && e.Stop > t0 {
 			out = append(out, e)

@@ -3,8 +3,8 @@ package sparse
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"slices"
-	"sort"
 )
 
 // Accum accumulates weighted upper-triangular adjacency entries. Each
@@ -77,7 +77,7 @@ func (a *Accum) Tri() *Tri {
 	for k := range a.m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+	slices.Sort(keys)
 	for _, k := range keys {
 		t.I = append(t.I, uint32(k>>32))
 		t.J = append(t.J, uint32(k&0xffffffff))
@@ -147,19 +147,46 @@ func (t *Tri) MaxVertex() uint32 {
 }
 
 // Vertices returns the number of distinct person IDs that appear in at
-// least one entry.
+// least one entry. For the dense ID spaces produced by simulations it
+// marks IDs in a bitset and popcounts — no hashing, no sorting; when the
+// ID space is much larger than the entry count (sparse external IDs) it
+// falls back to a sort-and-count pass over the collected IDs.
 func (t *Tri) Vertices() int {
-	seen := make(map[uint32]struct{}, len(t.I))
-	for k := range t.I {
-		seen[t.I[k]] = struct{}{}
-		seen[t.J[k]] = struct{}{}
+	if len(t.I) == 0 {
+		return 0
 	}
-	return len(seen)
+	max := int(t.MaxVertex())
+	// Bitset words needed vs. the 2·nnz IDs a sort pass would touch.
+	if words := max/64 + 1; words <= 4*len(t.I)+1024 {
+		bs := make([]uint64, words)
+		for k := range t.I {
+			bs[t.I[k]>>6] |= 1 << (t.I[k] & 63)
+			bs[t.J[k]>>6] |= 1 << (t.J[k] & 63)
+		}
+		n := 0
+		for _, w := range bs {
+			n += bits.OnesCount64(w)
+		}
+		return n
+	}
+	ids := make([]uint32, 0, 2*len(t.I))
+	ids = append(ids, t.I...)
+	ids = append(ids, t.J...)
+	slices.Sort(ids)
+	n := 1
+	for k := 1; k < len(ids); k++ {
+		if ids[k] != ids[k-1] {
+			n++
+		}
+	}
+	return n
 }
 
 // TriFromEntries builds a Tri from unsorted entries, normalizing pair
 // order, dropping self-pairs, and summing duplicates. The input slice is
-// reordered in place.
+// reordered in place. Large inputs are sorted with an LSD radix sort on
+// the packed (I, J) key — O(n) passes instead of O(n log n) comparisons —
+// which is the coalescing step of every stage-4 synthesis worker.
 func TriFromEntries(es []Entry) *Tri {
 	kept := es[:0]
 	for _, e := range es {
@@ -172,77 +199,46 @@ func TriFromEntries(es []Entry) *Tri {
 		kept = append(kept, e)
 	}
 	es = kept
-	slices.SortFunc(es, func(a, b Entry) int {
-		ka := uint64(a.I)<<32 | uint64(a.J)
-		kb := uint64(b.I)<<32 | uint64(b.J)
-		switch {
-		case ka < kb:
-			return -1
-		case ka > kb:
-			return 1
-		default:
-			return 0
+	if len(es) >= radixMinLen {
+		radixSortEntries(es)
+	} else {
+		slices.SortFunc(es, func(a, b Entry) int {
+			ka, kb := entryKey(a), entryKey(b)
+			switch {
+			case ka < kb:
+				return -1
+			case ka > kb:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	// Count distinct keys first so the output slices are allocated once
+	// at exactly the coalesced size and filled with indexed writes — the
+	// second pass over the (now cache-warm) entries is far cheaper than
+	// append-growth reallocations.
+	uniq := 0
+	for k := range es {
+		if k == 0 || entryKey(es[k]) != entryKey(es[k-1]) {
+			uniq++
 		}
-	})
-	t := &Tri{}
-	for _, e := range es {
-		n := len(t.I)
-		if n > 0 && t.I[n-1] == e.I && t.J[n-1] == e.J {
-			t.W[n-1] += e.W
-			continue
+	}
+	t := &Tri{
+		I: make([]uint32, uniq),
+		J: make([]uint32, uniq),
+		W: make([]uint32, uniq),
+	}
+	n := -1
+	for k, e := range es {
+		if k == 0 || entryKey(e) != entryKey(es[k-1]) {
+			n++
+			t.I[n], t.J[n], t.W[n] = e.I, e.J, e.W
+		} else {
+			t.W[n] += e.W
 		}
-		t.I = append(t.I, e.I)
-		t.J = append(t.J, e.J)
-		t.W = append(t.W, e.W)
 	}
 	return t
-}
-
-// MergeTris k-way merges already-sorted triangular matrices, summing
-// weights of entries present in several inputs. It is linear in the
-// total entry count and is the reduction step of the synthesis pipeline
-// (Tri is always sorted, so inputs from Accum.Tri or TriFromEntries
-// qualify).
-func MergeTris(ts ...*Tri) *Tri {
-	heads := make([]int, len(ts))
-	total := 0
-	for _, t := range ts {
-		if t != nil {
-			total += t.NNZ()
-		}
-	}
-	out := &Tri{
-		I: make([]uint32, 0, total),
-		J: make([]uint32, 0, total),
-		W: make([]uint32, 0, total),
-	}
-	for {
-		best := -1
-		var bestKey uint64
-		for i, t := range ts {
-			if t == nil || heads[i] >= t.NNZ() {
-				continue
-			}
-			key := uint64(t.I[heads[i]])<<32 | uint64(t.J[heads[i]])
-			if best == -1 || key < bestKey {
-				best, bestKey = i, key
-			}
-		}
-		if best == -1 {
-			return out
-		}
-		t := ts[best]
-		k := heads[best]
-		heads[best]++
-		n := len(out.I)
-		if n > 0 && out.I[n-1] == t.I[k] && out.J[n-1] == t.J[k] {
-			out.W[n-1] += t.W[k]
-			continue
-		}
-		out.I = append(out.I, t.I[k])
-		out.J = append(out.J, t.J[k])
-		out.W = append(out.W, t.W[k])
-	}
 }
 
 // SumTris sums any number of triangular matrices element-wise — the
@@ -284,7 +280,7 @@ func (t *Tri) UnmarshalBinary(b []byte) error {
 	}
 	le := binary.LittleEndian
 	n := int(le.Uint32(b))
-	if len(b) != 4+12*n {
+	if uint64(len(b)) != 4+12*uint64(uint32(n)) {
 		return fmt.Errorf("sparse: Tri blob of %d bytes does not hold %d entries", len(b), n)
 	}
 	t.I = make([]uint32, n)

@@ -31,7 +31,25 @@ type BitMatrix struct {
 	words int      // ceil(cols/64)
 	ids   []uint32 // global person ID per local row
 	rows  [][]uint64
-	index map[uint32]int // global person ID -> local row
+	// index maps global person ID -> epoch<<32 | local row. Entries from
+	// earlier epochs are stale and treated as absent, which lets a pooled
+	// matrix reset in O(1) (bump epoch) instead of clearing the map —
+	// clear(map) sweeps bucket capacity, which for a recycled matrix
+	// reflects the largest place it ever held, not the current one.
+	index map[uint32]uint64
+	epoch uint32
+
+	// grp caches the row-group compression (identical bitsets deduped)
+	// computed by Compress; any mutation invalidates it.
+	grp *rowGroups
+
+	// Row storage is carved from arena blocks rather than allocated per
+	// row: cur is the active block (len = words in use) and blocks holds
+	// filled predecessors. Carving keeps rows contiguous in memory for
+	// the Gram kernels and lets reset() reclaim all rows with one memclr
+	// per block instead of one per row.
+	cur    []uint64
+	blocks [][]uint64
 }
 
 // NewBitMatrix returns an empty matrix with the given number of columns
@@ -43,8 +61,18 @@ func NewBitMatrix(cols int) *BitMatrix {
 	return &BitMatrix{
 		cols:  cols,
 		words: (cols + 63) / 64,
-		index: make(map[uint32]int),
+		index: make(map[uint32]uint64),
+		epoch: 1, // 0 is never a live epoch, so zero map values are stale
 	}
+}
+
+// lookup returns person's local row index, or -1 if the person has no
+// row in the current epoch.
+func (m *BitMatrix) lookup(person uint32) int {
+	if v, ok := m.index[person]; ok && uint32(v>>32) == m.epoch {
+		return int(uint32(v))
+	}
+	return -1
 }
 
 // Cols returns the number of time-slot columns.
@@ -58,14 +86,34 @@ func (m *BitMatrix) Rows() int { return len(m.ids) }
 func (m *BitMatrix) IDs() []uint32 { return m.ids }
 
 func (m *BitMatrix) row(person uint32) []uint64 {
-	if i, ok := m.index[person]; ok {
+	m.grp = nil // any write invalidates the cached compression
+	if i := m.lookup(person); i >= 0 {
 		return m.rows[i]
 	}
-	r := make([]uint64, m.words)
-	m.index[person] = len(m.ids)
+	r := m.newRow()
+	m.index[person] = uint64(m.epoch)<<32 | uint64(uint32(len(m.ids)))
 	m.ids = append(m.ids, person)
 	m.rows = append(m.rows, r)
 	return r
+}
+
+// newRow carves a zeroed words-wide row from the arena, growing it with
+// doubling blocks as needed. Existing rows keep pointing into earlier
+// blocks, so growth never invalidates them.
+func (m *BitMatrix) newRow() []uint64 {
+	if len(m.cur)+m.words > cap(m.cur) {
+		size := 2 * cap(m.cur)
+		if min := 16 * m.words; size < min {
+			size = min
+		}
+		if m.cur != nil {
+			m.blocks = append(m.blocks, m.cur)
+		}
+		m.cur = make([]uint64, 0, size)
+	}
+	n := len(m.cur)
+	m.cur = m.cur[:n+m.words]
+	return m.cur[n : n+m.words : n+m.words]
 }
 
 // Set marks person as present during time slot t. It panics if t is out
@@ -116,8 +164,8 @@ func (m *BitMatrix) Get(person uint32, t int) bool {
 	if t < 0 || t >= m.cols {
 		return false
 	}
-	i, ok := m.index[person]
-	if !ok {
+	i := m.lookup(person)
+	if i < 0 {
 		return false
 	}
 	return m.rows[i][t>>6]&(1<<(uint(t)&63)) != 0
@@ -138,8 +186,8 @@ func (m *BitMatrix) NNZ() int {
 // RowNNZ returns the number of set bits in person's row (their total
 // presence time at this place), or 0 if the person has no row.
 func (m *BitMatrix) RowNNZ(person uint32) int {
-	i, ok := m.index[person]
-	if !ok {
+	i := m.lookup(person)
+	if i < 0 {
 		return 0
 	}
 	n := 0
@@ -235,10 +283,17 @@ func (m *BitMatrix) GramAppend(dst []Entry) []Entry {
 	return dst
 }
 
-// GramCost estimates the pairwise work of Gram: rows²·words. This is the
-// load-balancing weight of the synthesis pipeline — the paper balances
-// on "the number of collocated persons at that location", and the x·xᵀ
-// work grows with its square.
+// GramCost estimates the work of the clique-compressed Gram kernel
+// (GramCliqueAppend): one AND+popcount per distinct-bitset group pair —
+// g·(g-1)/2 · words word operations — plus one append per emitted pair
+// entry, bounded by p·(p-1)/2. This replaces the dense rows²·words
+// estimate so the LPT balancer sees the true post-compression work: a
+// household of 40 identical schedules now costs ~780 appends, not
+// 40²·words bit operations. GramCost triggers Compress, so calling it
+// before handing the matrix to concurrent workers also makes the cached
+// compression safe to share.
 func (m *BitMatrix) GramCost() int {
-	return len(m.rows) * len(m.rows) * m.words
+	g := m.compress().groups()
+	p := len(m.rows)
+	return g*(g-1)/2*m.words + p*(p-1)/2
 }

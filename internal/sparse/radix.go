@@ -1,0 +1,422 @@
+package sparse
+
+// This file holds the reduction kernels of the synthesis pipeline: an LSD
+// radix sort on the packed (I,J) key that replaces the comparison sort in
+// TriFromEntries, and tournament-tree / parallel pairwise merges that
+// replace the O(total·k) linear best-head scan in MergeTris.
+
+import (
+	"runtime"
+	"sync"
+)
+
+func entryKey(e Entry) uint64 { return uint64(e.I)<<32 | uint64(e.J) }
+
+// radixMinLen is the input size below which the O(n log n) comparison
+// sort beats the 8-pass counting sort's fixed costs.
+const radixMinLen = 256
+
+// radix16MinLen is the input size at which the 16-bit-digit variant's
+// larger histograms (256 KiB per varying digit to zero and prefix-scan)
+// pay for halving the number of scatter passes.
+const radix16MinLen = 1 << 15
+
+// hist16Pool recycles the 16-bit-digit histograms (4 × 64Ki counters =
+// 1 MiB) so large sorts do not allocate them per call.
+var hist16Pool = sync.Pool{New: func() any { return new([4][1 << 16]int32) }}
+
+// radixSortEntries sorts es ascending by packed (I, J) key using an LSD
+// radix sort with 8-bit digits. Passes whose digit is constant across the
+// whole input (common: the high ID bytes of a simulation population are
+// mostly zero) are skipped. The sort is stable within each pass, which is
+// what makes LSD correct; ties in the full key need no particular order
+// because TriFromEntries sums their weights commutatively.
+func radixSortEntries(es []Entry) {
+	n := len(es)
+	if n < 2 {
+		return
+	}
+	if n >= radix16MinLen {
+		radixSortEntries16(es)
+		return
+	}
+	// A cheap OR/AND pre-pass finds the digits that actually vary across
+	// the input: a digit is uniform iff its bits agree between the OR and
+	// AND of all keys. Simulation IDs rarely fill all four bytes, so this
+	// typically eliminates half or more of the histogram increments — the
+	// dominant fixed cost of the sort.
+	orK, andK := uint64(0), ^uint64(0)
+	for _, e := range es {
+		k := entryKey(e)
+		orK |= k
+		andK &= k
+	}
+	diff := orK ^ andK
+	var digitBuf [8]uint
+	nd := 0
+	for d := uint(0); d < 8; d++ {
+		if byte(diff>>(8*d)) != 0 {
+			digitBuf[nd] = d
+			nd++
+		}
+	}
+	if nd == 0 {
+		return // all keys identical: already sorted
+	}
+	digits := digitBuf[:nd]
+	// One shared histogram pass counting only the varying digits.
+	var counts [8][256]int
+	for _, e := range es {
+		k := entryKey(e)
+		for _, d := range digits {
+			counts[d][byte(k>>(8*d))]++
+		}
+	}
+	buf := GetEntries()
+	if cap(buf) < n {
+		buf = make([]Entry, n)
+	}
+	buf = buf[:n]
+	src, dst := es, buf
+	for _, d := range digits {
+		c := &counts[d]
+		// Exclusive prefix sums -> bucket offsets.
+		var offs [256]int
+		sum := 0
+		for b := 0; b < 256; b++ {
+			offs[b] = sum
+			sum += c[b]
+		}
+		shift := 8 * d
+		for _, e := range src {
+			b := byte(entryKey(e) >> shift)
+			dst[offs[b]] = e
+			offs[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &es[0] {
+		copy(es, src)
+	}
+	PutEntries(buf)
+}
+
+// radixSortEntries16 is the large-input variant of radixSortEntries: LSD
+// radix with 16-bit digits, so a full u64 key needs at most 4 scatter
+// passes and the simulation-typical key (two IDs under 2^16) needs 2.
+// Uniform digits are skipped exactly as in the 8-bit variant.
+func radixSortEntries16(es []Entry) {
+	n := len(es)
+	orK, andK := uint64(0), ^uint64(0)
+	for _, e := range es {
+		k := entryKey(e)
+		orK |= k
+		andK &= k
+	}
+	diff := orK ^ andK
+	var digitBuf [4]uint
+	nd := 0
+	for d := uint(0); d < 4; d++ {
+		if uint16(diff>>(16*d)) != 0 {
+			digitBuf[nd] = d
+			nd++
+		}
+	}
+	if nd == 0 {
+		return // all keys identical: already sorted
+	}
+	digits := digitBuf[:nd]
+	counts := hist16Pool.Get().(*[4][1 << 16]int32)
+	for _, d := range digits {
+		c := &counts[d]
+		for b := range c {
+			c[b] = 0
+		}
+	}
+	for _, e := range es {
+		k := entryKey(e)
+		for _, d := range digits {
+			counts[d][uint16(k>>(16*d))]++
+		}
+	}
+	buf := GetEntries()
+	if cap(buf) < n {
+		buf = make([]Entry, n)
+	}
+	buf = buf[:n]
+	src, dst := es, buf
+	for _, d := range digits {
+		c := &counts[d]
+		// Exclusive prefix sums in place -> bucket offsets.
+		sum := int32(0)
+		for b := range c {
+			cnt := c[b]
+			c[b] = sum
+			sum += cnt
+		}
+		shift := 16 * d
+		for _, e := range src {
+			b := uint16(entryKey(e) >> shift)
+			dst[c[b]] = e
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	hist16Pool.Put(counts)
+	if &src[0] != &es[0] {
+		copy(es, src)
+	}
+	PutEntries(buf)
+}
+
+// mergeTrisScan is the pre-tournament reference reduction: an O(total·k)
+// linear best-head scan. It is retained for the BenchmarkMerge baseline
+// and as an oracle in the merge property tests.
+func mergeTrisScan(ts ...*Tri) *Tri {
+	heads := make([]int, len(ts))
+	total := 0
+	for _, t := range ts {
+		if t != nil {
+			total += t.NNZ()
+		}
+	}
+	out := &Tri{
+		I: make([]uint32, 0, total),
+		J: make([]uint32, 0, total),
+		W: make([]uint32, 0, total),
+	}
+	for {
+		best := -1
+		var bestKey uint64
+		for i, t := range ts {
+			if t == nil || heads[i] >= t.NNZ() {
+				continue
+			}
+			key := uint64(t.I[heads[i]])<<32 | uint64(t.J[heads[i]])
+			if best == -1 || key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		t := ts[best]
+		k := heads[best]
+		heads[best]++
+		n := len(out.I)
+		if n > 0 && out.I[n-1] == t.I[k] && out.J[n-1] == t.J[k] {
+			out.W[n-1] += t.W[k]
+			continue
+		}
+		out.I = append(out.I, t.I[k])
+		out.J = append(out.J, t.J[k])
+		out.W = append(out.W, t.W[k])
+	}
+}
+
+// merge2 merges two sorted Tris, summing weights of shared pairs. The
+// output is written with indexed stores into exactly-presized slices and
+// trimmed once at the end.
+func merge2(a, b *Tri) *Tri {
+	na, nb := a.NNZ(), b.NNZ()
+	oi := make([]uint32, na+nb)
+	oj := make([]uint32, na+nb)
+	ow := make([]uint32, na+nb)
+	i, j, k := 0, 0, 0
+	for i < na && j < nb {
+		ka := uint64(a.I[i])<<32 | uint64(a.J[i])
+		kb := uint64(b.I[j])<<32 | uint64(b.J[j])
+		switch {
+		case ka < kb:
+			oi[k], oj[k], ow[k] = a.I[i], a.J[i], a.W[i]
+			i++
+		case kb < ka:
+			oi[k], oj[k], ow[k] = b.I[j], b.J[j], b.W[j]
+			j++
+		default:
+			oi[k], oj[k], ow[k] = a.I[i], a.J[i], a.W[i]+b.W[j]
+			i++
+			j++
+		}
+		k++
+	}
+	k += copy(oi[k:], a.I[i:])
+	copy(oj[k-(na-i):], a.J[i:])
+	copy(ow[k-(na-i):], a.W[i:])
+	k += copy(oi[k:], b.I[j:])
+	copy(oj[k-(nb-j):], b.J[j:])
+	copy(ow[k-(nb-j):], b.W[j:])
+	return &Tri{I: oi[:k], J: oj[:k], W: ow[:k]}
+}
+
+// copyTri returns a defensive copy so MergeTris(t) never aliases its
+// input.
+func copyTri(t *Tri) *Tri {
+	out := &Tri{
+		I: make([]uint32, len(t.I)),
+		J: make([]uint32, len(t.J)),
+		W: make([]uint32, len(t.W)),
+	}
+	copy(out.I, t.I)
+	copy(out.J, t.J)
+	copy(out.W, t.W)
+	return out
+}
+
+// mergeTournament k-way merges k ≥ 3 sorted inputs through a complete
+// binary tournament tree: each pop takes the overall winner and replays
+// only its leaf-to-root path, so the reduction is O(total·log k) instead
+// of the linear scan's O(total·k).
+func mergeTournament(live []*Tri) *Tri {
+	k := len(live)
+	total := 0
+	for _, t := range live {
+		total += t.NNZ()
+	}
+	out := &Tri{
+		I: make([]uint32, 0, total),
+		J: make([]uint32, 0, total),
+		W: make([]uint32, 0, total),
+	}
+	// keyInf marks exhausted (or padding) streams. No real entry can hold
+	// it: Tri entries are strictly I < J, and keyInf would require
+	// I == J == MaxUint32.
+	const keyInf = ^uint64(0)
+	heads := make([]int, k)
+	m := 1
+	for m < k {
+		m <<= 1
+	}
+	// keys[s] caches stream s's current packed key so the path replay is
+	// pure integer compares — no bounds checks or indirection per node.
+	keys := make([]uint64, m)
+	for s := 0; s < m; s++ {
+		if s < k && live[s].NNZ() > 0 {
+			keys[s] = uint64(live[s].I[0])<<32 | uint64(live[s].J[0])
+		} else {
+			keys[s] = keyInf
+		}
+	}
+	node := make([]int32, 2*m) // node[1] = overall winner; leaves at m..
+	for i := 0; i < m; i++ {
+		node[m+i] = int32(i)
+	}
+	for i := m - 1; i >= 1; i-- {
+		a, b := node[2*i], node[2*i+1]
+		if keys[b] < keys[a] {
+			node[i] = b
+		} else {
+			node[i] = a
+		}
+	}
+	for {
+		s := node[1]
+		if keys[s] == keyInf {
+			return out
+		}
+		t := live[s]
+		h := heads[s]
+		heads[s]++
+		n := len(out.I)
+		if n > 0 && out.I[n-1] == t.I[h] && out.J[n-1] == t.J[h] {
+			out.W[n-1] += t.W[h]
+		} else {
+			out.I = append(out.I, t.I[h])
+			out.J = append(out.J, t.J[h])
+			out.W = append(out.W, t.W[h])
+		}
+		if h+1 < t.NNZ() {
+			keys[s] = uint64(t.I[h+1])<<32 | uint64(t.J[h+1])
+		} else {
+			keys[s] = keyInf
+		}
+		// Replay the path from stream s's leaf to the root.
+		for i := (m + int(s)) >> 1; i >= 1; i >>= 1 {
+			a, b := node[2*i], node[2*i+1]
+			if keys[b] < keys[a] {
+				node[i] = b
+			} else {
+				node[i] = a
+			}
+		}
+	}
+}
+
+// MergeTris k-way merges already-sorted triangular matrices, summing
+// weights of entries present in several inputs — the reduction step of
+// the synthesis pipeline (Tri is always sorted, so inputs from Accum.Tri
+// or TriFromEntries qualify). Nil and empty inputs are skipped. The merge
+// runs through a tournament tree, so it costs O(total·log k) comparisons;
+// see MergeTrisParallel for the worker-parallel variant.
+func MergeTris(ts ...*Tri) *Tri {
+	live := make([]*Tri, 0, len(ts))
+	for _, t := range ts {
+		if t != nil && t.NNZ() > 0 {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return &Tri{}
+	case 1:
+		return copyTri(live[0])
+	case 2:
+		return merge2(live[0], live[1])
+	}
+	return mergeTournament(live)
+}
+
+// mergeFanIn is the stream count at which MergeTrisParallel stops doing
+// parallel pairwise rounds and finishes with a single tournament pass.
+// Pairwise rounds rewrite the full payload once per round, so for small k
+// the extra memory traffic costs more than the parallelism saves; one
+// k-way tournament pass over the survivors writes the output exactly
+// once.
+const mergeFanIn = 4
+
+// MergeTrisParallel reduces the inputs by a hybrid merge tree: parallel
+// pairwise rounds (bounded by workers) shrink the stream count while it
+// is large, and once at most mergeFanIn streams remain a single serial
+// tournament pass produces the output. The result is bit-identical to
+// MergeTris: sorted-merge with weight summation is associative and
+// commutative, so the reduction order does not matter. workers ≤ 1 falls
+// back to the serial tournament merge, as does a single-CPU process:
+// pairwise rounds rewrite the payload once per round, which only pays
+// off when the merges actually run concurrently.
+func MergeTrisParallel(workers int, ts ...*Tri) *Tri {
+	live := make([]*Tri, 0, len(ts))
+	for _, t := range ts {
+		if t != nil && t.NNZ() > 0 {
+			live = append(live, t)
+		}
+	}
+	if p := runtime.GOMAXPROCS(0); p < workers {
+		workers = p
+	}
+	if workers <= 1 || len(live) <= mergeFanIn {
+		return MergeTris(live...)
+	}
+	sem := make(chan struct{}, workers)
+	for len(live) > mergeFanIn {
+		next := make([]*Tri, (len(live)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(live); i += 2 {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				next[i/2] = merge2(live[i], live[i+1])
+				<-sem
+			}(i)
+		}
+		if len(live)%2 == 1 {
+			next[len(next)-1] = live[len(live)-1]
+		}
+		wg.Wait()
+		live = next
+	}
+	// The final fan-in never aliases an input when len(live) ≥ 2 (merge2
+	// and the tournament both allocate); MergeTris's single-input case
+	// copies defensively itself.
+	return MergeTris(live...)
+}

@@ -1,0 +1,218 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRadixSortMatchesComparisonSort(t *testing.T) {
+	r := rng.New(606)
+	for trial := 0; trial < 20; trial++ {
+		n := radixMinLen + r.Intn(4000)
+		a := make([]Entry, n)
+		for k := range a {
+			// Mix small and huge IDs so high digit passes are exercised
+			// in some trials and skipped in others.
+			var i, j uint32
+			if trial%2 == 0 {
+				i, j = uint32(r.Intn(500)), uint32(r.Intn(500))
+			} else {
+				i, j = uint32(r.Uint64()), uint32(r.Uint64())
+			}
+			a[k] = Entry{I: i, J: j, W: uint32(r.Intn(100))}
+		}
+		b := append([]Entry(nil), a...)
+		radixSortEntries(a)
+		slicesSortFunc(b)
+		for k := range a {
+			if entryKey(a[k]) != entryKey(b[k]) {
+				t.Fatalf("trial %d: radix order diverges at %d: %x != %x",
+					trial, k, entryKey(a[k]), entryKey(b[k]))
+			}
+		}
+	}
+}
+
+// TestRadixSort16MatchesComparisonSort covers the large-input 16-bit
+// digit variant, which kicks in at radix16MinLen entries.
+func TestRadixSort16MatchesComparisonSort(t *testing.T) {
+	r := rng.New(607)
+	for trial := 0; trial < 4; trial++ {
+		n := radix16MinLen + r.Intn(radix16MinLen)
+		a := make([]Entry, n)
+		for k := range a {
+			// Small IDs skip the high 16-bit digits; huge IDs force all
+			// four passes.
+			var i, j uint32
+			if trial%2 == 0 {
+				i, j = uint32(r.Intn(5000)), uint32(r.Intn(5000))
+			} else {
+				i, j = uint32(r.Uint64()), uint32(r.Uint64())
+			}
+			a[k] = Entry{I: i, J: j, W: uint32(r.Intn(100))}
+		}
+		b := append([]Entry(nil), a...)
+		radixSortEntries(a)
+		slicesSortFunc(b)
+		for k := range a {
+			if entryKey(a[k]) != entryKey(b[k]) {
+				t.Fatalf("trial %d: 16-bit radix order diverges at %d", trial, k)
+			}
+		}
+	}
+	// All-identical keys at 16-bit scale: every pass skipped.
+	same := make([]Entry, radix16MinLen)
+	for k := range same {
+		same[k] = Entry{I: 5, J: 6, W: 1}
+	}
+	radixSortEntries(same)
+	for _, e := range same {
+		if e.I != 5 || e.J != 6 {
+			t.Fatal("identical-key 16-bit sort corrupted entries")
+		}
+	}
+}
+
+func TestRadixSortDegenerateInputs(t *testing.T) {
+	radixSortEntries(nil)
+	one := []Entry{{I: 3, J: 9, W: 1}}
+	radixSortEntries(one)
+	if one[0] != (Entry{I: 3, J: 9, W: 1}) {
+		t.Fatal("single-entry sort changed the entry")
+	}
+	// All-identical keys: every pass is skipped.
+	same := make([]Entry, 1000)
+	for k := range same {
+		same[k] = Entry{I: 7, J: 8, W: uint32(k)}
+	}
+	radixSortEntries(same)
+	var sum uint64
+	for _, e := range same {
+		if e.I != 7 || e.J != 8 {
+			t.Fatal("identical-key sort corrupted entries")
+		}
+		sum += uint64(e.W)
+	}
+	if sum != 999*1000/2 {
+		t.Fatal("identical-key sort lost weights")
+	}
+}
+
+// Property: the tournament-tree MergeTris equals the legacy linear scan
+// on arbitrary inputs, including nils, empties and duplicate keys.
+func TestQuickMergeTournamentEqualsScan(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		r := rng.New(seed)
+		k := 1 + int(kRaw%9)
+		ts := make([]*Tri, k)
+		for i := range ts {
+			switch r.Intn(5) {
+			case 0:
+				ts[i] = nil
+			case 1:
+				ts[i] = &Tri{}
+			default:
+				acc := NewAccum()
+				for e := 0; e < r.Intn(50); e++ {
+					acc.Add(uint32(r.Intn(12)), uint32(r.Intn(12)), uint32(1+r.Intn(5)))
+				}
+				ts[i] = acc.Tri()
+			}
+		}
+		want := mergeTrisScan(ts...)
+		if !MergeTris(ts...).Equal(want) {
+			return false
+		}
+		return MergeTrisParallel(4, ts...).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTrisDoesNotAliasSingleInput(t *testing.T) {
+	acc := NewAccum()
+	acc.Add(1, 2, 3)
+	in := acc.Tri()
+	for _, out := range []*Tri{MergeTris(in), MergeTrisParallel(4, in)} {
+		if !out.Equal(in) {
+			t.Fatal("single-input merge changed entries")
+		}
+		out.W[0] = 99
+		if in.W[0] != 3 {
+			t.Fatal("merge output aliases its input")
+		}
+		in.W[0] = 3
+	}
+}
+
+func TestMergeTrisParallelManyInputs(t *testing.T) {
+	// MergeTrisParallel clamps its worker count to GOMAXPROCS, so raise
+	// it for the test's duration: on a single-CPU host the pairwise
+	// parallel rounds would otherwise never be exercised.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	ts := benchTris(13, 200)
+	want := mergeTrisScan(ts...)
+	for _, workers := range []int{0, 1, 2, 3, 8, 32} {
+		if got := MergeTrisParallel(workers, ts...); !got.Equal(want) {
+			t.Fatalf("workers=%d: parallel merge differs from scan", workers)
+		}
+	}
+}
+
+// FuzzTriBinaryRoundTrip fuzzes UnmarshalBinary with arbitrary blobs:
+// either it errors, or re-marshalling reproduces the input bytes exactly.
+func FuzzTriBinaryRoundTrip(f *testing.F) {
+	acc := NewAccum()
+	acc.Add(1, 2, 3)
+	acc.Add(4, 5, 6)
+	seed, _ := acc.Tri().MarshalBinary()
+	f.Add(seed)
+	empty, _ := NewAccum().Tri().MarshalBinary()
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})                  // truncated: claims 1 entry, no payload
+	f.Add([]byte{255, 255, 255, 255, 0, 1, 2}) // huge count, tiny blob
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		var tr Tri
+		if err := tr.UnmarshalBinary(blob); err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		out, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, blob) {
+			t.Fatalf("round trip changed bytes: %x -> %x", blob, out)
+		}
+	})
+}
+
+// FuzzTriFromEntries fuzzes the radix-coalesce path against the Accum
+// oracle on arbitrary entry bytes.
+func FuzzTriFromEntries(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, rep uint8) {
+		var es []Entry
+		acc := NewAccum()
+		for off := 0; off+12 <= len(raw) && len(es) < 2000; off += 12 {
+			e := Entry{
+				I: binary.LittleEndian.Uint32(raw[off:]),
+				J: binary.LittleEndian.Uint32(raw[off+4:]),
+				W: binary.LittleEndian.Uint32(raw[off+8:]),
+			}
+			for k := 0; k <= int(rep%4); k++ {
+				es = append(es, e)
+				acc.Add(e.I, e.J, e.W)
+			}
+		}
+		if !TriFromEntries(es).Equal(acc.Tri()) {
+			t.Fatal("TriFromEntries differs from Accum oracle")
+		}
+	})
+}

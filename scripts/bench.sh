@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Synthesis benchmark suite: runs the hot-path benchmarks with -benchmem
+# and distils the results into BENCH_synthesis.json (one object per
+# benchmark: ns/op, B/op, allocs/op, plus any custom ReportMetric
+# columns). Run from anywhere inside the repo.
+#
+#   ./scripts/bench.sh                 # default: 3 iterations each
+#   COUNT=1 ./scripts/bench.sh        # quicker single pass
+#   OUT=/tmp/b.json ./scripts/bench.sh
+#
+# The raw `go test -bench` output is kept next to the JSON as
+# BENCH_synthesis.txt for eyeballing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_synthesis.json}"
+RAW="${RAW:-BENCH_synthesis.txt}"
+
+echo "== synthesis benchmarks (count=$COUNT) -> $OUT"
+
+# End-to-end synthesis + kernel micro-benchmarks. Keep this list in sync
+# with DESIGN.md §8.
+go test -run '^$' -bench 'BenchmarkT3Synthesis$|BenchmarkS1WorkerScaling$|BenchmarkA1LoadBalancing$' \
+	-benchmem -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkGramKernel$|BenchmarkMerge$|BenchmarkCoalesce$' \
+	-benchmem -count "$COUNT" ./internal/sparse | tee -a "$RAW"
+
+# Reduce the raw benchmark lines to JSON: average repeated counts per
+# benchmark name and keep custom metrics (unit -> value). awk only — no
+# external deps.
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+	seen[name] = 1
+	n[name]++
+	for (f = 3; f + 1 <= NF; f += 2) {
+		unit = $(f + 1)
+		gsub(/\//, "_per_", unit)
+		sum[name "\t" unit] += $f
+		units[name] = units[name] unit "\n"
+	}
+}
+END {
+	printf "{\n"
+	first = 1
+	for (name in seen) {
+		if (!first) printf ",\n"
+		first = 0
+		printf "  \"%s\": {", name
+		split(units[name], us, "\n")
+		delete done
+		uf = 1
+		for (k = 1; us[k] != ""; k++) {
+			u = us[k]
+			if (u in done) continue
+			done[u] = 1
+			if (!uf) printf ", "
+			uf = 0
+			printf "\"%s\": %.6g", u, sum[name "\t" u] / n[name]
+		}
+		printf "}"
+	}
+	printf "\n}\n"
+}' "$RAW" >"$OUT"
+
+echo "== wrote $OUT"

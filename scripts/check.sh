@@ -4,6 +4,7 @@
 #
 #   ./scripts/check.sh            # full check
 #   ./scripts/check.sh -short     # skip the slower chaos/failure tests
+#   BENCH=1 ./scripts/check.sh    # also run scripts/bench.sh afterwards
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,5 +17,10 @@ go build ./...
 
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
+
+if [ "${BENCH:-0}" = "1" ]; then
+	echo "== scripts/bench.sh (BENCH=1)"
+	./scripts/bench.sh
+fi
 
 echo "OK"
