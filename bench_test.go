@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -65,7 +66,7 @@ func setupWorld(b *testing.B) (*Pipeline, []string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim, err := p.Simulate(dir)
+	sim, err := p.Simulate(context.Background(), dir)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func BenchmarkT1LogVolume(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dir := b.TempDir()
-		sim, err := p.Simulate(dir)
+		sim, err := p.Simulate(context.Background(), dir)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkT3Synthesis(b *testing.B) {
 	var edges int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tri, _, err := core.SynthesizeFiles(logs, t0, t1, core.Config{Workers: benchScale().Workers})
+		tri, _, err := core.SynthesizeFiles(context.Background(), logs, t0, t1, core.Config{Workers: benchScale().Workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,12 +167,12 @@ func BenchmarkT3QueueStrategy(b *testing.B) {
 			jobs = append(jobs, batch.Job{ID: k, Procs: 64, Duration: 30, Submit: 100})
 			ours[k] = true
 		}
-		res, err := batch.Simulate(1024, append(append([]batch.Job{}, background...), jobs...), batch.Backfill)
+		res, err := batch.Simulate(context.Background(), 1024, append(append([]batch.Job{}, background...), jobs...), batch.Backfill)
 		if err != nil {
 			b.Fatal(err)
 		}
 		small = batch.Makespan(res, ours) - 100
-		res, err = batch.Simulate(1024, append(append([]batch.Job{}, background...),
+		res, err = batch.Simulate(context.Background(), 1024, append(append([]batch.Job{}, background...),
 			batch.Job{ID: 0, Procs: 1024, Duration: 30, Submit: 100}), batch.Backfill)
 		if err != nil {
 			b.Fatal(err)
@@ -187,7 +188,7 @@ func BenchmarkT3QueueStrategy(b *testing.B) {
 func egoBench(b *testing.B, dense bool) {
 	p, logs := setupWorld(b)
 	t0, t1 := sliceBounds()
-	net, err := p.Synthesize(logs, t0, t1)
+	net, err := p.Synthesize(context.Background(), logs, t0, t1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func BenchmarkFig2SparseEgo(b *testing.B) { egoBench(b, false) }
 func BenchmarkFig3DegreeDistribution(b *testing.B) {
 	p, logs := setupWorld(b)
 	t0, t1 := sliceBounds()
-	net, err := p.Synthesize(logs, t0, t1)
+	net, err := p.Synthesize(context.Background(), logs, t0, t1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func BenchmarkFig3DegreeDistribution(b *testing.B) {
 func BenchmarkFig4Clustering(b *testing.B) {
 	p, logs := setupWorld(b)
 	t0, t1 := sliceBounds()
-	net, err := p.Synthesize(logs, t0, t1)
+	net, err := p.Synthesize(context.Background(), logs, t0, t1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func BenchmarkFig4Clustering(b *testing.B) {
 func BenchmarkFig5AgeGroups(b *testing.B) {
 	p, logs := setupWorld(b)
 	t0, t1 := sliceBounds()
-	net, err := p.Synthesize(logs, t0, t1)
+	net, err := p.Synthesize(context.Background(), logs, t0, t1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -310,11 +311,11 @@ func BenchmarkA1LoadBalancing(b *testing.B) {
 	var balanced, naive float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, s1, err := core.SynthesizeFiles(logs, t0, t1, core.Config{Workers: 8, Balance: core.BalanceNNZ})
+		_, s1, err := core.SynthesizeFiles(context.Background(), logs, t0, t1, core.Config{Workers: 8, Balance: core.BalanceNNZ})
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, s2, err := core.SynthesizeFiles(logs, t0, t1, core.Config{Workers: 8, Balance: core.BalanceNone})
+		_, s2, err := core.SynthesizeFiles(context.Background(), logs, t0, t1, core.Config{Workers: 8, Balance: core.BalanceNone})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -331,13 +332,13 @@ func BenchmarkA2EventVsFull(b *testing.B) {
 	var factor float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		event, err := abm.Run(abm.Config{
+		event, err := abm.Run(context.Background(), abm.Config{
 			Pop: p.Pop, Gen: p.Gen, Ranks: 4, Days: 2, LogDir: b.TempDir(),
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		full, err := abm.Run(abm.Config{
+		full, err := abm.Run(context.Background(), abm.Config{
 			Pop: p.Pop, Gen: p.Gen, Ranks: 4, Days: 2, LogDir: b.TempDir(), FullStateLog: true,
 		})
 		if err != nil {
@@ -358,11 +359,11 @@ func BenchmarkA3Partitioning(b *testing.B) {
 	var factor float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := abm.Run(abm.Config{Pop: p.Pop, Gen: p.Gen, Ranks: 8, Days: 3, Assign: spatialAssign})
+		s, err := abm.Run(context.Background(), abm.Config{Pop: p.Pop, Gen: p.Gen, Ranks: 8, Days: 3, Assign: spatialAssign})
 		if err != nil {
 			b.Fatal(err)
 		}
-		r, err := abm.Run(abm.Config{Pop: p.Pop, Gen: p.Gen, Ranks: 8, Days: 3, Assign: randomAssign})
+		r, err := abm.Run(context.Background(), abm.Config{Pop: p.Pop, Gen: p.Gen, Ranks: 8, Days: 3, Assign: randomAssign})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -382,7 +383,7 @@ func BenchmarkS1WorkerScaling(b *testing.B) {
 			var wall time.Duration
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, stats, err := core.SynthesizeFiles(logs, t0, t1, core.Config{Workers: workers})
+				_, stats, err := core.SynthesizeFiles(context.Background(), logs, t0, t1, core.Config{Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -403,11 +404,11 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sim, err := p.Simulate(b.TempDir())
+		sim, err := p.Simulate(context.Background(), b.TempDir())
 		if err != nil {
 			b.Fatal(err)
 		}
-		net, err := p.Synthesize(sim.LogPaths, 0, 7*schedule.HoursPerDay)
+		net, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 7*schedule.HoursPerDay)
 		if err != nil {
 			b.Fatal(err)
 		}

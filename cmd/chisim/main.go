@@ -27,6 +27,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -66,10 +68,10 @@ func main() {
 	fmt.Printf("population: %d persons, %d places, %d neighborhoods\n",
 		p.Pop.NumPersons(), p.Pop.NumPlaces(), p.Pop.Neighborhoods())
 
-	stop := trapSignals()
+	ctx := signalContext()
 
 	if *distHost != "" || *distJoin != "" {
-		runDistributed(p, *distHost, *distJoin, *ranks, *logdir, *resume, stop, eventlog.Config{
+		runDistributed(ctx, p, *distHost, *distJoin, *ranks, *logdir, *resume, eventlog.Config{
 			CacheEntries: *cache, Compress: *compress,
 		})
 		return
@@ -79,14 +81,16 @@ func main() {
 	var res *abm.Result
 	if *resume {
 		var reports []*abm.ResumeReport
-		res, reports, err = p.Resume(*logdir, stop)
+		res, reports, err = p.Resume(ctx, *logdir, nil)
 		if err != nil {
+			exitCanceled(err, *logdir)
 			fatal(err)
 		}
 		printResumeReport(reports)
 	} else {
-		res, err = p.SimulateUntil(*logdir, stop)
+		res, err = p.Simulate(ctx, *logdir)
 		if err != nil {
+			exitCanceled(err, *logdir)
 			fatal(err)
 		}
 	}
@@ -105,21 +109,33 @@ func main() {
 	fmt.Printf("agent moves: %d local, %d inter-rank migrations\n", res.LocalMoves, res.Migrations)
 }
 
-// trapSignals converts the first SIGINT/SIGTERM into a graceful-stop
-// request (closing the returned channel) and lets a second signal kill
-// the process the traditional way.
-func trapSignals() <-chan struct{} {
-	stop := make(chan struct{})
+// signalContext converts the first SIGINT/SIGTERM into a context
+// cancellation — the simulation then stops at the next simulated hour
+// with valid, resumable log footers — and lets a second signal kill the
+// process the traditional way.
+func signalContext() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sigs
 		fmt.Fprintf(os.Stderr, "chisim: %v: stopping at the next simulated hour (repeat to kill)\n", s)
-		close(stop)
+		cancel()
 		<-sigs
 		os.Exit(1)
 	}()
-	return stop
+	return ctx
+}
+
+// exitCanceled recognizes the cooperative-cancellation error, prints
+// the resume hint, and exits cleanly: an interrupted run is a stopped
+// run, not a failed one — the logs have valid footers.
+func exitCanceled(err error, logdir string) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	fmt.Printf("interrupted; logs in %s are intact — rerun with -resume to continue (%v)\n", logdir, err)
+	os.Exit(0)
 }
 
 func printResumeReport(reports []*abm.ResumeReport) {
@@ -142,7 +158,7 @@ func printResumeReport(reports []*abm.ResumeReport) {
 // runDistributed executes one rank of the simulation in this process
 // over the TCP transport, then gathers and prints the combined summary
 // on rank 0.
-func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, resume bool, stop <-chan struct{}, logCfg eventlog.Config) {
+func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, resume bool, logCfg eventlog.Config) {
 	var node *mpinet.Node
 	var err error
 	if hostAddr != "" {
@@ -171,20 +187,23 @@ func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, log
 		Pop: p.Pop, Gen: p.Gen, Days: p.Days(), Assign: assign,
 		LogPath: filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
 		Log:     logCfg,
-		Stop:    stop,
 	}
 	start := time.Now()
 	var rr abm.RankResult
 	if resume {
 		var rep *abm.ResumeReport
-		rr, rep, err = abm.ResumeRank(mpi.Transport(node), cfg)
+		rr, rep, err = abm.ResumeRank(ctx, mpi.Transport(node), cfg)
 		if err == nil && rep != nil {
 			printResumeReport([]*abm.ResumeReport{rep})
 		}
 	} else {
-		rr, err = abm.RunRank(mpi.Transport(node), cfg)
+		rr, err = abm.RunRank(ctx, mpi.Transport(node), cfg)
 	}
 	if err != nil {
+		// A cooperative cancellation still leaves every rank's log with
+		// a valid footer; skipping the summary gather is consistent
+		// across ranks because they all observed the same cancel flag.
+		exitCanceled(err, logdir)
 		fatal(err)
 	}
 	endHour := uint32(p.Days() * schedule.HoursPerDay)
@@ -195,7 +214,7 @@ func runDistributed(p *repro.Pipeline, hostAddr, joinAddr string, ranks int, log
 	fmt.Printf("rank %d: %d entries, %d migrations out, wall %s\n",
 		node.Rank(), rr.Entries, rr.Migrations, time.Since(start).Round(time.Millisecond))
 
-	all, err := node.Gather(rr.Encode())
+	all, err := node.Gather(ctx, rr.Encode())
 	if err != nil {
 		fatal(err)
 	}

@@ -21,11 +21,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -34,12 +40,35 @@ import (
 	"repro/internal/mpinet"
 )
 
+// parseBytes parses a byte size with an optional K/M/G suffix (powers
+// of 1024), e.g. "64M" or "2G" or a plain byte count.
+func parseBytes(s string) (int64, error) {
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n * mult, nil
+}
+
 func main() {
 	t0 := flag.Uint("t0", 0, "slice start hour (inclusive)")
 	t1 := flag.Uint("t1", 168, "slice end hour (exclusive)")
 	out := flag.String("o", "network.tsv", "output edge-list path")
 	workers := flag.Int("workers", 0, "synthesis workers (0 = all CPUs)")
 	balance := flag.String("balance", "nnz", "load balancing: nnz (paper) or none (naive)")
+	memBudget := flag.String("mem-budget", "", "cap on materialized log-entry bytes, e.g. 64M or 2G (empty = unlimited); larger slices spill to place-sharded temp files")
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
 	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address")
 	distSize := flag.Int("dist-size", 0, "total process count when hosting")
@@ -88,19 +117,31 @@ func main() {
 	if *balance == "none" {
 		mode = core.BalanceNone
 	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{Workers: *workers, Balance: mode, MemBudgetBytes: budget}
+
+	// SIGINT/SIGTERM cancel the synthesis: it aborts within one work
+	// unit (or spill batch) and returns an error wrapping
+	// context.Canceled. A second signal kills the process outright
+	// (signal.NotifyContext restores default handling once canceled).
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
 
 	if *distHost != "" || *distJoin != "" {
-		runDistributed(paths, uint32(*t0), uint32(*t1), core.Config{Workers: *workers, Balance: mode},
+		runDistributed(ctx, paths, uint32(*t0), uint32(*t1), cfg,
 			*distHost, *distJoin, *distSize, *out)
 		return
 	}
 
 	start := time.Now()
-	tri, stats, err := core.SynthesizeFiles(paths, uint32(*t0), uint32(*t1), core.Config{
-		Workers: *workers,
-		Balance: mode,
-	})
+	tri, stats, err := core.SynthesizeFiles(ctx, paths, uint32(*t0), uint32(*t1), cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -126,6 +167,10 @@ func main() {
 		elapsed.Round(time.Millisecond))
 	fmt.Printf("worker cost imbalance %.2f, idle fraction %.3f → %s\n",
 		stats.CostImbalance(), stats.IdleFraction(), *out)
+	if stats.Shards > 0 {
+		fmt.Printf("mem budget %s: spilled %d bytes across %d place shards (spill wall %s)\n",
+			*memBudget, stats.SpilledBytes, stats.Shards, stats.Spill.Round(time.Millisecond))
+	}
 	if *showStats {
 		printStats(stats)
 	}
@@ -161,7 +206,7 @@ func printStats(s *core.Stats) {
 
 // runDistributed stripes the log files across the processes of a TCP
 // cluster; rank 0 merges the partial networks and writes the edge list.
-func runDistributed(paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out string) {
+func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out string) {
 	var node *mpinet.Node
 	var err error
 	if hostAddr != "" {
@@ -184,8 +229,11 @@ func runDistributed(paths []string, t0, t1 uint32, cfg core.Config, hostAddr, jo
 	defer node.Close()
 
 	start := time.Now()
-	tri, err := core.SynthesizeDistributed(node, paths, t0, t1, cfg)
+	tri, err := core.SynthesizeDistributed(ctx, node, paths, t0, t1, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
+		}
 		fatal(err)
 	}
 	fmt.Printf("rank %d done in %s\n", node.Rank(), time.Since(start).Round(time.Millisecond))

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,11 +37,11 @@ func main() {
 	}
 	defer os.RemoveAll(logDir)
 
-	sim, err := p.Simulate(logDir)
+	sim, err := p.Simulate(context.Background(), logDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	net, err := p.Synthesize(sim.LogPaths, 0, 168)
+	net, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 168)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(logDir)
-	res, err := abm.Run(abm.Config{
+	res, err := abm.Run(context.Background(), abm.Config{
 		Pop: p.Pop, Gen: p.Gen, Ranks: 8, Days: days,
 		LogDir:   logDir,
 		Log:      eventlog.Config{ExtColumns: []string{"disease"}},

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -40,7 +41,7 @@ func main() {
 	defer os.RemoveAll(logDir)
 
 	start := time.Now()
-	sim, err := p.Simulate(logDir)
+	sim, err := p.Simulate(context.Background(), logDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 
 	// 3. Synthesize the collocation network for the whole week.
 	start = time.Now()
-	net, err := p.Synthesize(sim.LogPaths, 0, 168)
+	net, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 168)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 	}
 	defer os.RemoveAll(logDir)
 
-	sim, err := p.Simulate(logDir)
+	sim, err := p.Simulate(context.Background(), logDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func main() {
 	fmt.Println("synthesis strong scaling (gram+reduce wall):")
 	var base time.Duration
 	for _, workers := range []int{1, 2, 4, 8} {
-		_, stats, err := core.SynthesizeFiles(sim.LogPaths, 0, 168, core.Config{Workers: workers})
+		_, stats, err := core.SynthesizeFiles(context.Background(), sim.LogPaths, 0, 168, core.Config{Workers: workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func main() {
 	// --- Load-balancing ablation. ---
 	fmt.Println("\nload balancing (8 workers):")
 	for _, mode := range []core.BalanceMode{core.BalanceNNZ, core.BalanceNone} {
-		_, stats, err := core.SynthesizeFiles(sim.LogPaths, 0, 168, core.Config{Workers: 8, Balance: mode})
+		_, stats, err := core.SynthesizeFiles(context.Background(), sim.LogPaths, 0, 168, core.Config{Workers: 8, Balance: mode})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func main() {
 		{"spatial", partition.Spatial(p.Pop, edges, loads, 8)},
 		{"random", partition.Random(p.Pop.NumPlaces(), 8)},
 	} {
-		res, err := abm.Run(abm.Config{
+		res, err := abm.Run(context.Background(), abm.Config{
 			Pop: p.Pop, Gen: p.Gen, Ranks: 8, Days: 7, Assign: c.assign,
 		})
 		if err != nil {

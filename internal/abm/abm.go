@@ -17,6 +17,7 @@
 package abm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -71,6 +72,11 @@ type Config struct {
 	// next hour boundary once the channel is closed (or receives). The
 	// logs are closed with valid footers and the run can be continued
 	// later with Resume. See RankConfig.Stop.
+	//
+	// Stop is the "successful early exit" path: Run returns a nil error
+	// with Result.StoppedAt < Days*24. Cancelling the ctx passed to Run
+	// stops the simulation through the same hourly alignment but returns
+	// an error wrapping context.Canceled; both leave resumable logs.
 	Stop <-chan struct{}
 }
 
@@ -103,8 +109,12 @@ type agent struct {
 }
 
 // Run executes the simulation and returns aggregate statistics.
-func Run(cfg Config) (*Result, error) {
-	res, _, err := run(cfg, false)
+//
+// Cancelling ctx stops every rank at the next hour boundary — logs are
+// flushed and closed with valid footers, so the run remains resumable —
+// and Run returns an error wrapping context.Canceled.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	res, _, err := run(ctx, cfg, false)
 	return res, err
 }
 
@@ -113,7 +123,7 @@ func Run(cfg Config) (*Result, error) {
 // executes one goroutine per rank. When resume is true each rank goes
 // through ResumeRank instead of RunRank and the per-rank salvage
 // reports are returned alongside the result.
-func run(cfg Config, resume bool) (*Result, []*ResumeReport, error) {
+func run(ctx context.Context, cfg Config, resume bool) (*Result, []*ResumeReport, error) {
 	if cfg.Pop == nil || cfg.Gen == nil {
 		return nil, nil, fmt.Errorf("abm: Pop and Gen are required")
 	}
@@ -170,10 +180,10 @@ func run(cfg Config, resume bool) (*Result, []*ResumeReport, error) {
 		var err error
 		if resume {
 			var rep *ResumeReport
-			rr, rep, err = ResumeRank(mpi.AsTransport(c), rc)
+			rr, rep, err = ResumeRank(ctx, mpi.AsTransport(c), rc)
 			reports[c.Rank()] = rep
 		} else {
-			rr, err = RunRank(mpi.AsTransport(c), rc)
+			rr, err = RunRank(ctx, mpi.AsTransport(c), rc)
 		}
 		if err != nil {
 			return err
@@ -227,6 +237,12 @@ type RankConfig struct {
 	// so ALL ranks leave the hourly loop at the same hour (collectives
 	// stay aligned). The loggers are then flushed and closed with valid
 	// footers, and the run can later be continued with ResumeRank.
+	//
+	// Context cancellation rides the same hourly flag exchange (flag 2
+	// instead of 1, cancel winning over stop), so a cancelled rank and
+	// its peers leave the loop at the same hour with equally valid,
+	// resumable logs — the only difference is that RunRank then returns
+	// an error wrapping context.Canceled.
 	Stop <-chan struct{}
 }
 
@@ -316,11 +332,21 @@ func decodeAgents(b []byte) ([]agent, error) {
 // values; determinism of the schedule generator guarantees they agree on
 // every agent's behavior without further coordination.
 //
+// Cancelling ctx is observed at the next hour boundary: all ranks leave
+// the loop together (via the hourly flag exchange), the logger is
+// flushed and closed with a valid footer, and RunRank returns the
+// partial RankResult alongside an error wrapping context.Canceled. The
+// log on disk is indistinguishable from a graceful stop and can be
+// continued with ResumeRank.
+//
 // Interact and LogExt hooks run with process-local state only: in a
 // distributed deployment each process sees just the agents it hosts.
-func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
+func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (RankResult, error) {
 	rank, size := t.Rank(), t.Size()
 	var rr RankResult
+	if err := ctx.Err(); err != nil {
+		return rr, fmt.Errorf("abm: run canceled before start: %w", err)
+	}
 	if cfg.Pop == nil || cfg.Gen == nil {
 		return rr, fmt.Errorf("abm: Pop and Gen are required")
 	}
@@ -440,35 +466,52 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 		sort.Slice(local, func(i, j int) bool { return local[i].person < local[j].person })
 	}
 
+	// Cancellation and graceful stops share one alignment mechanism: a
+	// one-byte flag exchanged at the top of every hour (0 = continue,
+	// 1 = stop requested, 2 = context canceled; the max wins). The
+	// alignment exchange itself runs under a context that cannot be
+	// canceled — it is precisely the collective that lets every rank
+	// agree to leave the loop together, so it must complete even when
+	// this rank's ctx is already dead.
+	alignCtx := context.WithoutCancel(ctx)
 	stopped := false
+	canceled := false
+	pollFlags := cfg.Stop != nil || ctx.Done() != nil
 	rr.StoppedAt = endHour
 	for hour := cfg.StartHour; hour < endHour; hour++ {
 		sortLocal()
-		if cfg.Stop != nil {
-			// Graceful-stop alignment: every rank contributes a stop
-			// flag each hour; if ANY rank saw the signal, all ranks
-			// leave the loop at the same hour, keeping the collective
-			// schedule identical on every rank.
+		if pollFlags {
+			// Stop/cancel alignment: every rank contributes a flag each
+			// hour; if ANY rank saw a signal, all ranks leave the loop
+			// at the same hour, keeping the collective schedule
+			// identical on every rank.
 			var flag byte
-			select {
-			case <-cfg.Stop:
-				flag = 1
-			default:
+			if cfg.Stop != nil {
+				select {
+				case <-cfg.Stop:
+					flag = 1
+				default:
+				}
+			}
+			if ctx.Err() != nil {
+				flag = 2
 			}
 			blobs := make([][]byte, size)
 			for r := range blobs {
 				blobs[r] = []byte{flag}
 			}
-			in, err := t.Exchange(blobs)
+			in, err := t.Exchange(alignCtx, blobs)
 			if err != nil {
 				return rr, err
 			}
 			for _, b := range in {
-				if len(b) > 0 && b[0] != 0 {
-					stopped = true
+				if len(b) > 0 && b[0] > flag {
+					flag = b[0]
 				}
 			}
-			if stopped {
+			if flag != 0 {
+				stopped = true
+				canceled = flag == 2
 				rr.StoppedAt = hour
 				break
 			}
@@ -508,7 +551,7 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 					blobs[r] = encodeAgents(outbox[r])
 				}
 			}
-			incoming, err := t.Exchange(blobs)
+			incoming, err := t.Exchange(alignCtx, blobs)
 			if err != nil {
 				return rr, err
 			}
@@ -577,6 +620,16 @@ func RunRank(t mpi.Transport, cfg RankConfig) (RankResult, error) {
 		if st, err := os.Stat(cfg.LogPath); err == nil {
 			rr.LogBytes = uint64(st.Size())
 		}
+	}
+	if canceled {
+		// The logs above were flushed and closed with valid footers
+		// before this return, so the run is resumable despite the error.
+		cause := ctx.Err()
+		if cause == nil {
+			// A peer rank was canceled, not this one (distributed mode).
+			cause = context.Canceled
+		}
+		return rr, fmt.Errorf("abm: run canceled at hour %d: %w", rr.StoppedAt, cause)
 	}
 	return rr, nil
 }

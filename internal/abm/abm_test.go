@@ -1,6 +1,7 @@
 package abm
 
 import (
+	"context"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -22,16 +23,16 @@ func testWorld(t testing.TB, persons int) (*synthpop.Population, *schedule.Gener
 
 func TestRunValidatesConfig(t *testing.T) {
 	pop, gen := testWorld(t, 100)
-	if _, err := Run(Config{Gen: gen, Ranks: 1, Days: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{Gen: gen, Ranks: 1, Days: 1}); err == nil {
 		t.Error("missing Pop accepted")
 	}
-	if _, err := Run(Config{Pop: pop, Gen: gen, Ranks: 0, Days: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 0, Days: 1}); err == nil {
 		t.Error("zero ranks accepted")
 	}
-	if _, err := Run(Config{Pop: pop, Gen: gen, Ranks: 1, Days: 0}); err == nil {
+	if _, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 1, Days: 0}); err == nil {
 		t.Error("zero days accepted")
 	}
-	if _, err := Run(Config{Pop: pop, Gen: gen, Ranks: 1, Days: 1, Assign: partition.Assignment{0}}); err == nil {
+	if _, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 1, Days: 1, Assign: partition.Assignment{0}}); err == nil {
 		t.Error("short assignment accepted")
 	}
 }
@@ -77,7 +78,7 @@ func scheduleMultiset(pop *synthpop.Population, gen *schedule.Generator, days in
 
 func TestLoggedEventsMatchSchedules(t *testing.T) {
 	pop, gen := testWorld(t, 1500)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Pop: pop, Gen: gen, Ranks: 4, Days: 2,
 		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 64},
 	})
@@ -100,7 +101,7 @@ func TestLogIndependentOfRankCount(t *testing.T) {
 	pop, gen := testWorld(t, 1000)
 	var sets []map[eventlog.Entry]int
 	for _, ranks := range []int{1, 3, 8} {
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			Pop: pop, Gen: gen, Ranks: ranks, Days: 2,
 			LogDir: filepath.Join(t.TempDir(), "logs"),
 			Log:    eventlog.Config{CacheEntries: 100},
@@ -125,14 +126,14 @@ func TestLogIndependentOfRankCount(t *testing.T) {
 func TestLogIndependentOfAssignment(t *testing.T) {
 	pop, gen := testWorld(t, 800)
 	random := partition.Random(pop.NumPlaces(), 4)
-	res1, err := Run(Config{
+	res1, err := Run(context.Background(), Config{
 		Pop: pop, Gen: gen, Ranks: 4, Days: 1, Assign: random,
 		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 100},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Run(Config{
+	res2, err := Run(context.Background(), Config{
 		Pop: pop, Gen: gen, Ranks: 4, Days: 1, // spatial default
 		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 100},
 	})
@@ -154,7 +155,7 @@ func TestAgentConservationEveryHour(t *testing.T) {
 	pop, gen := testWorld(t, 700)
 	var mu sync.Mutex
 	perHour := make(map[uint32]int)
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		Pop: pop, Gen: gen, Ranks: 4, Days: 2,
 		Interact: func(_ int, hour uint32, _ uint32, occ []uint32) {
 			mu.Lock()
@@ -180,7 +181,7 @@ func TestAgentsAreWhereSchedulesSay(t *testing.T) {
 		person uint32
 	}
 	seen := make(map[key]uint32)
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		Pop: pop, Gen: gen, Ranks: 3, Days: 1,
 		Interact: func(_ int, hour uint32, place uint32, occ []uint32) {
 			mu.Lock()
@@ -213,12 +214,12 @@ func TestSpatialAssignmentReducesMigrations(t *testing.T) {
 	}
 	gen := schedule.NewGenerator(pop, 5)
 	edges, loads := partition.TransitionGraph(pop, gen, 3, pop.NumPersons())
-	spatial, err := Run(Config{Pop: pop, Gen: gen, Ranks: 4, Days: 3,
+	spatial, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 4, Days: 3,
 		Assign: partition.Spatial(pop, edges, loads, 4)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	random, err := Run(Config{Pop: pop, Gen: gen, Ranks: 4, Days: 3,
+	random, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 4, Days: 3,
 		Assign: partition.Random(pop.NumPlaces(), 4)})
 	if err != nil {
 		t.Fatal(err)
@@ -236,7 +237,7 @@ func TestSpatialAssignmentReducesMigrations(t *testing.T) {
 func TestEntryCountScalesWithChangesPerDay(t *testing.T) {
 	pop, gen := testWorld(t, 2000)
 	const days = 7
-	res, err := Run(Config{Pop: pop, Gen: gen, Ranks: 2, Days: days, LogDir: t.TempDir()})
+	res, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 2, Days: days, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,11 +254,11 @@ func TestEntryCountScalesWithChangesPerDay(t *testing.T) {
 func TestFullStateLogIsMuchLarger(t *testing.T) {
 	pop, gen := testWorld(t, 300)
 	const days = 2
-	event, err := Run(Config{Pop: pop, Gen: gen, Ranks: 2, Days: days, LogDir: t.TempDir()})
+	event, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 2, Days: days, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Run(Config{Pop: pop, Gen: gen, Ranks: 2, Days: days, LogDir: t.TempDir(), FullStateLog: true})
+	full, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 2, Days: days, LogDir: t.TempDir(), FullStateLog: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestFullStateLogIsMuchLarger(t *testing.T) {
 
 func TestNoLogDirMeansNoFiles(t *testing.T) {
 	pop, gen := testWorld(t, 200)
-	res, err := Run(Config{Pop: pop, Gen: gen, Ranks: 2, Days: 1})
+	res, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 2, Days: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestNoLogDirMeansNoFiles(t *testing.T) {
 
 func TestSingleRankRuns(t *testing.T) {
 	pop, gen := testWorld(t, 300)
-	res, err := Run(Config{Pop: pop, Gen: gen, Ranks: 1, Days: 1, LogDir: t.TempDir()})
+	res, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 1, Days: 1, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func BenchmarkSimWeek5kPersons4Ranks(b *testing.B) {
 	gen := schedule.NewGenerator(pop, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Pop: pop, Gen: gen, Ranks: 4, Days: 7}); err != nil {
+		if _, err := Run(context.Background(), Config{Pop: pop, Gen: gen, Ranks: 4, Days: 7}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,6 +23,7 @@
 package abm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -53,16 +54,21 @@ type ResumeReport struct {
 // previously started by Run with the same Config (including LogDir,
 // which must still hold the per-rank logs). It returns the aggregate
 // result of the continued run plus one salvage report per rank.
-func Resume(cfg Config) (*Result, []*ResumeReport, error) {
-	return run(cfg, true)
+func Resume(ctx context.Context, cfg Config) (*Result, []*ResumeReport, error) {
+	return run(ctx, cfg, true)
 }
 
 // ResumeRank continues a crashed or gracefully-stopped simulation rank.
 // It must be called collectively: every rank of the transport enters
 // ResumeRank with identical Pop/Gen/Days/Assign (as for RunRank) and its
 // own LogPath. See the package comment of this file for the protocol.
-func ResumeRank(t mpi.Transport, cfg RankConfig) (RankResult, *ResumeReport, error) {
+// Cancellation semantics match RunRank: a canceled ctx stops the rerun
+// at the next hour boundary with resumable logs.
+func ResumeRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (RankResult, *ResumeReport, error) {
 	var rr RankResult
+	if err := ctx.Err(); err != nil {
+		return rr, nil, fmt.Errorf("abm: resume canceled before start: %w", err)
+	}
 	if cfg.LogPath == "" {
 		return rr, nil, fmt.Errorf("abm: ResumeRank requires a LogPath")
 	}
@@ -95,7 +101,10 @@ func ResumeRank(t mpi.Transport, cfg RankConfig) (RankResult, *ResumeReport, err
 	for i := range out {
 		out[i] = word[:]
 	}
-	in, err := t.Exchange(out)
+	// The boundary agreement must complete collectively even if ctx dies
+	// between the entry check above and here, or the ranks would desync;
+	// RunRank observes the cancellation at its first hourly alignment.
+	in, err := t.Exchange(context.WithoutCancel(ctx), out)
 	if err != nil {
 		return rr, nil, fmt.Errorf("abm: resume boundary agreement: %w", err)
 	}
@@ -135,6 +144,6 @@ func ResumeRank(t mpi.Transport, cfg RankConfig) (RankResult, *ResumeReport, err
 
 	cfg.Logger = logger
 	cfg.StartHour = m
-	rr, err = RunRank(t, cfg)
+	rr, err = RunRank(ctx, t, cfg)
 	return rr, report, err
 }

@@ -1,6 +1,7 @@
 package abm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -58,7 +59,7 @@ func (f *resumeFixture) reference(t *testing.T) []string {
 	}
 	world := mpi.NewWorld(f.ranks)
 	err := world.Run(func(c *mpi.Comm) error {
-		_, err := RunRank(mpi.AsTransport(c), f.rankConfig(paths[c.Rank()]))
+		_, err := RunRank(context.Background(), mpi.AsTransport(c), f.rankConfig(paths[c.Rank()]))
 		return err
 	})
 	if err != nil {
@@ -141,7 +142,7 @@ func (f *resumeFixture) resumeAll(t *testing.T, paths []string) []*ResumeReport 
 	var mu sync.Mutex
 	world := mpi.NewWorld(f.ranks)
 	err := world.Run(func(c *mpi.Comm) error {
-		_, rep, err := ResumeRank(mpi.AsTransport(c), f.rankConfig(paths[c.Rank()]))
+		_, rep, err := ResumeRank(context.Background(), mpi.AsTransport(c), f.rankConfig(paths[c.Rank()]))
 		mu.Lock()
 		reports[c.Rank()] = rep
 		mu.Unlock()
@@ -201,7 +202,7 @@ func TestResumeRankAfterCrashFlush(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "crashed.h5l")
 	faultinject.Arm(eventlog.CrashFlush, 3, faultinject.ErrInjected)
 	err := mpi.NewWorld(1).Run(func(c *mpi.Comm) error {
-		_, err := RunRank(mpi.AsTransport(c), f.rankConfig(path))
+		_, err := RunRank(context.Background(), mpi.AsTransport(c), f.rankConfig(path))
 		return err
 	})
 	faultinject.Reset()
@@ -305,7 +306,7 @@ func TestGracefulStopThenResume(t *testing.T) {
 		cfg := f.rankConfig(paths[c.Rank()])
 		cfg.Stop = stop
 		cfg.LogExt = logExt
-		rr, err := RunRank(mpi.AsTransport(c), cfg)
+		rr, err := RunRank(context.Background(), mpi.AsTransport(c), cfg)
 		mu.Lock()
 		results[c.Rank()] = rr
 		mu.Unlock()
@@ -353,7 +354,7 @@ func TestResumeRankValidation(t *testing.T) {
 		cfg := f.rankConfig(filepath.Join(t.TempDir(), "log.h5l"))
 		mutate(&cfg)
 		return mpi.NewWorld(1).Run(func(c *mpi.Comm) error {
-			_, _, err := ResumeRank(mpi.AsTransport(c), cfg)
+			_, _, err := ResumeRank(context.Background(), mpi.AsTransport(c), cfg)
 			return err
 		})
 	}

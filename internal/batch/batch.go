@@ -12,6 +12,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -59,8 +60,9 @@ type Result struct {
 
 // Simulate runs the queue until every job completes and returns results
 // in the order of the input jobs. It returns an error if any job needs
-// more slots than the cluster has.
-func Simulate(slots int, jobs []Job, policy Policy) ([]Result, error) {
+// more slots than the cluster has. Cancelling ctx aborts the event loop
+// between events with an error wrapping context.Canceled.
+func Simulate(ctx context.Context, slots int, jobs []Job, policy Policy) ([]Result, error) {
 	if slots <= 0 {
 		return nil, fmt.Errorf("batch: cluster must have positive slots")
 	}
@@ -144,6 +146,9 @@ func Simulate(slots int, jobs []Job, policy Policy) ([]Result, error) {
 	}
 
 	for len(pending) > 0 || len(queue) > 0 || len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("batch: simulation canceled at t=%g: %w", now, err)
+		}
 		// Advance to the next event: a submission or a completion.
 		next := -1.0
 		if len(pending) > 0 {

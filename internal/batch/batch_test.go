@@ -1,6 +1,8 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -8,22 +10,22 @@ import (
 )
 
 func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(0, nil, FIFO); err == nil {
+	if _, err := Simulate(context.Background(), 0, nil, FIFO); err == nil {
 		t.Error("zero slots accepted")
 	}
-	if _, err := Simulate(10, []Job{{ID: 1, Procs: 11, Duration: 1}}, FIFO); err == nil {
+	if _, err := Simulate(context.Background(), 10, []Job{{ID: 1, Procs: 11, Duration: 1}}, FIFO); err == nil {
 		t.Error("oversized job accepted")
 	}
-	if _, err := Simulate(10, []Job{{ID: 1, Procs: 0, Duration: 1}}, FIFO); err == nil {
+	if _, err := Simulate(context.Background(), 10, []Job{{ID: 1, Procs: 0, Duration: 1}}, FIFO); err == nil {
 		t.Error("zero-proc job accepted")
 	}
-	if _, err := Simulate(10, []Job{{ID: 1, Procs: 1, Duration: -1}}, FIFO); err == nil {
+	if _, err := Simulate(context.Background(), 10, []Job{{ID: 1, Procs: 1, Duration: -1}}, FIFO); err == nil {
 		t.Error("negative duration accepted")
 	}
 }
 
 func TestSingleJobRunsImmediately(t *testing.T) {
-	res, err := Simulate(16, []Job{{ID: 1, Procs: 8, Duration: 5, Submit: 2}}, FIFO)
+	res, err := Simulate(context.Background(), 16, []Job{{ID: 1, Procs: 8, Duration: 5, Submit: 2}}, FIFO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func TestJobsShareClusterConcurrently(t *testing.T) {
 		{ID: 1, Procs: 8, Duration: 10},
 		{ID: 2, Procs: 8, Duration: 10},
 	}
-	res, err := Simulate(16, jobs, FIFO)
+	res, err := Simulate(context.Background(), 16, jobs, FIFO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestFIFOQueuesWhenFull(t *testing.T) {
 		{ID: 1, Procs: 16, Duration: 10},
 		{ID: 2, Procs: 16, Duration: 10},
 	}
-	res, err := Simulate(16, jobs, FIFO)
+	res, err := Simulate(context.Background(), 16, jobs, FIFO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestFIFOHeadOfLineBlocking(t *testing.T) {
 		{ID: 2, Procs: 16, Duration: 5, Submit: 1},
 		{ID: 3, Procs: 2, Duration: 1, Submit: 2},
 	}
-	res, err := Simulate(16, jobs, FIFO)
+	res, err := Simulate(context.Background(), 16, jobs, FIFO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestBackfillFillsIdleSlots(t *testing.T) {
 		{ID: 2, Procs: 16, Duration: 5, Submit: 1},
 		{ID: 3, Procs: 2, Duration: 1, Submit: 2},
 	}
-	res, err := Simulate(16, jobs, Backfill)
+	res, err := Simulate(context.Background(), 16, jobs, Backfill)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestBackfillDoesNotDelayHead(t *testing.T) {
 		{ID: 2, Procs: 16, Duration: 5, Submit: 1},
 		{ID: 3, Procs: 6, Duration: 50, Submit: 2},
 	}
-	res, err := Simulate(16, jobs, Backfill)
+	res, err := Simulate(context.Background(), 16, jobs, Backfill)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestNoOverlapExceedsSlots(t *testing.T) {
 		})
 	}
 	for _, policy := range []Policy{FIFO, Backfill} {
-		res, err := Simulate(16, jobs, policy)
+		res, err := Simulate(context.Background(), 16, jobs, policy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +183,7 @@ func TestSmallBatchesBeatOneBigJob(t *testing.T) {
 		small = append(small, Job{ID: i, Procs: 64, Duration: 30, Submit: 100})
 		ours[i] = true
 	}
-	resA, err := Simulate(slots, append(append([]Job{}, background...), small...), Backfill)
+	resA, err := Simulate(context.Background(), slots, append(append([]Job{}, background...), small...), Backfill)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +191,7 @@ func TestSmallBatchesBeatOneBigJob(t *testing.T) {
 
 	// Variant B: 1 × 1024 procs, 30 min.
 	big := []Job{{ID: 0, Procs: 1024, Duration: 30, Submit: 100}}
-	resB, err := Simulate(slots, append(append([]Job{}, background...), big...), Backfill)
+	resB, err := Simulate(context.Background(), slots, append(append([]Job{}, background...), big...), Backfill)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +240,7 @@ func TestQuickAllJobsComplete(t *testing.T) {
 				Submit:   float64(r.Intn(100)),
 			})
 		}
-		res, err := Simulate(32, jobs, policy)
+		res, err := Simulate(context.Background(), 32, jobs, policy)
 		if err != nil || len(res) != n {
 			return false
 		}
@@ -278,8 +280,8 @@ func TestBackfillBeatsFIFOOnEnsemble(t *testing.T) {
 				Submit:   float64(r.Intn(30)),
 			})
 		}
-		fifo, err1 := Simulate(16, jobs, FIFO)
-		bf, err2 := Simulate(16, jobs, Backfill)
+		fifo, err1 := Simulate(context.Background(), 16, jobs, FIFO)
+		bf, err2 := Simulate(context.Background(), 16, jobs, Backfill)
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}
@@ -301,5 +303,16 @@ func TestBackfillBeatsFIFOOnEnsemble(t *testing.T) {
 	}
 	if wins == 0 {
 		t.Fatal("backfill never improved a workload; the backfill path is likely inert")
+	}
+}
+
+// TestSimulateCanceled: a canceled context aborts the event loop with
+// an error wrapping context.Canceled.
+func TestSimulateCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Simulate(ctx, 16, []Job{{ID: 1, Procs: 8, Duration: 5}}, FIFO)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -24,10 +24,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/eventlog"
@@ -73,6 +78,19 @@ type Config struct {
 	// transport size (every peer may die once); negative disables
 	// failure tolerance entirely.
 	MaxRankRetries int
+	// MemBudgetBytes caps the approximate bytes of log-entry data the
+	// file-based synthesis entry points materialize at once. Zero means
+	// unlimited — the in-memory fast path. When the [t0, t1) slice of
+	// the input files exceeds the budget, entries are spilled to
+	// place-sharded temporary files, each shard is synthesized
+	// independently, and the shard networks are merged; the output is
+	// bit-identical to the in-memory path (places partition across
+	// shards and weight summation commutes). Negative is invalid.
+	MemBudgetBytes int64
+	// SpillDir is the directory the budgeted path creates its shard
+	// spill files under; empty selects the OS temp dir. The spill
+	// directory is removed when synthesis finishes.
+	SpillDir string
 }
 
 func (c *Config) workers() int {
@@ -80,6 +98,30 @@ func (c *Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Validate rejects nonsensical numeric configuration instead of
+// silently coercing it: Workers and MemBudgetBytes must be
+// non-negative. (A negative MaxRankRetries is meaningful — it disables
+// failure tolerance — and zero values select defaults as documented.)
+func (c *Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.MemBudgetBytes < 0 {
+		return fmt.Errorf("core: MemBudgetBytes must be non-negative, got %d", c.MemBudgetBytes)
+	}
+	return nil
+}
+
+// ctxErr returns nil while ctx is live and a wrapped cancellation error
+// (matching errors.Is(err, context.Canceled/DeadlineExceeded)) once it
+// is not.
+func ctxErr(ctx context.Context, op string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s canceled: %w", op, err)
+	}
+	return nil
 }
 
 // Stats reports what a synthesis run did, including the per-worker busy
@@ -107,6 +149,39 @@ type Stats struct {
 	WorkUnits int
 	// Load, Build, Gram, Reduce are per-stage wall times.
 	Load, Build, Gram, Reduce time.Duration
+	// Shards is the number of place shards the budgeted spill path
+	// synthesized independently; zero when no Config.MemBudgetBytes was
+	// set or the whole slice fit within it.
+	Shards int
+	// SpilledBytes is the total size of the shard spill files written
+	// by the budgeted path.
+	SpilledBytes uint64
+	// Spill is the wall time spent counting, routing and re-reading
+	// spilled entries (zero on the in-memory path).
+	Spill time.Duration
+}
+
+// add accumulates the per-batch stats st into the aggregate s. Worker
+// slices sum element-wise; the worker count is fixed by Config, so the
+// slots line up across batches.
+func (s *Stats) add(st *Stats) {
+	s.Entries += st.Entries
+	s.Places += st.Places
+	s.TotalNNZ += st.TotalNNZ
+	s.Splits += st.Splits
+	s.WorkUnits += st.WorkUnits
+	s.Load += st.Load
+	s.Build += st.Build
+	s.Gram += st.Gram
+	s.Reduce += st.Reduce
+	if s.WorkerCost == nil {
+		s.WorkerCost = make([]int, len(st.WorkerCost))
+		s.WorkerBusy = make([]time.Duration, len(st.WorkerBusy))
+	}
+	for w := range st.WorkerCost {
+		s.WorkerCost[w] += st.WorkerCost[w]
+		s.WorkerBusy[w] += st.WorkerBusy[w]
+	}
 }
 
 // IdleFraction returns the mean fraction of stage-4 wall time workers
@@ -171,9 +246,14 @@ func (s *Stats) ModelSpeedup() float64 {
 }
 
 // SynthesizeEntries builds the collocation network for the time slice
-// [t0, t1) from in-memory log entries.
-func SynthesizeEntries(entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
-	all, stats, err := synthesizeEntriesInto(sparse.GetEntries(), entries, t0, t1, cfg)
+// [t0, t1) from in-memory log entries. Cancelling ctx aborts the
+// synthesis within one stage-4 work unit; the returned error then wraps
+// context.Canceled (or DeadlineExceeded).
+func SynthesizeEntries(ctx context.Context, entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	all, stats, err := synthesizeEntriesInto(ctx, sparse.GetEntries(), entries, t0, t1, cfg)
 	if err != nil {
 		sparse.PutEntries(all)
 		return nil, nil, err
@@ -191,9 +271,12 @@ func SynthesizeEntries(entries []eventlog.Entry, t0, t1 uint32, cfg Config) (*sp
 // once per batch (SynthesizeEntries) or once across many batches
 // (SynthesizeFiles), which is what makes the cross-file reduction a
 // single radix pass instead of a k-way merge of per-file matrices.
-func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 uint32, cfg Config) ([]sparse.Entry, *Stats, error) {
+func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []eventlog.Entry, t0, t1 uint32, cfg Config) ([]sparse.Entry, *Stats, error) {
 	if t1 <= t0 {
 		return dst, nil, fmt.Errorf("core: empty time slice [%d,%d)", t0, t1)
+	}
+	if err := ctxErr(ctx, "synthesis"); err != nil {
+		return dst, nil, err
 	}
 	stats := &Stats{SliceHours: int(t1 - t0)}
 
@@ -235,7 +318,7 @@ func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 
 	off := 0
 	for k, d := range perm {
 		sortedIDs[k] = placeIDs[d]
-		buckets[d] = backing[off:off : off+counts[d]]
+		buckets[d] = backing[off : off : off+counts[d]]
 		off += counts[d]
 	}
 	for k, e := range entries {
@@ -253,7 +336,10 @@ func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 
 
 	// Stage 2: per-place collocation matrices, built in parallel.
 	start = time.Now()
-	mats := buildCollocationMatrices(byPlace, placeIDs, t0, t1, cfg.workers())
+	mats, err := buildCollocationMatrices(ctx, byPlace, placeIDs, t0, t1, cfg.workers())
+	if err != nil {
+		return dst, nil, err
+	}
 	for _, m := range mats {
 		stats.TotalNNZ += m.nnz
 	}
@@ -276,9 +362,13 @@ func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 
 	// Stage 4: parallel x·xᵀ through the clique-compressed tile kernel.
 	// Each worker appends raw pair entries to a pooled slice — "each
 	// worker finally sums the set of adjacency matrices it has created".
+	// Cancellation is observed between work units: every worker re-reads
+	// a shared flag before starting a tile, so a canceled synthesis stops
+	// within one unit of compute.
 	start = time.Now()
 	bufs := make([][]sparse.Entry, len(assignments))
 	stats.WorkerBusy = make([]time.Duration, len(assignments))
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := range assignments {
 		wg.Add(1)
@@ -287,6 +377,13 @@ func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 
 			t := time.Now()
 			buf := sparse.GetEntries()
 			for _, u := range assignments[w] {
+				if canceled.Load() {
+					break
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					break
+				}
 				buf = u.bm.GramTileAppend(buf, u.p0, u.p1, u.q0, u.q1)
 			}
 			bufs[w] = buf
@@ -300,6 +397,12 @@ func synthesizeEntriesInto(dst []sparse.Entry, entries []eventlog.Entry, t0, t1 
 		m.bm.Recycle()
 	}
 	stats.Gram = time.Since(start)
+	if canceled.Load() {
+		for _, b := range bufs {
+			sparse.PutEntries(b)
+		}
+		return dst, nil, ctxErr(ctx, "synthesis")
+	}
 
 	// Reduce (first half): concatenate the workers' entries onto dst.
 	// The caller's single TriFromEntries coalesce replaces the
@@ -333,8 +436,12 @@ type placeMatrix struct {
 }
 
 // buildCollocationMatrices runs stage 2 with a bounded worker pool.
-func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []uint32, t0, t1 uint32, workers int) []placeMatrix {
+// Cancellation is observed between places: on a dead ctx the pool stops
+// handing out work, the matrices built so far are recycled, and a
+// wrapped cancellation error is returned.
+func buildCollocationMatrices(ctx context.Context, byPlace map[uint32][]eventlog.Entry, placeIDs []uint32, t0, t1 uint32, workers int) ([]placeMatrix, error) {
 	mats := make([]placeMatrix, len(placeIDs))
+	var canceled atomic.Bool
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -343,6 +450,13 @@ func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []ui
 		go func() {
 			defer wg.Done()
 			for {
+				if canceled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -370,7 +484,15 @@ func buildCollocationMatrices(byPlace map[uint32][]eventlog.Entry, placeIDs []ui
 		}()
 	}
 	wg.Wait()
-	return mats
+	if canceled.Load() {
+		for _, m := range mats {
+			if m.bm != nil {
+				m.bm.Recycle()
+			}
+		}
+		return nil, ctxErr(ctx, "collocation build")
+	}
+	return mats, nil
 }
 
 // workUnit is one stage-4 task: a block×block tile [p0,p1)×[q0,q1) of a
@@ -485,24 +607,10 @@ func balance(mats []placeMatrix, workers int, mode BalanceMode) ([][]workUnit, i
 }
 
 // SynthesizeFile builds the collocation network for [t0, t1) from one
-// log file.
-func SynthesizeFile(path string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
-	r, err := eventlog.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer r.Close()
-	loadStart := time.Now()
-	entries, err := r.TimeSlice(t0, t1)
-	if err != nil {
-		return nil, nil, err
-	}
-	load := time.Since(loadStart)
-	tri, stats, err := SynthesizeEntries(entries, t0, t1, cfg)
-	if stats != nil {
-		stats.Load += load
-	}
-	return tri, stats, err
+// log file. It honors Config.MemBudgetBytes exactly as SynthesizeFiles
+// does.
+func SynthesizeFile(ctx context.Context, path string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	return SynthesizeFiles(ctx, []string{path}, t0, t1, cfg)
 }
 
 // SynthesizeDistributed runs the synthesis across the ranks of a
@@ -528,7 +636,14 @@ func SynthesizeFile(path string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats
 // bit-identical to a healthy run — provided the dead rank's files remain
 // reachable by the survivors (e.g. on shared storage). Unattributable
 // failures (the coordinator itself is gone) are returned as-is.
-func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, error) {
+// Cancelling ctx aborts the local synthesis within one work unit and
+// the gather collective at the transport's cancellation granularity;
+// the resulting error wraps context.Canceled and is NOT treated as a
+// rank failure (no re-striping).
+func SynthesizeDistributed(ctx context.Context, t mpi.Transport, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no log files given")
 	}
@@ -540,6 +655,9 @@ func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg C
 	dead := make([]bool, size)
 	failures := 0
 	for {
+		if err := ctxErr(ctx, "distributed synthesis"); err != nil {
+			return nil, err
+		}
 		// Live ranks, in rank order; identical on every survivor because
 		// the transport reports every death to every survivor in the
 		// same round order.
@@ -567,7 +685,7 @@ func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg C
 		partial := sparse.NewAccum().Tri()
 		if len(mine) > 0 {
 			var err error
-			partial, _, err = SynthesizeFiles(mine, t0, t1, cfg)
+			partial, _, err = SynthesizeFiles(ctx, mine, t0, t1, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -576,7 +694,7 @@ func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg C
 		if err != nil {
 			return nil, err
 		}
-		gathered, err := t.Gather(blob)
+		gathered, err := t.Gather(ctx, blob)
 		if err != nil {
 			rf, ok := mpi.AsRankFailed(err)
 			if !ok || rf.Rank < 0 || rf.Rank >= size || retries < 0 {
@@ -620,8 +738,16 @@ func SynthesizeDistributed(t mpi.Transport, paths []string, t0, t1 uint32, cfg C
 //
 // Each log file is read from disk exactly once: the whole-window entry
 // set is kept in memory and re-sliced per time slice, so an N-slice
-// series costs one file pass instead of N.
-func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]*sparse.Tri, error) {
+// series costs one file pass instead of N. (The series path is
+// inherently in-memory; use SynthesizeFiles per slice under a
+// MemBudgetBytes when the window itself exceeds RAM.)
+//
+// Cancellation is observed between slices, between files and within a
+// file's synthesis at work-unit granularity.
+func SynthesizeSeries(ctx context.Context, paths []string, t0, t1, sliceHours uint32, cfg Config) ([]*sparse.Tri, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if sliceHours == 0 {
 		return nil, fmt.Errorf("core: sliceHours must be positive")
 	}
@@ -633,12 +759,15 @@ func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]
 	}
 	perFile := make([][]eventlog.Entry, len(paths))
 	for i, p := range paths {
-		r, err := eventlog.Open(p)
+		if err := ctxErr(ctx, "series load"); err != nil {
+			return nil, err
+		}
+		src, err := eventlog.OpenSource(p, t0, t1)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", p, err)
 		}
-		entries, err := r.TimeSlice(t0, t1)
-		r.Close()
+		entries, err := eventlog.ReadAll(src)
+		src.Close()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", p, err)
 		}
@@ -662,7 +791,7 @@ func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]
 					scratch = append(scratch, e)
 				}
 			}
-			tri, _, err := SynthesizeEntries(scratch, lo, hi, cfg)
+			tri, _, err := SynthesizeEntries(ctx, scratch, lo, hi, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s: %w", paths[i], err)
 			}
@@ -678,10 +807,34 @@ func SynthesizeSeries(paths []string, t0, t1, sliceHours uint32, cfg Config) ([]
 // complete network. Files are processed sequentially; parallelism lives
 // inside each file's synthesis, matching the paper's batch structure.
 // The returned Stats aggregates all files.
-func SynthesizeFiles(paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+//
+// When Config.MemBudgetBytes is set and the [t0, t1) slice exceeds it,
+// entries are spilled to place-sharded temporary files and each shard
+// is synthesized independently under the budget; see the package
+// DESIGN notes. The output is bit-identical either way. Cancelling ctx
+// aborts within one stage-4 work unit (in-memory) or one shard/batch
+// (spill) with an error wrapping context.Canceled.
+func SynthesizeFiles(ctx context.Context, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("core: no log files given")
 	}
+	if t1 <= t0 {
+		return nil, nil, fmt.Errorf("core: empty time slice [%d,%d)", t0, t1)
+	}
+	if cfg.MemBudgetBytes > 0 {
+		return synthesizeFilesBudgeted(ctx, paths, t0, t1, cfg)
+	}
+	return synthesizeFilesInMemory(ctx, paths, t0, t1, cfg)
+}
+
+// synthesizeFilesInMemory is the fast path: each file's slice is
+// materialized, synthesized into raw pair entries, and one radix
+// coalesce at the end replaces the per-file coalesce plus cross-file
+// k-way matrix merge.
+func synthesizeFilesInMemory(ctx context.Context, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
 	agg := &Stats{SliceHours: int(t1 - t0)}
 	all := sparse.GetEntries()
 	for _, p := range paths {
@@ -698,7 +851,7 @@ func SynthesizeFiles(paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *S
 			}
 			load := time.Since(loadStart)
 			var stats *Stats
-			all, stats, err = synthesizeEntriesInto(all, entries, t0, t1, cfg)
+			all, stats, err = synthesizeEntriesInto(ctx, all, entries, t0, t1, cfg)
 			if stats != nil {
 				stats.Load += load
 			}
@@ -708,31 +861,262 @@ func SynthesizeFiles(paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *S
 			sparse.PutEntries(all)
 			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
 		}
-		agg.Entries += stats.Entries
-		agg.Places += stats.Places
-		agg.TotalNNZ += stats.TotalNNZ
-		agg.Splits += stats.Splits
-		agg.WorkUnits += stats.WorkUnits
-		agg.Load += stats.Load
-		agg.Build += stats.Build
-		agg.Gram += stats.Gram
-		agg.Reduce += stats.Reduce
-		// Per-worker loads sum element-wise across files (the worker
-		// count is fixed by cfg, so slots line up).
-		if agg.WorkerCost == nil {
-			agg.WorkerCost = make([]int, len(stats.WorkerCost))
-			agg.WorkerBusy = make([]time.Duration, len(stats.WorkerBusy))
-		}
-		for w := range stats.WorkerCost {
-			agg.WorkerCost[w] += stats.WorkerCost[w]
-			agg.WorkerBusy[w] += stats.WorkerBusy[w]
-		}
+		agg.add(stats)
 	}
 	// One radix coalesce over every file's raw pair entries replaces the
 	// per-file coalesce plus cross-file k-way matrix merge.
 	start := time.Now()
 	total := sparse.TriFromEntries(all)
 	sparse.PutEntries(all)
+	agg.Reduce += time.Since(start)
+	return total, agg, nil
+}
+
+// spillCacheEntries sizes the spill writers' in-memory caches. Small:
+// with S shards open at once during routing, cache memory is
+// S * spillCacheEntries * 20 bytes.
+const spillCacheEntries = 4096
+
+// shardTargetBytes derives the per-shard entry-byte target from the
+// budget. Materialized shard entries are only part of the working set —
+// collocation bitsets, clique compressions and raw pair entries ride on
+// top — so a shard gets a quarter of the budget, keeping the whole
+// synthesis comfortably inside it.
+func shardTargetBytes(budget int64) int64 {
+	t := budget / 4
+	if t < eventlog.BaseEntrySize {
+		t = eventlog.BaseEntrySize
+	}
+	return t
+}
+
+// planShards groups places into shards whose summed entry bytes stay
+// near target, first-fit-decreasing: places are sorted by entry count
+// (descending, place ID ascending on ties — deterministic) and each is
+// placed in the first shard with room, or a new shard. A single place
+// larger than the target gets its own shard; it will materialize over
+// target but there is no smaller unit of work (a place's matrix is
+// indivisible). Returns the place→shard map and the shard count.
+func planShards(counts map[uint32]int64, target int64) (map[uint32]int, int) {
+	places := make([]uint32, 0, len(counts))
+	for p := range counts {
+		places = append(places, p)
+	}
+	sort.Slice(places, func(a, b int) bool {
+		ca, cb := counts[places[a]], counts[places[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return places[a] < places[b]
+	})
+	shardOf := make(map[uint32]int, len(places))
+	var loads []int64
+	for _, p := range places {
+		need := counts[p] * eventlog.BaseEntrySize
+		s := -1
+		for i, l := range loads {
+			if l+need <= target {
+				s = i
+				break
+			}
+		}
+		if s < 0 {
+			s = len(loads)
+			loads = append(loads, 0)
+		}
+		loads[s] += need
+		shardOf[p] = s
+	}
+	return shardOf, len(loads)
+}
+
+// synthesizeFilesBudgeted is the bounded-memory path. Three passes:
+//
+//  1. Count — stream every file's slice once, tallying entries per
+//     place (O(places) memory).
+//  2. Route — if the whole slice fits the budget, fall back to the
+//     in-memory path; otherwise stream again, appending each entry to
+//     its place-shard's spill file (an ordinary eventlog file, checksums
+//     off) and recording per-(shard, file) entry counts.
+//  3. Synthesize — each shard is read back (≤ the shard target),
+//     resegmented by originating file, and synthesized segment by
+//     segment exactly as the in-memory path synthesizes files. The
+//     per-file segmentation is what keeps the output bit-identical: a
+//     collocation bit dedupes within one file's matrix but not across
+//     files, so shard synthesis must see the same (file, place) entry
+//     groups the in-memory path sees.
+//
+// Shard networks are merged with the tournament merge; since shards
+// partition the place set and edge-weight summation is commutative and
+// associative, the merged network equals the single-coalesce result
+// bit for bit.
+func synthesizeFilesBudgeted(ctx context.Context, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
+	spillStart := time.Now()
+
+	// Pass 1: per-place entry counts for the slice.
+	counts := make(map[uint32]int64)
+	var totalEntries int64
+	for _, p := range paths {
+		src, err := eventlog.OpenSource(p, t0, t1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
+		}
+		for {
+			batch, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				src.Close()
+				return nil, nil, fmt.Errorf("core: %s: %w", p, err)
+			}
+			if err := ctxErr(ctx, "spill count"); err != nil {
+				src.Close()
+				return nil, nil, err
+			}
+			totalEntries += int64(len(batch))
+			for _, e := range batch {
+				counts[e.Place]++
+			}
+		}
+		if err := src.Close(); err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
+		}
+	}
+	if totalEntries*eventlog.BaseEntrySize <= cfg.MemBudgetBytes {
+		// Everything fits: take the fast path, charging the counting
+		// pass to Spill so the budget machinery's cost stays visible.
+		tri, stats, err := synthesizeFilesInMemory(ctx, paths, t0, t1, cfg)
+		if stats != nil {
+			stats.Spill += time.Since(spillStart)
+		}
+		return tri, stats, err
+	}
+
+	shardOf, nShards := planShards(counts, shardTargetBytes(cfg.MemBudgetBytes))
+
+	// Pass 2: route entries to per-shard spill files.
+	dir, err := os.MkdirTemp(cfg.SpillDir, "core-spill-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: spill dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	shardPath := func(s int) string {
+		return filepath.Join(dir, fmt.Sprintf("shard%04d.h5l", s))
+	}
+	writers := make([]*eventlog.Logger, nShards)
+	closeWriters := func() {
+		for i, w := range writers {
+			if w != nil {
+				w.Close()
+				writers[i] = nil
+			}
+		}
+	}
+	defer closeWriters()
+	for s := range writers {
+		writers[s], err = eventlog.Create(shardPath(s), eventlog.Config{
+			CacheEntries:     spillCacheEntries,
+			DisableChecksums: true,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: spill shard %d: %w", s, err)
+		}
+	}
+	// segs[s][f] is how many entries of shard s came from paths[f], in
+	// file order — the resegmentation boundaries for pass 3.
+	segs := make([][]int64, nShards)
+	for s := range segs {
+		segs[s] = make([]int64, len(paths))
+	}
+	for fi, p := range paths {
+		src, err := eventlog.OpenSource(p, t0, t1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
+		}
+		ferr := func() error {
+			for {
+				batch, err := src.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if err := ctxErr(ctx, "spill route"); err != nil {
+					return err
+				}
+				for _, e := range batch {
+					s := shardOf[e.Place]
+					if err := writers[s].Log(e); err != nil {
+						return err
+					}
+					segs[s][fi]++
+				}
+			}
+		}()
+		cerr := src.Close()
+		if ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", p, ferr)
+		}
+	}
+	agg := &Stats{SliceHours: int(t1 - t0), Shards: nShards}
+	for s, w := range writers {
+		if err := w.Close(); err != nil {
+			return nil, nil, fmt.Errorf("core: spill shard %d: %w", s, err)
+		}
+		writers[s] = nil
+		if st, err := os.Stat(shardPath(s)); err == nil {
+			agg.SpilledBytes += uint64(st.Size())
+		}
+	}
+	agg.Spill = time.Since(spillStart)
+
+	// Pass 3: synthesize each shard independently, then merge.
+	tris := make([]*sparse.Tri, 0, nShards)
+	for s := 0; s < nShards; s++ {
+		readStart := time.Now()
+		src, err := eventlog.OpenSource(shardPath(s), 0, t1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: spill shard %d: %w", s, err)
+		}
+		entries, err := eventlog.ReadAll(src)
+		cerr := src.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: spill shard %d: %w", s, err)
+		}
+		os.Remove(shardPath(s))
+		agg.Spill += time.Since(readStart)
+		dst := sparse.GetEntries()
+		var off int64
+		for fi := range paths {
+			n := segs[s][fi]
+			if n == 0 {
+				continue
+			}
+			seg := entries[off : off+n]
+			off += n
+			var st *Stats
+			dst, st, err = synthesizeEntriesInto(ctx, dst, seg, t0, t1, cfg)
+			if err != nil {
+				sparse.PutEntries(dst)
+				return nil, nil, fmt.Errorf("core: %s (shard %d): %w", paths[fi], s, err)
+			}
+			agg.add(st)
+		}
+		start := time.Now()
+		tris = append(tris, sparse.TriFromEntries(dst))
+		sparse.PutEntries(dst)
+		agg.Reduce += time.Since(start)
+	}
+	start := time.Now()
+	total := sparse.MergeTrisParallel(cfg.workers(), tris...)
 	agg.Reduce += time.Since(start)
 	return total, agg, nil
 }

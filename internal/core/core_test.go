@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -62,7 +63,7 @@ func randomEntries(seed uint64, n int) []eventlog.Entry {
 func TestSynthesizeMatchesBruteForce(t *testing.T) {
 	for seed := uint64(0); seed < 10; seed++ {
 		entries := randomEntries(seed, 120)
-		tri, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 4})
+		tri, stats, err := SynthesizeEntries(context.Background(), entries, 0, 48, Config{Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestSliceClipping(t *testing.T) {
 		{Start: 0, Stop: 10, Person: 1, Place: 7},
 		{Start: 0, Stop: 10, Person: 2, Place: 7},
 	}
-	tri, _, err := SynthesizeEntries(entries, 4, 8, Config{Workers: 2})
+	tri, _, err := SynthesizeEntries(context.Background(), entries, 4, 8, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestEntriesOutsideSliceIgnored(t *testing.T) {
 		{Start: 0, Stop: 5, Person: 2, Place: 7},
 		{Start: 10, Stop: 20, Person: 3, Place: 7},
 	}
-	tri, stats, err := SynthesizeEntries(entries, 10, 20, Config{})
+	tri, stats, err := SynthesizeEntries(context.Background(), entries, 10, 20, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,16 +116,16 @@ func TestEntriesOutsideSliceIgnored(t *testing.T) {
 }
 
 func TestEmptySliceRejected(t *testing.T) {
-	if _, _, err := SynthesizeEntries(nil, 10, 10, Config{}); err == nil {
+	if _, _, err := SynthesizeEntries(context.Background(), nil, 10, 10, Config{}); err == nil {
 		t.Fatal("empty slice accepted")
 	}
-	if _, _, err := SynthesizeEntries(nil, 10, 5, Config{}); err == nil {
+	if _, _, err := SynthesizeEntries(context.Background(), nil, 10, 5, Config{}); err == nil {
 		t.Fatal("inverted slice accepted")
 	}
 }
 
 func TestNoEntriesYieldsEmptyNetwork(t *testing.T) {
-	tri, stats, err := SynthesizeEntries(nil, 0, 24, Config{})
+	tri, stats, err := SynthesizeEntries(context.Background(), nil, 0, 24, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestResultIndependentOfWorkers(t *testing.T) {
 	entries := randomEntries(77, 400)
 	var ref *sparse.Tri
 	for _, workers := range []int{1, 2, 3, 8, 16} {
-		tri, _, err := SynthesizeEntries(entries, 0, 60, Config{Workers: workers})
+		tri, _, err := SynthesizeEntries(context.Background(), entries, 0, 60, Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,11 +154,11 @@ func TestResultIndependentOfWorkers(t *testing.T) {
 
 func TestResultIndependentOfBalanceMode(t *testing.T) {
 	entries := randomEntries(88, 400)
-	a, _, err := SynthesizeEntries(entries, 0, 60, Config{Workers: 4, Balance: BalanceNNZ})
+	a, _, err := SynthesizeEntries(context.Background(), entries, 0, 60, Config{Workers: 4, Balance: BalanceNNZ})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := SynthesizeEntries(entries, 0, 60, Config{Workers: 4, Balance: BalanceNone})
+	b, _, err := SynthesizeEntries(context.Background(), entries, 0, 60, Config{Workers: 4, Balance: BalanceNone})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestResultIndependentOfBalanceMode(t *testing.T) {
 
 func TestWorkerNNZAccounting(t *testing.T) {
 	entries := randomEntries(99, 500)
-	_, stats, err := SynthesizeEntries(entries, 0, 60, Config{Workers: 4})
+	_, stats, err := SynthesizeEntries(context.Background(), entries, 0, 60, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +195,11 @@ func TestBalancedBeatsNaiveOnSkewedPlaces(t *testing.T) {
 	for p := uint32(100); p < 140; p++ {
 		entries = append(entries, eventlog.Entry{Start: 0, Stop: 2, Person: p, Place: p})
 	}
-	_, balanced, err := SynthesizeEntries(entries, 0, 24, Config{Workers: 4, Balance: BalanceNNZ})
+	_, balanced, err := SynthesizeEntries(context.Background(), entries, 0, 24, Config{Workers: 4, Balance: BalanceNNZ})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, naive, err := SynthesizeEntries(entries, 0, 24, Config{Workers: 4, Balance: BalanceNone})
+	_, naive, err := SynthesizeEntries(context.Background(), entries, 0, 24, Config{Workers: 4, Balance: BalanceNone})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func megaPlaceEntries() []eventlog.Entry {
 // count.
 func TestSplitWorkUnitsBitIdentical(t *testing.T) {
 	entries := megaPlaceEntries()
-	ref, refStats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 1})
+	ref, refStats, err := SynthesizeEntries(context.Background(), entries, 0, 48, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestSplitWorkUnitsBitIdentical(t *testing.T) {
 	}
 	splitSeen := false
 	for workers := 2; workers <= 8; workers++ {
-		tri, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: workers})
+		tri, stats, err := SynthesizeEntries(context.Background(), entries, 0, 48, Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,7 +281,7 @@ func TestSplitWorkUnitsBitIdentical(t *testing.T) {
 
 func TestIdleFractionBounds(t *testing.T) {
 	entries := randomEntries(11, 300)
-	_, stats, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 4})
+	_, stats, err := SynthesizeEntries(context.Background(), entries, 0, 48, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestEndToEndFromSimulationLogs(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := schedule.NewGenerator(pop, 21)
-	res, err := abm.Run(abm.Config{
+	res, err := abm.Run(context.Background(), abm.Config{
 		Pop: pop, Gen: gen, Ranks: 4, Days: 2,
 		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 128},
 	})
@@ -311,7 +312,7 @@ func TestEndToEndFromSimulationLogs(t *testing.T) {
 		t.Fatal(err)
 	}
 	const t0, t1 = 0, 48
-	tri, stats, err := SynthesizeFiles(res.LogPaths, t0, t1, Config{Workers: 4})
+	tri, stats, err := SynthesizeFiles(context.Background(), res.LogPaths, t0, t1, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,13 +352,13 @@ func TestSynthesizeFilesMatchesMergedEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := schedule.NewGenerator(pop, 31)
-	res, err := abm.Run(abm.Config{
+	res, err := abm.Run(context.Background(), abm.Config{
 		Pop: pop, Gen: gen, Ranks: 3, Days: 1, LogDir: t.TempDir(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	perFile, _, err := SynthesizeFiles(res.LogPaths, 0, 24, Config{Workers: 2})
+	perFile, _, err := SynthesizeFiles(context.Background(), res.LogPaths, 0, 24, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestSynthesizeFilesMatchesMergedEntries(t *testing.T) {
 		}
 		all = append(all, es...)
 	}
-	merged, _, err := SynthesizeEntries(all, 0, 24, Config{Workers: 2})
+	merged, _, err := SynthesizeEntries(context.Background(), all, 0, 24, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,19 +390,19 @@ func TestSynthesizeSeriesSumsToWhole(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := schedule.NewGenerator(pop, 41)
-	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 2, Days: 3, LogDir: t.TempDir()})
+	res, err := abm.Run(context.Background(), abm.Config{Pop: pop, Gen: gen, Ranks: 2, Days: 3, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Daily slices over three days.
-	daily, err := SynthesizeSeries(res.LogPaths, 0, 72, 24, Config{Workers: 2})
+	daily, err := SynthesizeSeries(context.Background(), res.LogPaths, 0, 72, 24, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(daily) != 3 {
 		t.Fatalf("got %d slices, want 3", len(daily))
 	}
-	whole, _, err := SynthesizeFiles(res.LogPaths, 0, 72, Config{Workers: 2})
+	whole, _, err := SynthesizeFiles(context.Background(), res.LogPaths, 0, 72, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ func TestSynthesizeSeriesSumsToWhole(t *testing.T) {
 		t.Fatal("daily slices do not sum to the whole-window network")
 	}
 	// A ragged final slice must clip, not extend.
-	ragged, err := SynthesizeSeries(res.LogPaths, 0, 60, 24, Config{Workers: 2})
+	ragged, err := SynthesizeSeries(context.Background(), res.LogPaths, 0, 60, 24, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,16 +420,16 @@ func TestSynthesizeSeriesSumsToWhole(t *testing.T) {
 }
 
 func TestSynthesizeSeriesValidation(t *testing.T) {
-	if _, err := SynthesizeSeries([]string{"x"}, 0, 24, 0, Config{}); err == nil {
+	if _, err := SynthesizeSeries(context.Background(), []string{"x"}, 0, 24, 0, Config{}); err == nil {
 		t.Error("zero sliceHours accepted")
 	}
-	if _, err := SynthesizeSeries([]string{"x"}, 24, 24, 8, Config{}); err == nil {
+	if _, err := SynthesizeSeries(context.Background(), []string{"x"}, 24, 24, 8, Config{}); err == nil {
 		t.Error("empty window accepted")
 	}
 }
 
 func TestSynthesizeFilesEmptyList(t *testing.T) {
-	if _, _, err := SynthesizeFiles(nil, 0, 24, Config{}); err == nil {
+	if _, _, err := SynthesizeFiles(context.Background(), nil, 0, 24, Config{}); err == nil {
 		t.Fatal("empty file list accepted")
 	}
 }
@@ -437,7 +438,7 @@ func TestSynthesizeFilesEmptyList(t *testing.T) {
 func TestQuickSynthesisCorrect(t *testing.T) {
 	f := func(seed uint64) bool {
 		entries := randomEntries(seed, 60)
-		tri, _, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 3})
+		tri, _, err := SynthesizeEntries(context.Background(), entries, 0, 48, Config{Workers: 3})
 		if err != nil {
 			return false
 		}
@@ -462,15 +463,15 @@ func TestQuickSynthesisCorrect(t *testing.T) {
 func TestQuickTimeAdditivity(t *testing.T) {
 	f := func(seed uint64) bool {
 		entries := randomEntries(seed, 100)
-		full, _, err := SynthesizeEntries(entries, 0, 48, Config{Workers: 2})
+		full, _, err := SynthesizeEntries(context.Background(), entries, 0, 48, Config{Workers: 2})
 		if err != nil {
 			return false
 		}
-		a, _, err := SynthesizeEntries(entries, 0, 24, Config{Workers: 2})
+		a, _, err := SynthesizeEntries(context.Background(), entries, 0, 24, Config{Workers: 2})
 		if err != nil {
 			return false
 		}
-		b, _, err := SynthesizeEntries(entries, 24, 48, Config{Workers: 2})
+		b, _, err := SynthesizeEntries(context.Background(), entries, 24, 48, Config{Workers: 2})
 		if err != nil {
 			return false
 		}
@@ -487,11 +488,11 @@ func TestSynthesizeDistributedMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := schedule.NewGenerator(pop, 51)
-	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 5, Days: 2, LogDir: t.TempDir()})
+	res, err := abm.Run(context.Background(), abm.Config{Pop: pop, Gen: gen, Ranks: 5, Days: 2, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, _, err := SynthesizeFiles(res.LogPaths, 0, 48, Config{Workers: 2})
+	serial, _, err := SynthesizeFiles(context.Background(), res.LogPaths, 0, 48, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -499,7 +500,7 @@ func TestSynthesizeDistributedMatchesSerial(t *testing.T) {
 	world := mpi.NewWorld(3)
 	results := make([]*sparse.Tri, 3)
 	err = world.Run(func(c *mpi.Comm) error {
-		tri, err := SynthesizeDistributed(mpi.AsTransport(c), res.LogPaths, 0, 48, Config{Workers: 1})
+		tri, err := SynthesizeDistributed(context.Background(), mpi.AsTransport(c), res.LogPaths, 0, 48, Config{Workers: 1})
 		if err != nil {
 			return err
 		}
@@ -520,7 +521,7 @@ func TestSynthesizeDistributedMatchesSerial(t *testing.T) {
 func TestSynthesizeDistributedEmptyPaths(t *testing.T) {
 	world := mpi.NewWorld(1)
 	err := world.Run(func(c *mpi.Comm) error {
-		_, err := SynthesizeDistributed(mpi.AsTransport(c), nil, 0, 24, Config{})
+		_, err := SynthesizeDistributed(context.Background(), mpi.AsTransport(c), nil, 0, 24, Config{})
 		if err == nil {
 			t.Error("empty path list accepted")
 		}
@@ -537,11 +538,11 @@ func TestSynthesizeDistributedMoreRanksThanFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := schedule.NewGenerator(pop, 52)
-	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 2, Days: 1, LogDir: t.TempDir()})
+	res, err := abm.Run(context.Background(), abm.Config{Pop: pop, Gen: gen, Ranks: 2, Days: 1, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, _, err := SynthesizeFiles(res.LogPaths, 0, 24, Config{Workers: 1})
+	serial, _, err := SynthesizeFiles(context.Background(), res.LogPaths, 0, 24, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -549,7 +550,7 @@ func TestSynthesizeDistributedMoreRanksThanFiles(t *testing.T) {
 	world := mpi.NewWorld(6)
 	var got *sparse.Tri
 	err = world.Run(func(c *mpi.Comm) error {
-		tri, err := SynthesizeDistributed(mpi.AsTransport(c), res.LogPaths, 0, 24, Config{Workers: 1})
+		tri, err := SynthesizeDistributed(context.Background(), mpi.AsTransport(c), res.LogPaths, 0, 24, Config{Workers: 1})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -24,11 +25,11 @@ func buildLogs(t *testing.T, seed int64) ([]string, *sparse.Tri) {
 		t.Fatal(err)
 	}
 	gen := schedule.NewGenerator(pop, uint64(seed))
-	res, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 5, Days: 2, LogDir: t.TempDir()})
+	res, err := abm.Run(context.Background(), abm.Config{Pop: pop, Gen: gen, Ranks: 5, Days: 2, LogDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, _, err := SynthesizeFiles(res.LogPaths, 0, 48, Config{Workers: 2})
+	serial, _, err := SynthesizeFiles(context.Background(), res.LogPaths, 0, 48, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestSynthesizeDistributedSurvivesRankDeath(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		hostTri, hostErr = SynthesizeDistributed(host, paths, 0, 48, Config{Workers: 1})
+		hostTri, hostErr = SynthesizeDistributed(context.Background(), host, paths, 0, 48, Config{Workers: 1})
 	}()
 	go func() {
 		defer wg.Done()
-		survTri, survErr = SynthesizeDistributed(survivor, paths, 0, 48, Config{Workers: 1})
+		survTri, survErr = SynthesizeDistributed(context.Background(), survivor, paths, 0, 48, Config{Workers: 1})
 	}()
 	wg.Wait()
 
@@ -135,15 +136,15 @@ func TestSynthesizeDistributedSurvivesMidGatherDeath(t *testing.T) {
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		hostTri, hostErr = SynthesizeDistributed(host, paths, 0, 48, Config{Workers: 1})
+		hostTri, hostErr = SynthesizeDistributed(context.Background(), host, paths, 0, 48, Config{Workers: 1})
 	}()
 	go func() {
 		defer wg.Done()
-		_, survErr = SynthesizeDistributed(survivor, paths, 0, 48, Config{Workers: 1})
+		_, survErr = SynthesizeDistributed(context.Background(), survivor, paths, 0, 48, Config{Workers: 1})
 	}()
 	go func() {
 		defer wg.Done()
-		_, vicErr = SynthesizeDistributed(victim, paths, 0, 48, Config{Workers: 1})
+		_, vicErr = SynthesizeDistributed(context.Background(), victim, paths, 0, 48, Config{Workers: 1})
 	}()
 	wg.Wait()
 
@@ -181,7 +182,7 @@ func TestSynthesizeDistributedRetriesDisabled(t *testing.T) {
 	}
 	victim.Close()
 
-	_, err = SynthesizeDistributed(host, paths, 0, 48, Config{Workers: 1, MaxRankRetries: -1})
+	_, err = SynthesizeDistributed(context.Background(), host, paths, 0, 48, Config{Workers: 1, MaxRankRetries: -1})
 	if err == nil {
 		t.Fatal("synthesis succeeded with retries disabled and a dead peer")
 	}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/abm"
+	"repro/internal/eventlog"
+	"repro/internal/schedule"
+	"repro/internal/synthpop"
+)
+
+// writeEntriesLog writes the given entries to a fresh log file and
+// returns its path.
+func writeEntriesLog(t *testing.T, dir, name string, entries []eventlog.Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	l, err := eventlog.Create(path, eventlog.Config{CacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := l.Log(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// simLogs runs a small simulation and returns its per-rank log paths.
+func simLogs(t *testing.T, seed uint64, persons, ranks, days int) []string {
+	t.Helper()
+	pop, err := synthpop.Generate(synthpop.Config{Persons: persons, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := schedule.NewGenerator(pop, seed)
+	res, err := abm.Run(context.Background(), abm.Config{
+		Pop: pop, Gen: gen, Ranks: ranks, Days: days, LogDir: t.TempDir(),
+		// A small cache yields many chunks per log, so crash-salvage
+		// tests find intact prefixes to recover.
+		Log: eventlog.Config{CacheEntries: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.LogPaths
+}
+
+// TestBudgetedSynthesisBitIdentical is the tentpole acceptance test: a
+// memory budget small enough to force the place-sharded spill path must
+// produce a network bit-identical to the unbudgeted in-memory path.
+func TestBudgetedSynthesisBitIdentical(t *testing.T) {
+	paths := simLogs(t, 71, 500, 3, 2)
+	t1 := uint32(2 * schedule.HoursPerDay)
+
+	want, wantStats, err := SynthesizeFiles(context.Background(), paths, 0, t1, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats.Shards != 0 {
+		t.Fatalf("unbudgeted run spilled: %d shards", wantStats.Shards)
+	}
+
+	// Budget a small fraction of the slice so the planner must build
+	// several shards.
+	budget := int64(wantStats.Entries) * eventlog.BaseEntrySize / 4
+	got, stats, err := SynthesizeFiles(context.Background(), paths, 0, t1,
+		Config{Workers: 3, MemBudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards < 2 {
+		t.Fatalf("budget %d produced %d shards, want >= 2", budget, stats.Shards)
+	}
+	if stats.SpilledBytes == 0 {
+		t.Fatal("no bytes recorded as spilled")
+	}
+	if stats.Entries != wantStats.Entries || stats.Places != wantStats.Places {
+		t.Fatalf("budgeted stats (%d entries, %d places) != unbudgeted (%d, %d)",
+			stats.Entries, stats.Places, wantStats.Entries, wantStats.Places)
+	}
+	if !got.Equal(want) {
+		t.Fatal("budgeted synthesis differs from the in-memory path")
+	}
+}
+
+// TestBudgetedSynthesisProperty sweeps random entry sets and budgets:
+// every budget, from absurdly tight to generous, must reproduce the
+// unbudgeted network exactly.
+func TestBudgetedSynthesisProperty(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		dir := t.TempDir()
+		entries := randomEntries(seed, 400)
+		half := len(entries) / 2
+		paths := []string{
+			writeEntriesLog(t, dir, "a.h5l", entries[:half]),
+			writeEntriesLog(t, dir, "b.h5l", entries[half:]),
+		}
+		want, _, err := SynthesizeFiles(context.Background(), paths, 0, 60, Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int64{1, 512, 4 << 10, 1 << 20} {
+			got, stats, err := SynthesizeFiles(context.Background(), paths, 0, 60,
+				Config{Workers: 2, MemBudgetBytes: budget})
+			if err != nil {
+				t.Fatalf("seed %d budget %d: %v", seed, budget, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("seed %d budget %d (shards %d): network differs from unbudgeted",
+					seed, budget, stats.Shards)
+			}
+		}
+	}
+}
+
+// TestBudgetedSynthesisOnSalvagedLogs feeds the spill path logs that
+// went through crash salvage: a torn (footer-less) log is recovered by
+// eventlog.Resume and the salvaged file must synthesize identically
+// with and without a budget.
+func TestBudgetedSynthesisOnSalvagedLogs(t *testing.T) {
+	paths := simLogs(t, 73, 400, 2, 1)
+
+	// Tear one log mid-file, then salvage it the way a resumed run
+	// would, leaving a valid footer over the recovered prefix.
+	dir := t.TempDir()
+	torn := filepath.Join(dir, "torn.h5l")
+	b, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, b[:len(b)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eventlog.Open(torn); err == nil {
+		t.Fatal("torn log unexpectedly opens cleanly")
+	}
+	l, info, err := eventlog.Resume(torn, eventlog.Config{CacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RecoveredEntries == 0 {
+		t.Fatal("salvage recovered no entries")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	salvaged := []string{torn, paths[1]}
+	want, _, err := SynthesizeFiles(context.Background(), salvaged, 0, 24, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := SynthesizeFiles(context.Background(), salvaged, 0, 24,
+		Config{Workers: 2, MemBudgetBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards < 2 {
+		t.Fatalf("budget produced %d shards, want >= 2", stats.Shards)
+	}
+	if !got.Equal(want) {
+		t.Fatal("budgeted synthesis of salvaged logs differs from in-memory path")
+	}
+}
+
+// TestBudgetLargeEnoughStaysInMemory: when the whole slice fits inside
+// the budget no shards are created and no bytes spill.
+func TestBudgetLargeEnoughStaysInMemory(t *testing.T) {
+	dir := t.TempDir()
+	entries := randomEntries(3, 200)
+	path := writeEntriesLog(t, dir, "a.h5l", entries)
+
+	want, _, err := SynthesizeFiles(context.Background(), []string{path}, 0, 60, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := SynthesizeFiles(context.Background(), []string{path}, 0, 60,
+		Config{MemBudgetBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 0 || stats.SpilledBytes != 0 {
+		t.Fatalf("generous budget spilled anyway: %d shards, %d bytes",
+			stats.Shards, stats.SpilledBytes)
+	}
+	if !got.Equal(want) {
+		t.Fatal("generous-budget synthesis differs from unbudgeted")
+	}
+}
+
+// TestBudgetedLeavesNoSpillFiles: the temporary spill directory must be
+// gone after a budgeted run, success or not.
+func TestBudgetedLeavesNoSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	spillDir := t.TempDir()
+	entries := randomEntries(5, 300)
+	path := writeEntriesLog(t, dir, "a.h5l", entries)
+
+	_, stats, err := SynthesizeFiles(context.Background(), []string{path}, 0, 60,
+		Config{MemBudgetBytes: 256, SpillDir: spillDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards < 2 {
+		t.Fatalf("got %d shards, want >= 2", stats.Shards)
+	}
+	left, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spill dir not cleaned up: %d entries remain", len(left))
+	}
+}
+
+// TestConfigValidateRejectsNegatives: negative numeric configuration is
+// an error, not a silent default.
+func TestConfigValidateRejectsNegatives(t *testing.T) {
+	if _, _, err := SynthesizeEntries(context.Background(), nil, 0, 24, Config{Workers: -1}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	if _, _, err := SynthesizeEntries(context.Background(), nil, 0, 24, Config{MemBudgetBytes: -1}); err == nil {
+		t.Error("negative MemBudgetBytes accepted")
+	}
+	if _, _, err := SynthesizeFiles(context.Background(), []string{"x"}, 0, 24, Config{Workers: -3}); err == nil {
+		t.Error("SynthesizeFiles: negative Workers accepted")
+	}
+}

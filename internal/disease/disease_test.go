@@ -1,6 +1,7 @@
 package disease
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/abm"
@@ -30,7 +31,7 @@ func runEpidemic(t testing.TB, pop *synthpop.Population, gen *schedule.Generator
 	for _, s := range seeds {
 		m.SeedCase(s)
 	}
-	_, err := abm.Run(abm.Config{
+	_, err := abm.Run(context.Background(), abm.Config{
 		Pop: pop, Gen: gen, Ranks: ranks, Days: days, Interact: m.Hook(),
 	})
 	if err != nil {
@@ -211,7 +212,7 @@ func BenchmarkEpidemicWeek(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := New(pop.NumPersons(), defaultCfg())
 		m.SeedCase(0)
-		if _, err := abm.Run(abm.Config{Pop: pop, Gen: gen, Ranks: 4, Days: 7, Interact: m.Hook()}); err != nil {
+		if _, err := abm.Run(context.Background(), abm.Config{Pop: pop, Gen: gen, Ranks: 4, Days: 7, Interact: m.Hook()}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -229,10 +229,13 @@ func (r *Reader) NumEntries() uint64 { return r.r.NumRecords() }
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.r.Close() }
 
+// recordSize returns the byte size of one on-disk record.
+func (r *Reader) recordSize() int { return 4 * (5 + r.next) }
+
 // ForEach invokes fn for every entry in file order. ext holds the entry's
 // extension values and is reused between calls; copy it to retain.
 func (r *Reader) ForEach(fn func(e Entry, ext []uint32) error) error {
-	rec := 4 * (5 + r.next)
+	rec := r.recordSize()
 	ext := make([]uint32, r.next)
 	return r.r.ForEachChunk(func(_ int, payload []byte) error {
 		for off := 0; off < len(payload); off += rec {
@@ -252,17 +255,16 @@ func (r *Reader) ForEach(fn func(e Entry, ext []uint32) error) error {
 // TimeSlice returns all entries whose activity interval overlaps
 // [t0, t1), the sub-setting step the paper performs with data.table. The
 // ext values of each returned entry are dropped; use ForEach for them.
+//
+// TimeSlice is a thin materializing wrapper over Source: it grows the
+// result normally from streamed batches, so a narrow window over a huge
+// file allocates proportionally to the matches, not to the file. (It
+// previously pre-sized to NumEntries() regardless of the window.)
+// Callers that can consume batch-wise should use Source directly.
 func (r *Reader) TimeSlice(t0, t1 uint32) ([]Entry, error) {
-	// Pre-size to the file's record count (known from the header): an
-	// upper bound on the slice size, traded for zero append-growth copies.
-	out := make([]Entry, 0, r.NumEntries())
-	err := r.ForEach(func(e Entry, _ []uint32) error {
-		if e.Start < t1 && e.Stop > t0 {
-			out = append(out, e)
-		}
-		return nil
-	})
-	return out, err
+	src := r.Source(t0, t1)
+	defer src.Close()
+	return ReadAll(src)
 }
 
 // GroupByPlace buckets entries by place ID.

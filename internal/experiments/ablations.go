@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -23,7 +24,7 @@ func (r *Runner) A1LoadBalancing() (*Report, error) {
 
 	run := func(mode core.BalanceMode) (*core.Stats, time.Duration, error) {
 		start := time.Now()
-		_, stats, err := core.SynthesizeFiles(sim.LogPaths, t0, t1, core.Config{
+		_, stats, err := core.SynthesizeFiles(context.Background(), sim.LogPaths, t0, t1, core.Config{
 			Workers: r.Scale.Workers,
 			Balance: mode,
 		})
@@ -67,7 +68,7 @@ func (r *Runner) A2EventVsFull() (*Report, error) {
 	// Full-state run at a reduced duration (it is deliberately huge);
 	// extrapolate to the full horizon for the comparison.
 	fullDays := minInt(r.Scale.Days, 3)
-	full, err := abm.Run(abm.Config{
+	full, err := abm.Run(context.Background(), abm.Config{
 		Pop:          r.pipeline.Pop,
 		Gen:          r.pipeline.Gen,
 		Ranks:        r.Scale.Ranks,
@@ -109,7 +110,7 @@ func (r *Runner) A3Partitioning() (*Report, error) {
 	edges, loads := partition.TransitionGraph(pop, gen, days, pop.NumPersons())
 
 	run := func(assign partition.Assignment) (*abm.Result, error) {
-		return abm.Run(abm.Config{
+		return abm.Run(context.Background(), abm.Config{
 			Pop: pop, Gen: gen, Ranks: r.Scale.Ranks, Days: days, Assign: assign,
 		})
 	}
@@ -162,7 +163,7 @@ func (r *Runner) S1WorkerScaling() (*Report, error) {
 		var model float64
 		// Best of 2 runs to damp scheduling noise.
 		for rep := 0; rep < 2; rep++ {
-			_, stats, err := core.SynthesizeFiles(sim.LogPaths, t0, t1, core.Config{Workers: workers})
+			_, stats, err := core.SynthesizeFiles(context.Background(), sim.LogPaths, t0, t1, core.Config{Workers: workers})
 			if err != nil {
 				return nil, err
 			}

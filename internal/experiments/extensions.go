@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -244,7 +245,7 @@ func (r *Runner) E4TemporalGranularity() (*Report, error) {
 		return nil, err
 	}
 	t0, t1 := r.Scale.SliceBounds()
-	daily, err := core.SynthesizeSeries(sim.LogPaths, t0, t1, 24, core.Config{Workers: r.Scale.Workers})
+	daily, err := core.SynthesizeSeries(context.Background(), sim.LogPaths, t0, t1, 24, core.Config{Workers: r.Scale.Workers})
 	if err != nil {
 		return nil, err
 	}

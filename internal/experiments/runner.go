@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -80,7 +81,7 @@ func (r *Runner) EnsureSim() (*abm.Result, error) {
 	if r.sim != nil {
 		return r.sim, nil
 	}
-	res, err := r.pipeline.Simulate(filepath.Join(r.OutDir, "logs"))
+	res, err := r.pipeline.Simulate(context.Background(), filepath.Join(r.OutDir, "logs"))
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +99,7 @@ func (r *Runner) EnsureNetwork() (*repro.Network, error) {
 		return nil, err
 	}
 	t0, t1 := r.Scale.SliceBounds()
-	net, err := r.pipeline.Synthesize(sim.LogPaths, t0, t1)
+	net, err := r.pipeline.Synthesize(context.Background(), sim.LogPaths, t0, t1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -122,7 +123,7 @@ func (r *Runner) T3Synthesis() (*Report, error) {
 	}
 	t0, t1 := r.Scale.SliceBounds()
 	start := time.Now()
-	_, _, err = core.SynthesizeFiles(r.sim.LogPaths, t0, t1, core.Config{Workers: r.Scale.Workers})
+	_, _, err = core.SynthesizeFiles(context.Background(), r.sim.LogPaths, t0, t1, core.Config{Workers: r.Scale.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -148,12 +149,12 @@ func (r *Runner) T3Synthesis() (*Report, error) {
 		small[i] = batch.Job{ID: i, Procs: 64, Duration: 30, Submit: 100}
 		ours[i] = true
 	}
-	resSmall, err := batch.Simulate(1024, append(append([]batch.Job{}, background...), small...), batch.Backfill)
+	resSmall, err := batch.Simulate(context.Background(), 1024, append(append([]batch.Job{}, background...), small...), batch.Backfill)
 	if err != nil {
 		return nil, err
 	}
 	big := []batch.Job{{ID: 0, Procs: 1024, Duration: 30, Submit: 100}}
-	resBig, err := batch.Simulate(1024, append(append([]batch.Job{}, background...), big...), batch.Backfill)
+	resBig, err := batch.Simulate(context.Background(), 1024, append(append([]batch.Job{}, background...), big...), batch.Backfill)
 	if err != nil {
 		return nil, err
 	}

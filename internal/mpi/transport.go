@@ -1,27 +1,60 @@
 package mpi
 
+import (
+	"context"
+	"fmt"
+)
+
 // Transport is the minimal communication surface the simulation's hot
 // loop needs, satisfied both by the in-process Comm and by the TCP-based
 // mpinet.Node. Keeping it byte-oriented lets implementations ship blobs
 // across process boundaries without reflection-based serialization.
+//
+// Every collective takes a context as its first parameter so production
+// embeddings can cancel or deadline a blocked rank. Cancellation
+// semantics are implementation-defined within one rule: a collective
+// that returns early because of the context returns an error wrapping
+// ctx.Err() (detectable with errors.Is(err, context.Canceled)), never a
+// *RankFailedError — context cancellation is the caller's own decision,
+// not a peer death.
 type Transport interface {
 	// Rank returns this participant's index in [0, Size).
 	Rank() int
 	// Size returns the number of participants.
 	Size() int
 	// Barrier blocks until all participants have entered it.
-	Barrier() error
+	Barrier(ctx context.Context) error
 	// Exchange performs a personalized all-to-all: out[i] is delivered
 	// to rank i, and the result's element j is the blob rank j sent to
 	// this rank. len(out) must equal Size. A nil blob is delivered as a
 	// nil or empty slice.
-	Exchange(out [][]byte) ([][]byte, error)
+	Exchange(ctx context.Context, out [][]byte) ([][]byte, error)
 	// Gather collects every rank's blob on rank 0 (result indexed by
 	// rank, nil on other ranks).
-	Gather(blob []byte) ([][]byte, error)
+	Gather(ctx context.Context, blob []byte) ([][]byte, error)
+}
+
+// CtxErr wraps a context's error for return from a collective or a
+// pipeline stage. It returns nil when the context is still live, so it
+// can be used as a plain guard:
+//
+//	if err := mpi.CtxErr(ctx, "synthesis"); err != nil { return err }
+func CtxErr(ctx context.Context, op string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("mpi: %s canceled: %w", op, err)
+	}
+	return nil
 }
 
 // commTransport adapts Comm to Transport.
+//
+// In-process collectives complete in microseconds and involve only
+// sibling goroutines, so they do not block indefinitely; aborting one
+// rank mid-collective while its siblings are already inside would
+// deadlock the world. The adapter therefore intentionally does NOT bail
+// out mid-collective on cancellation — callers (e.g. abm.RunRank) check
+// the context between collectives, where every rank observes the same
+// decision point.
 type commTransport struct{ c *Comm }
 
 // AsTransport wraps an in-process Comm in the Transport interface.
@@ -30,16 +63,16 @@ func AsTransport(c *Comm) Transport { return commTransport{c} }
 func (t commTransport) Rank() int { return t.c.Rank() }
 func (t commTransport) Size() int { return t.c.Size() }
 
-func (t commTransport) Barrier() error {
+func (t commTransport) Barrier(ctx context.Context) error {
 	t.c.Barrier()
 	return nil
 }
 
-func (t commTransport) Exchange(out [][]byte) ([][]byte, error) {
+func (t commTransport) Exchange(ctx context.Context, out [][]byte) ([][]byte, error) {
 	return Alltoall(t.c, out), nil
 }
 
-func (t commTransport) Gather(blob []byte) ([][]byte, error) {
+func (t commTransport) Gather(ctx context.Context, blob []byte) ([][]byte, error) {
 	all := Allgather(t.c, blob)
 	if t.c.Rank() != 0 {
 		return nil, nil

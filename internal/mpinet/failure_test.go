@@ -1,6 +1,7 @@
 package mpinet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -66,7 +67,7 @@ func barrierAll(nodes []*Node) []error {
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
-			errs[i] = n.Barrier()
+			errs[i] = n.Barrier(context.Background())
 		}(i, n)
 	}
 	wg.Wait()
@@ -142,7 +143,7 @@ func TestRankDeathAbortAndRetry(t *testing.T) {
 			for dst := range out {
 				out[dst] = []byte{byte(i), byte(dst)}
 			}
-			ins[i], exErrs[i] = n.Exchange(out)
+			ins[i], exErrs[i] = n.Exchange(context.Background(), out)
 		}(i, n)
 	}
 	wg.Wait()
@@ -172,7 +173,7 @@ func TestRankDeathAbortAndRetry(t *testing.T) {
 		go func(i int, n *Node) {
 			defer wg.Done()
 			var g [][]byte
-			g, gaErrs[i] = n.Gather([]byte{byte(100 + i)})
+			g, gaErrs[i] = n.Gather(context.Background(), []byte{byte(100 + i)})
 			if i == 0 {
 				gathered = g
 			}
@@ -267,7 +268,7 @@ func TestSilentRankDetectedByHeartbeat(t *testing.T) {
 	defer client.Close()
 
 	done := make(chan error, 1)
-	go func() { done <- host.Barrier() }()
+	go func() { done <- host.Barrier(context.Background()) }()
 	select {
 	case err := <-done:
 		wantRankFailed(t, err, 1)
@@ -309,9 +310,9 @@ func TestFlakyConnTornFrame(t *testing.T) {
 	var wg sync.WaitGroup
 	var hostErr, byErr, vicErr error
 	wg.Add(3)
-	go func() { defer wg.Done(); hostErr = host.Barrier() }()
-	go func() { defer wg.Done(); byErr = bystander.Barrier() }()
-	go func() { defer wg.Done(); vicErr = victim.Barrier() }()
+	go func() { defer wg.Done(); hostErr = host.Barrier(context.Background()) }()
+	go func() { defer wg.Done(); byErr = bystander.Barrier(context.Background()) }()
+	go func() { defer wg.Done(); vicErr = victim.Barrier(context.Background()) }()
 	wg.Wait()
 
 	if vicErr == nil {
@@ -329,7 +330,7 @@ func TestFlakyConnTornFrame(t *testing.T) {
 	errs := make([]error, 2)
 	for i, n := range survivors {
 		wg2.Add(1)
-		go func(i int, n *Node) { defer wg2.Done(); errs[i] = n.Barrier() }(i, n)
+		go func(i int, n *Node) { defer wg2.Done(); errs[i] = n.Barrier(context.Background()) }(i, n)
 	}
 	wg2.Wait()
 	for i, err := range errs {
@@ -430,7 +431,7 @@ func TestCollectivesAfterAllClientsDead(t *testing.T) {
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		err := host.Barrier()
+		err := host.Barrier(context.Background())
 		if err == nil {
 			break
 		}
@@ -441,7 +442,7 @@ func TestCollectivesAfterAllClientsDead(t *testing.T) {
 			t.Fatal("barrier never recovered with rank 0 alone")
 		}
 	}
-	got, err := host.Gather([]byte{42})
+	got, err := host.Gather(context.Background(), []byte{42})
 	if err != nil {
 		t.Fatalf("solo gather: %v", err)
 	}

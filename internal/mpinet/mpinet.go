@@ -49,6 +49,7 @@ package mpinet
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -745,16 +746,39 @@ func failErr(op string, err error) error {
 	return &mpi.RankFailedError{Rank: -1, Op: op, Err: err}
 }
 
+// ctxErr wraps a context cancellation observed during a collective. It
+// is deliberately NOT a *mpi.RankFailedError: cancellation is this
+// process's own decision, so failure-tolerant callers (which retry on
+// rank deaths) must see it as a plain abort and give up.
+func ctxErr(op string, err error) error {
+	return fmt.Errorf("mpinet: %s: %w", op, err)
+}
+
 // roundTrip submits f for the next round and waits for the reply.
 // Heartbeat frames are skipped; an opError reply is surfaced as a
 // *mpi.RankFailedError naming the dead rank.
-func (n *Node) roundTrip(f frame) (frame, error) {
+//
+// Cancellation joins the existing failure machinery: on the coordinator
+// rank the reply wait selects on ctx.Done alongside the shutdown
+// channel; on client ranks a context.AfterFunc forces the blocked frame
+// read to fail by expiring the read deadline — the same wake-up path the
+// heartbeat failure detector uses — and the resulting read error is
+// attributed to the context rather than to a peer. A node whose
+// collective was canceled is no longer round-aligned with the cluster
+// and must be Closed; the survivors' failure detector then reclassifies
+// this rank as dead, exactly as for a crash.
+func (n *Node) roundTrip(ctx context.Context, f frame) (frame, error) {
 	op := opName(f.op)
+	if err := ctx.Err(); err != nil {
+		return frame{}, ctxErr(op, err)
+	}
 	f.seq = n.seq
 	n.seq++ // one round consumed per call, successful or aborted
 	if n.coord != nil {
 		select {
 		case n.coord.contribs <- contribution{rank: 0, f: f}:
+		case <-ctx.Done():
+			return frame{}, ctxErr(op, ctx.Err())
 		case <-n.coord.done:
 			return frame{}, failErr(op, n.coordErr())
 		}
@@ -764,9 +788,20 @@ func (n *Node) roundTrip(f frame) (frame, error) {
 				return frame{}, &mpi.RankFailedError{Rank: failedRank(rep), Op: op}
 			}
 			return rep, nil
+		case <-ctx.Done():
+			return frame{}, ctxErr(op, ctx.Err())
 		case <-n.coord.done:
 			return frame{}, failErr(op, n.coordErr())
 		}
+	}
+	if ctx.Done() != nil {
+		// Wake the blocked read below the moment the context dies. The
+		// deadline is left expired on purpose: the node is out of the
+		// round protocol after a cancellation and must not be reused.
+		stop := context.AfterFunc(ctx, func() {
+			n.conn.SetReadDeadline(time.Unix(1, 0))
+		})
+		defer stop()
 	}
 	n.wmu.Lock()
 	n.conn.SetWriteDeadline(time.Now().Add(n.opts.IOTimeout))
@@ -774,6 +809,9 @@ func (n *Node) roundTrip(f frame) (frame, error) {
 	n.conn.SetWriteDeadline(time.Time{})
 	n.wmu.Unlock()
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return frame{}, ctxErr(op, cerr)
+		}
 		return frame{}, failErr(op, err)
 	}
 	for {
@@ -785,6 +823,9 @@ func (n *Node) roundTrip(f frame) (frame, error) {
 		}
 		rep, err := readFrame(n.br)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return frame{}, ctxErr(op, cerr)
+			}
 			return frame{}, failErr(op, err)
 		}
 		switch rep.op {
@@ -810,18 +851,18 @@ func (n *Node) coordErr() error {
 }
 
 // Barrier blocks until every live rank has entered the barrier.
-func (n *Node) Barrier() error {
-	_, err := n.roundTrip(frame{op: opBarrier})
+func (n *Node) Barrier(ctx context.Context) error {
+	_, err := n.roundTrip(ctx, frame{op: opBarrier})
 	return err
 }
 
 // Exchange performs a personalized all-to-all of byte blobs. Blobs from
 // ranks that have died are delivered as nil.
-func (n *Node) Exchange(out [][]byte) ([][]byte, error) {
+func (n *Node) Exchange(ctx context.Context, out [][]byte) ([][]byte, error) {
 	if len(out) != n.size {
 		return nil, fmt.Errorf("mpinet: Exchange with %d blobs for %d ranks", len(out), n.size)
 	}
-	rep, err := n.roundTrip(frame{op: opExchange, blobs: out})
+	rep, err := n.roundTrip(ctx, frame{op: opExchange, blobs: out})
 	if err != nil {
 		return nil, err
 	}
@@ -833,8 +874,8 @@ func (n *Node) Exchange(out [][]byte) ([][]byte, error) {
 
 // Gather collects every live rank's blob on rank 0 (dead ranks' slots
 // are nil).
-func (n *Node) Gather(blob []byte) ([][]byte, error) {
-	rep, err := n.roundTrip(frame{op: opGather, blobs: [][]byte{blob}})
+func (n *Node) Gather(ctx context.Context, blob []byte) ([][]byte, error) {
+	rep, err := n.roundTrip(ctx, frame{op: opGather, blobs: [][]byte{blob}})
 	if err != nil {
 		return nil, err
 	}

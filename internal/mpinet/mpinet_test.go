@@ -3,6 +3,7 @@ package mpinet
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -107,10 +108,10 @@ func TestSingleRankLocalOnly(t *testing.T) {
 	if n.Rank() != 0 || n.Size() != 1 {
 		t.Fatal("identity wrong")
 	}
-	if err := n.Barrier(); err != nil {
+	if err := n.Barrier(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Exchange([][]byte{{7}})
+	got, err := n.Exchange(context.Background(), [][]byte{{7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRanksAssignedUniquely(t *testing.T) {
 func TestBarrierRounds(t *testing.T) {
 	cluster(t, 4, func(n *Node) error {
 		for i := 0; i < 50; i++ {
-			if err := n.Barrier(); err != nil {
+			if err := n.Barrier(context.Background()); err != nil {
 				return err
 			}
 		}
@@ -159,7 +160,7 @@ func TestExchangeRouting(t *testing.T) {
 		for dst := 0; dst < size; dst++ {
 			out[dst] = []byte{byte(n.Rank()), byte(dst)}
 		}
-		in, err := n.Exchange(out)
+		in, err := n.Exchange(context.Background(), out)
 		if err != nil {
 			return err
 		}
@@ -181,7 +182,7 @@ func TestExchangeRepeatedRounds(t *testing.T) {
 			for dst := 0; dst < size; dst++ {
 				out[dst] = []byte{byte(round), byte(n.Rank()), byte(dst)}
 			}
-			in, err := n.Exchange(out)
+			in, err := n.Exchange(context.Background(), out)
 			if err != nil {
 				return err
 			}
@@ -201,7 +202,7 @@ func TestExchangeArityError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	if _, err := n.Exchange(make([][]byte, 3)); err == nil {
+	if _, err := n.Exchange(context.Background(), make([][]byte, 3)); err == nil {
 		t.Fatal("wrong arity accepted")
 	}
 }
@@ -209,7 +210,7 @@ func TestExchangeArityError(t *testing.T) {
 func TestGather(t *testing.T) {
 	const size = 4
 	cluster(t, size, func(n *Node) error {
-		got, err := n.Gather([]byte{byte(10 + n.Rank())})
+		got, err := n.Gather(context.Background(), []byte{byte(10 + n.Rank())})
 		if err != nil {
 			return err
 		}
@@ -230,16 +231,16 @@ func TestGather(t *testing.T) {
 
 func TestMixedCollectiveSequence(t *testing.T) {
 	cluster(t, 3, func(n *Node) error {
-		if err := n.Barrier(); err != nil {
+		if err := n.Barrier(context.Background()); err != nil {
 			return err
 		}
-		if _, err := n.Exchange(make([][]byte, 3)); err != nil {
+		if _, err := n.Exchange(context.Background(), make([][]byte, 3)); err != nil {
 			return err
 		}
-		if _, err := n.Gather([]byte{1}); err != nil {
+		if _, err := n.Gather(context.Background(), []byte{1}); err != nil {
 			return err
 		}
-		return n.Barrier()
+		return n.Barrier(context.Background())
 	})
 }
 
@@ -258,7 +259,7 @@ func TestABMOverTCPMatchesInProcess(t *testing.T) {
 	assign := partition.Spatial(pop, edges, loads, ranks)
 
 	// Reference: in-process run.
-	ref, err := abm.Run(abm.Config{
+	ref, err := abm.Run(context.Background(), abm.Config{
 		Pop: pop, Gen: gen, Ranks: ranks, Days: days, Assign: assign,
 		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 64},
 	})
@@ -277,7 +278,7 @@ func TestABMOverTCPMatchesInProcess(t *testing.T) {
 	errs := make([]error, ranks)
 	var wg sync.WaitGroup
 	runRank := func(n *Node) (abm.RankResult, error) {
-		return abm.RunRank(n, abm.RankConfig{
+		return abm.RunRank(context.Background(), n, abm.RankConfig{
 			Pop: pop, Gen: gen, Days: days, Assign: assign,
 			LogPath: filepath.Join(dir, fmt.Sprintf("rank%04d.h5l", n.Rank())),
 			Log:     eventlog.Config{CacheEntries: 64},
@@ -356,7 +357,7 @@ func TestClientDisconnectSurfacesError(t *testing.T) {
 	}
 	// Client leaves without completing any collective.
 	n.Close()
-	if err := host.Barrier(); err == nil {
+	if err := host.Barrier(context.Background()); err == nil {
 		t.Fatal("barrier succeeded after peer disconnect")
 	}
 }

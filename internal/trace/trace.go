@@ -12,6 +12,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/eventlog"
@@ -35,43 +36,79 @@ type Index struct {
 	byPlace  map[uint32][]eventlog.Entry
 }
 
-// NewIndex builds an index over entries.
+// NewIndex builds an index over already-materialized entries.
+//
+// Deprecated-style note: callers holding a log file (or a time window of
+// one) should prefer NewIndexFromSource or NewIndexFromReader, which
+// stream entries batch-by-batch into the index instead of requiring the
+// whole []Entry slice up front. NewIndex remains for in-memory entry
+// sets (e.g. test fixtures).
 func NewIndex(entries []eventlog.Entry) *Index {
-	ix := &Index{
+	ix := newEmptyIndex()
+	ix.addAll(entries)
+	ix.finish()
+	return ix
+}
+
+func newEmptyIndex() *Index {
+	return &Index{
 		byPerson: make(map[uint32][]eventlog.Entry),
 		byPlace:  make(map[uint32][]eventlog.Entry),
 	}
+}
+
+func (ix *Index) addAll(entries []eventlog.Entry) {
 	for _, e := range entries {
 		ix.byPerson[e.Person] = append(ix.byPerson[e.Person], e)
 		ix.byPlace[e.Place] = append(ix.byPlace[e.Place], e)
 	}
+}
+
+// finish sorts the per-person and per-place posting lists; the index is
+// queryable only after finish.
+func (ix *Index) finish() {
 	for _, es := range ix.byPerson {
 		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
 	}
 	for _, es := range ix.byPlace {
 		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
 	}
-	return ix
 }
 
-// FromFiles builds an index over all entries of the given log files.
-func FromFiles(paths []string) (*Index, error) {
-	var all []eventlog.Entry
-	for _, p := range paths {
-		r, err := eventlog.Open(p)
+// NewIndexFromSource builds an index by draining src batch-by-batch, so
+// the caller never materializes the full entry slice; transient memory
+// is one source batch plus the index itself. The source is not closed.
+func NewIndexFromSource(src eventlog.EntrySource) (*Index, error) {
+	ix := newEmptyIndex()
+	for {
+		batch, err := src.Next()
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			return nil, err
 		}
-		err = r.ForEach(func(e eventlog.Entry, _ []uint32) error {
-			all = append(all, e)
-			return nil
-		})
-		r.Close()
-		if err != nil {
-			return nil, err
-		}
+		ix.addAll(batch)
 	}
-	return NewIndex(all), nil
+	ix.finish()
+	return ix, nil
+}
+
+// NewIndexFromReader builds an index over the [t0, t1) slice of an open
+// log file without materializing the slice first. Pass t0=0,
+// t1=^uint32(0) to index the whole file.
+func NewIndexFromReader(r *eventlog.Reader, t0, t1 uint32) (*Index, error) {
+	src := r.Source(t0, t1)
+	defer src.Close()
+	return NewIndexFromSource(src)
+}
+
+// FromFiles builds an index over all entries of the given log files,
+// streaming one chunk at a time.
+func FromFiles(paths []string) (*Index, error) {
+	src := eventlog.OpenFilesSource(paths, 0, ^uint32(0))
+	defer src.Close()
+	return NewIndexFromSource(src)
 }
 
 // Entries returns person's log entries overlapping [t0, t1), in start

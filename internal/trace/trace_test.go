@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/abm"
@@ -148,7 +149,7 @@ func TestEndToEndLogTraceback(t *testing.T) {
 		Beta: 0.06, IncubationHours: 24, InfectiousHours: 96, Seed: 33,
 	})
 	m.SeedCase(11)
-	res, err := abm.Run(abm.Config{
+	res, err := abm.Run(context.Background(), abm.Config{
 		Pop: pop, Gen: gen, Ranks: 4, Days: 8,
 		LogDir:   t.TempDir(),
 		Log:      eventlog.Config{ExtColumns: []string{"disease"}},
@@ -222,7 +223,7 @@ func TestDiseaseStateColumnLogged(t *testing.T) {
 	gen := schedule.NewGenerator(pop, 44)
 	m := disease.New(pop.NumPersons(), disease.Config{Beta: 0.05, IncubationHours: 12, InfectiousHours: 48, Seed: 44})
 	m.SeedCase(0)
-	res, err := abm.Run(abm.Config{
+	res, err := abm.Run(context.Background(), abm.Config{
 		Pop: pop, Gen: gen, Ranks: 2, Days: 3,
 		LogDir:   t.TempDir(),
 		Log:      eventlog.Config{ExtColumns: []string{"disease"}},

@@ -9,12 +9,19 @@
 // so that examples and tools can run the end-to-end flow in a few lines:
 //
 //	p, err := repro.NewPipeline(repro.Config{Persons: 20000, Days: 7, Seed: 1})
-//	res, err := p.Simulate(logDir)
-//	net, err := p.Synthesize(res.LogPaths, 0, 168)
+//	res, err := p.Simulate(ctx, logDir)
+//	net, err := p.Synthesize(ctx, res.LogPaths, 0, 168)
 //	g := net.Graph()
+//
+// Every long-running stage takes a context.Context as its first
+// parameter, so embedding servers can cancel or deadline a pipeline:
+// simulation stops at the next hour boundary with resumable logs,
+// synthesis within one work unit, both returning errors wrapping
+// context.Canceled.
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/abm"
@@ -47,6 +54,10 @@ type Config struct {
 	Compress bool
 	// Neighborhoods overrides the population's neighborhood count.
 	Neighborhoods int
+	// MemBudgetBytes bounds the bytes of log entries the synthesis
+	// stage materializes at once; zero means unlimited. See
+	// core.Config.MemBudgetBytes.
+	MemBudgetBytes int64
 }
 
 func (c *Config) ranks() int {
@@ -54,6 +65,34 @@ func (c *Config) ranks() int {
 		return c.Ranks
 	}
 	return 16
+}
+
+// validate rejects nonsensical numeric configuration. Zero keeps its
+// documented pick-a-default meaning; negatives are errors rather than
+// being silently coerced to the defaults.
+func (c *Config) validate() error {
+	if c.Persons <= 0 {
+		return fmt.Errorf("repro: Persons must be positive, got %d", c.Persons)
+	}
+	if c.Days <= 0 {
+		return fmt.Errorf("repro: Days must be positive, got %d", c.Days)
+	}
+	if c.Ranks < 0 {
+		return fmt.Errorf("repro: Ranks must be non-negative, got %d", c.Ranks)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("repro: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.CacheEntries < 0 {
+		return fmt.Errorf("repro: CacheEntries must be non-negative, got %d", c.CacheEntries)
+	}
+	if c.Neighborhoods < 0 {
+		return fmt.Errorf("repro: Neighborhoods must be non-negative, got %d", c.Neighborhoods)
+	}
+	if c.MemBudgetBytes < 0 {
+		return fmt.Errorf("repro: MemBudgetBytes must be non-negative, got %d", c.MemBudgetBytes)
+	}
+	return nil
 }
 
 // Pipeline holds the generated population and schedules and runs the
@@ -69,11 +108,8 @@ type Pipeline struct {
 
 // NewPipeline generates the population and schedule generator.
 func NewPipeline(cfg Config) (*Pipeline, error) {
-	if cfg.Persons <= 0 {
-		return nil, fmt.Errorf("repro: Persons must be positive")
-	}
-	if cfg.Days <= 0 {
-		return nil, fmt.Errorf("repro: Days must be positive")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	pop, err := synthpop.Generate(synthpop.Config{
 		Persons:       cfg.Persons,
@@ -91,9 +127,11 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 }
 
 // Simulate runs the ABM for the configured duration, writing one event
-// log per rank into logDir, and returns the run statistics.
-func (p *Pipeline) Simulate(logDir string) (*abm.Result, error) {
-	return abm.Run(abm.Config{
+// log per rank into logDir, and returns the run statistics. Cancelling
+// ctx stops the run at the next hour boundary with resumable logs and
+// an error wrapping context.Canceled.
+func (p *Pipeline) Simulate(ctx context.Context, logDir string) (*abm.Result, error) {
+	return abm.Run(ctx, abm.Config{
 		Pop:    p.Pop,
 		Gen:    p.Gen,
 		Ranks:  p.cfg.ranks(),
@@ -107,8 +145,8 @@ func (p *Pipeline) Simulate(logDir string) (*abm.Result, error) {
 // next hour boundary once stop is closed: the logs receive valid
 // footers and the run can be continued later with Resume. The returned
 // result's StoppedAt reports where the run ended.
-func (p *Pipeline) SimulateUntil(logDir string, stop <-chan struct{}) (*abm.Result, error) {
-	return abm.Run(abm.Config{
+func (p *Pipeline) SimulateUntil(ctx context.Context, logDir string, stop <-chan struct{}) (*abm.Result, error) {
+	return abm.Run(ctx, abm.Config{
 		Pop:    p.Pop,
 		Gen:    p.Gen,
 		Ranks:  p.cfg.ranks(),
@@ -125,8 +163,8 @@ func (p *Pipeline) SimulateUntil(logDir string, stop <-chan struct{}) (*abm.Resu
 // uninterrupted one. The pipeline configuration must match the original
 // run's. A further graceful stop may be requested via stop (may be
 // nil).
-func (p *Pipeline) Resume(logDir string, stop <-chan struct{}) (*abm.Result, []*abm.ResumeReport, error) {
-	return abm.Resume(abm.Config{
+func (p *Pipeline) Resume(ctx context.Context, logDir string, stop <-chan struct{}) (*abm.Result, []*abm.ResumeReport, error) {
+	return abm.Resume(ctx, abm.Config{
 		Pop:    p.Pop,
 		Gen:    p.Gen,
 		Ranks:  p.cfg.ranks(),
@@ -139,8 +177,8 @@ func (p *Pipeline) Resume(logDir string, stop <-chan struct{}) (*abm.Result, []*
 
 // SimulateWith runs the ABM with an interaction hook (e.g. a disease
 // model) and optional logging.
-func (p *Pipeline) SimulateWith(logDir string, interact abm.InteractFunc) (*abm.Result, error) {
-	return abm.Run(abm.Config{
+func (p *Pipeline) SimulateWith(ctx context.Context, logDir string, interact abm.InteractFunc) (*abm.Result, error) {
+	return abm.Run(ctx, abm.Config{
 		Pop:      p.Pop,
 		Gen:      p.Gen,
 		Ranks:    p.cfg.ranks(),
@@ -165,9 +203,14 @@ type Network struct {
 }
 
 // Synthesize builds the collocation network for hours [t0, t1) from the
-// given per-rank log files.
-func (p *Pipeline) Synthesize(logPaths []string, t0, t1 uint32) (*Network, error) {
-	tri, stats, err := core.SynthesizeFiles(logPaths, t0, t1, core.Config{Workers: p.cfg.Workers})
+// given per-rank log files, honoring Config.MemBudgetBytes (the
+// budgeted place-sharded spill path when the slice exceeds it).
+// Cancelling ctx aborts within one work unit.
+func (p *Pipeline) Synthesize(ctx context.Context, logPaths []string, t0, t1 uint32) (*Network, error) {
+	tri, stats, err := core.SynthesizeFiles(ctx, logPaths, t0, t1, core.Config{
+		Workers:        p.cfg.Workers,
+		MemBudgetBytes: p.cfg.MemBudgetBytes,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/synthpop"
@@ -20,14 +21,14 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := p.Simulate(t.TempDir())
+	sim, err := p.Simulate(context.Background(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sim.Entries == 0 || len(sim.LogPaths) != 4 {
 		t.Fatalf("simulation produced no logs: %+v", sim)
 	}
-	net, err := p.Synthesize(sim.LogPaths, 0, 72)
+	net, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 72)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestPipelineDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim, err := p.Simulate(t.TempDir())
+		sim, err := p.Simulate(context.Background(), t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
-		net, err := p.Synthesize(sim.LogPaths, 0, 48)
+		net, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 48)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +73,11 @@ func TestAgeGroupNetworksPartitionEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := p.Simulate(t.TempDir())
+	sim, err := p.Simulate(context.Background(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := p.Synthesize(sim.LogPaths, 0, 48)
+	net, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 48)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,5 +119,62 @@ func TestSpatialAssignmentCoversAllPlaces(t *testing.T) {
 	}
 	if err := a.Validate(4); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConfigRejectsNegativeFields: every numeric Config field errors on
+// a negative value instead of being coerced to its default.
+func TestConfigRejectsNegativeFields(t *testing.T) {
+	bad := []Config{
+		{Persons: -1, Days: 1},
+		{Persons: 10, Days: -1},
+		{Persons: 10, Days: 1, Ranks: -2},
+		{Persons: 10, Days: 1, Workers: -1},
+		{Persons: 10, Days: 1, CacheEntries: -5},
+		{Persons: 10, Days: 1, Neighborhoods: -1},
+		{Persons: 10, Days: 1, MemBudgetBytes: -64},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPipeline(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	// Zero values keep their pick-a-default meaning.
+	if _, err := NewPipeline(Config{Persons: 50, Days: 1}); err != nil {
+		t.Errorf("all-default config rejected: %v", err)
+	}
+}
+
+// TestPipelineBudgetedSynthesis: MemBudgetBytes flows from the facade
+// Config into the synthesis stage and reproduces the unbudgeted network.
+func TestPipelineBudgetedSynthesis(t *testing.T) {
+	mk := func(budget int64) *Pipeline {
+		p, err := NewPipeline(Config{
+			Persons: 800, Days: 2, Seed: 23, Ranks: 2, Workers: 2,
+			MemBudgetBytes: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := mk(0)
+	sim, err := p.Simulate(context.Background(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Synthesize(context.Background(), sim.LogPaths, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mk(8<<10).Synthesize(context.Background(), sim.LogPaths, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Shards < 2 {
+		t.Fatalf("budgeted pipeline used %d shards, want >= 2", got.Stats.Shards)
+	}
+	if !got.Tri.Equal(want.Tri) {
+		t.Fatal("budgeted pipeline network differs from unbudgeted")
 	}
 }

@@ -21,8 +21,10 @@ RAW="${RAW:-BENCH_synthesis.txt}"
 echo "== synthesis benchmarks (count=$COUNT) -> $OUT"
 
 # End-to-end synthesis + kernel micro-benchmarks. Keep this list in sync
-# with DESIGN.md §8.
-go test -run '^$' -bench 'BenchmarkT3Synthesis$|BenchmarkS1WorkerScaling$|BenchmarkA1LoadBalancing$' \
+# with DESIGN.md §8. BenchmarkT4MemBudget reports the runtime.MemStats
+# heap high-water (peak-heap-B) for budgeted vs unbudgeted synthesis —
+# the budgeted case fails outright if the peak exceeds 2x the budget.
+go test -run '^$' -bench 'BenchmarkT3Synthesis$|BenchmarkS1WorkerScaling$|BenchmarkA1LoadBalancing$|BenchmarkT4MemBudget' \
 	-benchmem -count "$COUNT" . | tee "$RAW"
 go test -run '^$' -bench 'BenchmarkGramKernel$|BenchmarkMerge$|BenchmarkCoalesce$' \
 	-benchmem -count "$COUNT" ./internal/sparse | tee -a "$RAW"

@@ -12,6 +12,13 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck ./..."
+	staticcheck ./...
+else
+	echo "== staticcheck not installed; skipping"
+fi
+
 echo "== go build ./..."
 go build ./...
 
