@@ -22,6 +22,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 )
 
 // benchScaleT is the reduced scale the benchmarks run at; the analysis
@@ -146,6 +147,28 @@ func BenchmarkT3Synthesis(b *testing.B) {
 	}
 	b.ReportMetric(float64(edges), "edges")
 	b.ReportMetric(float64(edges)/float64(benchScale().Persons), "edges/person")
+}
+
+// BenchmarkT3SynthesisTelemetry is BenchmarkT3Synthesis with telemetry
+// enabled: identical work, plus live metric publication and span
+// retention. scripts/check.sh compares the two and fails if enabled
+// telemetry costs more than 5% (DESIGN.md §10's overhead budget);
+// scripts/bench.sh records the ratio in BENCH_synthesis.json.
+func BenchmarkT3SynthesisTelemetry(b *testing.B) {
+	_, logs := setupWorld(b)
+	t0, t1 := sliceBounds()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(false)
+	var edges int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tri, _, err := core.SynthesizeFiles(context.Background(), logs, t0, t1, core.Config{Workers: benchScale().Workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = tri.NNZ()
+	}
+	b.ReportMetric(float64(edges), "edges")
 }
 
 // BenchmarkT3QueueStrategy runs the batch-queue comparison (16×64 vs

@@ -43,6 +43,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpinet"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,7 +57,21 @@ func main() {
 	resume := flag.Bool("resume", false, "continue a crashed or interrupted run from the logs in -logdir")
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
 	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address (rank assigned by coordinator)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address and enable telemetry")
+	reportPath := flag.String("report", "", "write a JSON run report to this path (render it with `netstat report`)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Default.Serve(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
+	if *reportPath != "" {
+		telemetry.SetEnabled(true)
+	}
 
 	p, err := repro.NewPipeline(repro.Config{
 		Persons: *persons, Days: *days, Seed: *seed, Ranks: *ranks,
@@ -73,7 +88,7 @@ func main() {
 	if *distHost != "" || *distJoin != "" {
 		runDistributed(ctx, p, *distHost, *distJoin, *ranks, *logdir, *resume, eventlog.Config{
 			CacheEntries: *cache, Compress: *compress,
-		})
+		}, *reportPath)
 		return
 	}
 
@@ -107,6 +122,32 @@ func main() {
 	fmt.Printf("log volume: %.2f MB across %d files in %s\n",
 		float64(res.LogBytes)/(1<<20), len(res.LogPaths), *logdir)
 	fmt.Printf("agent moves: %d local, %d inter-rank migrations\n", res.LocalMoves, res.Migrations)
+
+	if *reportPath != "" {
+		rep := telemetry.Default.Report("chisim")
+		rep.Ranks = rankReports(res.PerRank)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report → %s\n", *reportPath)
+	}
+}
+
+// rankReports converts the simulation's per-rank counters into the
+// report's rank roll-ups. Simulated ranks interleave computation with
+// the hourly exchange, so the whole wall counts as busy; the exchange
+// walls are visible separately in the abm_exchange_seconds series.
+func rankReports(per []abm.RankResult) []telemetry.RankReport {
+	out := make([]telemetry.RankReport, len(per))
+	for i, rr := range per {
+		out[i] = telemetry.RankReport{
+			Rank:    i,
+			WallNs:  int64(rr.WallNs),
+			BusyNs:  int64(rr.WallNs),
+			Entries: int64(rr.Entries),
+		}
+	}
+	return out
 }
 
 // signalContext converts the first SIGINT/SIGTERM into a context
@@ -158,7 +199,7 @@ func printResumeReport(reports []*abm.ResumeReport) {
 // runDistributed executes one rank of the simulation in this process
 // over the TCP transport, then gathers and prints the combined summary
 // on rank 0.
-func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, resume bool, logCfg eventlog.Config) {
+func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, resume bool, logCfg eventlog.Config, reportPath string) {
 	var node *mpinet.Node
 	var err error
 	if hostAddr != "" {
@@ -222,6 +263,7 @@ func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr s
 		return
 	}
 	var entries, bytes, migrations uint64
+	perRank := make([]abm.RankResult, 0, len(all))
 	for _, blob := range all {
 		r, err := abm.DecodeRankResult(blob)
 		if err != nil {
@@ -230,9 +272,19 @@ func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr s
 		entries += r.Entries
 		bytes += r.LogBytes
 		migrations += r.Migrations
+		perRank = append(perRank, r)
 	}
 	fmt.Printf("cluster total: %d entries, %.2f MB of logs, %d migrations across %d ranks\n",
 		entries, float64(bytes)/(1<<20), migrations, node.Size())
+
+	if reportPath != "" {
+		rep := telemetry.Default.Report("chisim")
+		rep.Ranks = rankReports(perRank)
+		if err := rep.WriteFile(reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report → %s\n", reportPath)
+	}
 }
 
 func fatal(err error) {

@@ -9,6 +9,11 @@
 //
 // -n sets the vertex-space size (the population); without it the largest
 // person ID in the file is used.
+//
+// The report subcommand renders the JSON run report written by chisim
+// and netsynth with -report as per-stage / per-rank timing tables:
+//
+//	netstat report run.json
 package main
 
 import (
@@ -18,15 +23,21 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/netstat"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		runReport(os.Args[2:])
+		return
+	}
+
 	n := flag.Int("n", 0, "population size (0 = infer from max person ID)")
 	workers := flag.Int("workers", 4, "clustering workers")
 	bins := flag.Int("bins", 20, "clustering histogram bins")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: netstat [flags] network.tsv"))
+		fatal(fmt.Errorf("usage: netstat [flags] network.tsv | netstat report run.json"))
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -95,6 +106,30 @@ func main() {
 	centers, counts := netstat.Histogram(vals, 0, 1, *bins)
 	for i := range centers {
 		fmt.Printf("  c≈%.3f %7d %s\n", centers[i], counts[i], bar(counts[i], counts))
+	}
+}
+
+// runReport implements `netstat report run.json`: it reads the JSON run
+// report produced by chisim/netsynth -report and renders the per-stage
+// and per-rank timing tables plus the metric snapshot.
+func runReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: netstat report run.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: netstat report run.json"))
+	}
+	rep, err := telemetry.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -38,6 +38,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mpinet"
+	"repro/internal/telemetry"
+
+	// Link the full pipeline so every stage's telemetry series is
+	// registered before the first /metrics scrape, even for stages this
+	// binary does not exercise on a given run.
+	_ "repro"
+	_ "repro/internal/batch"
 )
 
 // parseBytes parses a byte size with an optional K/M/G suffix (powers
@@ -75,7 +82,21 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the synthesis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the synthesis to this file")
 	showStats := flag.Bool("stats", false, "print the per-stage statistics table after the run")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address and enable telemetry")
+	reportPath := flag.String("report", "", "write a JSON run report to this path (render it with `netstat report`)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Default.Serve(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
+	if *reportPath != "" {
+		telemetry.SetEnabled(true)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -132,7 +153,7 @@ func main() {
 
 	if *distHost != "" || *distJoin != "" {
 		runDistributed(ctx, paths, uint32(*t0), uint32(*t1), cfg,
-			*distHost, *distJoin, *distSize, *out)
+			*distHost, *distJoin, *distSize, *out, *reportPath)
 		return
 	}
 
@@ -174,6 +195,18 @@ func main() {
 	if *showStats {
 		printStats(stats)
 	}
+	if *reportPath != "" {
+		rep := telemetry.Default.Report("netsynth")
+		rep.Stages = stats.StageReports()
+		local := stats.RankReport(0, elapsed, 0)
+		local.FaultsInjected = telemetry.C("fault_injected_total").Value()
+		local.FaultsRecovered = telemetry.C("fault_recovered_total").Value()
+		rep.Ranks = []telemetry.RankReport{local}
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report → %s\n", *reportPath)
+	}
 }
 
 // printStats renders the per-stage statistics table behind the -stats
@@ -206,7 +239,7 @@ func printStats(s *core.Stats) {
 
 // runDistributed stripes the log files across the processes of a TCP
 // cluster; rank 0 merges the partial networks and writes the edge list.
-func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out string) {
+func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out, reportPath string) {
 	var node *mpinet.Node
 	var err error
 	if hostAddr != "" {
@@ -229,7 +262,7 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 	defer node.Close()
 
 	start := time.Now()
-	tri, err := core.SynthesizeDistributed(ctx, node, paths, t0, t1, cfg)
+	tri, rep, err := core.SynthesizeDistributedReport(ctx, node, paths, t0, t1, cfg)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fatal(fmt.Errorf("interrupted: %w", err))
@@ -252,6 +285,17 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 	}
 	fmt.Printf("network: %d vertices, %d edges, total weight %d → %s\n",
 		tri.Vertices(), tri.NNZ(), tri.TotalWeight(), out)
+	if reportPath != "" {
+		if rep == nil {
+			fmt.Fprintln(os.Stderr, "netsynth: rank report gather failed; no run report written")
+			return
+		}
+		rep.Command = "netsynth"
+		if err := rep.WriteFile(reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report → %s\n", reportPath)
+	}
 }
 
 func fatal(err error) {

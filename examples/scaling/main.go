@@ -17,6 +17,7 @@ import (
 	"repro/internal/abm"
 	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -90,5 +91,26 @@ func main() {
 		total := res.Migrations + res.LocalMoves
 		fmt.Printf("  %-8s %9d inter-rank migrations (%.1f%% of %d moves)\n",
 			c.name+":", res.Migrations, 100*float64(res.Migrations)/float64(total), total)
+		fmt.Printf("  %-8s per-rank roll-up: %s\n", "", rankRollup(res.PerRank))
 	}
+}
+
+// rankRollup condenses the simulation's per-rank counters into one
+// line: the rank-wall imbalance (max/mean, the Fig. 6/7 figure of
+// merit, via telemetry.BusyImbalance) and the per-rank spread of
+// outbound migrations.
+func rankRollup(per []abm.RankResult) string {
+	reports := make([]telemetry.RankReport, len(per))
+	minM, maxM := uint64(0), uint64(0)
+	for i, rr := range per {
+		reports[i] = telemetry.RankReport{Rank: i, BusyNs: int64(rr.WallNs)}
+		if i == 0 || rr.Migrations < minM {
+			minM = rr.Migrations
+		}
+		if rr.Migrations > maxM {
+			maxM = rr.Migrations
+		}
+	}
+	return fmt.Sprintf("wall imbalance %.2f (max/mean over %d ranks), migrations out %d..%d",
+		telemetry.BusyImbalance(reports), len(per), minM, maxM)
 }

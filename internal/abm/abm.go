@@ -29,6 +29,18 @@ import (
 	"repro/internal/partition"
 	"repro/internal/schedule"
 	"repro/internal/synthpop"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the simulation stage. Counters are bumped once
+// per rank run (batch adds), and the exchange stopwatch costs one
+// atomic load per hour when telemetry is disabled.
+var (
+	mHours           = telemetry.C("abm_hours_total")
+	mMigrations      = telemetry.C("abm_migrations_total")
+	mLocalMoves      = telemetry.C("abm_local_moves_total")
+	mRankRuns        = telemetry.C("abm_rank_runs_total")
+	mExchangeSeconds = telemetry.H("abm_exchange_seconds")
 )
 
 // InteractFunc is called once per (rank, hour, place) with the agents
@@ -99,6 +111,9 @@ type Result struct {
 	// StoppedAt is the hour the run ended: Days*24 for a complete run,
 	// less when a graceful stop was requested (identical on all ranks).
 	StoppedAt uint32
+	// PerRank holds each rank's individual counters (index = rank), the
+	// raw material for per-rank imbalance roll-ups.
+	PerRank []RankResult
 }
 
 // agent is the per-rank state of one person: their current activity
@@ -196,6 +211,7 @@ func run(ctx context.Context, cfg Config, resume bool) (*Result, []*ResumeReport
 	}
 
 	res.StoppedAt = results[0].StoppedAt
+	res.PerRank = results
 	for _, rr := range results {
 		res.Entries += rr.Entries
 		res.Flushes += rr.Flushes
@@ -256,16 +272,20 @@ type RankResult struct {
 	// StoppedAt is the hour the run ended: Days*24 for a complete run,
 	// less when a graceful stop was requested.
 	StoppedAt uint32
-	LogPath   string
+	// WallNs is the rank's end-to-end wall clock in nanoseconds,
+	// measured by RunRank/ResumeRank; per-rank walls expose simulation
+	// load imbalance the summed counters hide.
+	WallNs  uint64
+	LogPath string
 }
 
 // Encode serializes the result for transport to rank 0 in a distributed
 // deployment.
 func (rr RankResult) Encode() []byte {
-	out := make([]byte, 0, 6*8+len(rr.LogPath))
+	out := make([]byte, 0, 7*8+len(rr.LogPath))
 	var u [8]byte
 	le := binary.LittleEndian
-	for _, v := range [6]uint64{rr.Entries, rr.Flushes, rr.LogBytes, rr.Migrations, rr.LocalMoves, uint64(rr.StoppedAt)} {
+	for _, v := range [7]uint64{rr.Entries, rr.Flushes, rr.LogBytes, rr.Migrations, rr.LocalMoves, uint64(rr.StoppedAt), rr.WallNs} {
 		le.PutUint64(u[:], v)
 		out = append(out, u[:]...)
 	}
@@ -274,7 +294,7 @@ func (rr RankResult) Encode() []byte {
 
 // DecodeRankResult reverses Encode.
 func DecodeRankResult(b []byte) (RankResult, error) {
-	if len(b) < 6*8 {
+	if len(b) < 7*8 {
 		return RankResult{}, fmt.Errorf("abm: rank result blob of %d bytes too short", len(b))
 	}
 	le := binary.LittleEndian
@@ -285,7 +305,8 @@ func DecodeRankResult(b []byte) (RankResult, error) {
 		Migrations: le.Uint64(b[24:]),
 		LocalMoves: le.Uint64(b[32:]),
 		StoppedAt:  uint32(le.Uint64(b[40:])),
-		LogPath:    string(b[48:]),
+		WallNs:     le.Uint64(b[48:]),
+		LogPath:    string(b[56:]),
 	}, nil
 }
 
@@ -341,9 +362,22 @@ func decodeAgents(b []byte) ([]agent, error) {
 //
 // Interact and LogExt hooks run with process-local state only: in a
 // distributed deployment each process sees just the agents it hosts.
-func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (RankResult, error) {
+func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (rr RankResult, err error) {
 	rank, size := t.Rank(), t.Size()
-	var rr RankResult
+	// The rank span always measures wall time (even with telemetry
+	// disabled) so RankResult.WallNs is unconditionally populated; the
+	// roll-up counters are one batch add per rank run.
+	_, spRank := telemetry.StartSpan(ctx, "abm/rank")
+	defer func() {
+		spRank.AddCount(int64(rr.Entries))
+		rr.WallNs = uint64(spRank.End())
+		mRankRuns.Inc()
+		if hours := int64(rr.StoppedAt) - int64(cfg.StartHour); hours > 0 {
+			mHours.Add(hours)
+		}
+		mMigrations.Add(int64(rr.Migrations))
+		mLocalMoves.Add(int64(rr.LocalMoves))
+	}()
 	if err := ctx.Err(); err != nil {
 		return rr, fmt.Errorf("abm: run canceled before start: %w", err)
 	}
@@ -500,7 +534,9 @@ func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (RankResult, 
 			for r := range blobs {
 				blobs[r] = []byte{flag}
 			}
+			sw := telemetry.Clock()
 			in, err := t.Exchange(alignCtx, blobs)
+			sw.Observe(mExchangeSeconds)
 			if err != nil {
 				return rr, err
 			}
@@ -551,7 +587,9 @@ func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (RankResult, 
 					blobs[r] = encodeAgents(outbox[r])
 				}
 			}
+			sw := telemetry.Clock()
 			incoming, err := t.Exchange(alignCtx, blobs)
+			sw.Observe(mExchangeSeconds)
 			if err != nil {
 				return rr, err
 			}

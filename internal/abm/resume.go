@@ -30,7 +30,13 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/mpi"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 )
+
+// mRecovered shares the fault_recovered_total series with the other
+// recovery paths (core's distributed retry): any successful salvage of
+// a crashed rank's log counts as one recovered fault.
+var mRecovered = telemetry.C("fault_recovered_total")
 
 // ResumeReport describes what ResumeRank salvaged and where it resumed.
 type ResumeReport struct {
@@ -145,5 +151,8 @@ func ResumeRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (RankResul
 	cfg.Logger = logger
 	cfg.StartHour = m
 	rr, err = RunRank(ctx, t, cfg)
+	if err == nil && !report.Restarted {
+		mRecovered.Inc()
+	}
 	return rr, report, err
 }

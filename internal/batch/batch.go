@@ -15,6 +15,15 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the batch-queue simulator.
+var (
+	mJobs        = telemetry.C("batch_jobs_total")
+	mSimulations = telemetry.C("batch_simulations_total")
+	mSimSeconds  = telemetry.H("batch_simulate_seconds")
 )
 
 // Policy selects the queue scheduling discipline.
@@ -63,6 +72,7 @@ type Result struct {
 // more slots than the cluster has. Cancelling ctx aborts the event loop
 // between events with an error wrapping context.Canceled.
 func Simulate(ctx context.Context, slots int, jobs []Job, policy Policy) ([]Result, error) {
+	sw := telemetry.Clock()
 	if slots <= 0 {
 		return nil, fmt.Errorf("batch: cluster must have positive slots")
 	}
@@ -186,6 +196,9 @@ func Simulate(ctx context.Context, slots int, jobs []Job, policy Policy) ([]Resu
 	for i, j := range jobs {
 		out[i] = results[j.ID]
 	}
+	sw.Observe(mSimSeconds)
+	mSimulations.Inc()
+	mJobs.Add(int64(len(jobs)))
 	return out, nil
 }
 

@@ -38,6 +38,33 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/mpi"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the synthesis stage (naming scheme
+// stage_metric_unit; see internal/telemetry). The stage-wall histograms
+// (synth_load_seconds, ...) are fed by the spans started in
+// synthesizeEntriesInto; registering them here makes the full schema
+// visible on /metrics before the first run.
+var (
+	mEntries      = telemetry.C("synth_entries_total")
+	mPlaces       = telemetry.C("synth_places_total")
+	mNNZ          = telemetry.C("synth_nnz_total")
+	mWorkUnits    = telemetry.C("synth_work_units_total")
+	mSplits       = telemetry.C("synth_splits_total")
+	mShards       = telemetry.C("synth_shards_total")
+	mSpillBytes   = telemetry.C("synth_spill_bytes_total")
+	mRankRetries  = telemetry.C("synth_rank_retries_total")
+	mRecovered    = telemetry.C("fault_recovered_total")
+	mUnitSeconds  = telemetry.H("synth_gram_unit_seconds")
+	mGatherBytes  = telemetry.C("synth_gather_bytes_total")
+	_             = telemetry.H("synth_load_seconds")
+	_             = telemetry.H("synth_build_seconds")
+	_             = telemetry.H("synth_gram_seconds")
+	_             = telemetry.H("synth_reduce_seconds")
+	mSpillSeconds = telemetry.H("synth_spill_seconds")
+	mCommSeconds  = telemetry.H("synth_comm_seconds")
+	mMergeSeconds = telemetry.H("synth_merge_seconds")
 )
 
 // BalanceMode selects how per-place matrices are assigned to workers in
@@ -186,6 +213,10 @@ func (s *Stats) add(st *Stats) {
 
 // IdleFraction returns the mean fraction of stage-4 wall time workers
 // spent idle: 1 - mean(busy)/max(busy). Zero when perfectly balanced.
+//
+// Degenerate runs are well-defined rather than NaN: a run with no
+// workers, no work units, or a single worker (mean == max by
+// construction) reports 0 — there is no imbalance to measure.
 func (s *Stats) IdleFraction() float64 {
 	if len(s.WorkerBusy) == 0 {
 		return 0
@@ -198,6 +229,8 @@ func (s *Stats) IdleFraction() float64 {
 		}
 	}
 	if max == 0 {
+		// Zero work units: no worker was ever busy, so no division —
+		// 0/0 here must not surface as NaN.
 		return 0
 	}
 	mean := float64(sum) / float64(len(s.WorkerBusy))
@@ -206,9 +239,14 @@ func (s *Stats) IdleFraction() float64 {
 
 // CostImbalance returns max(worker cost)/mean(worker cost); 1.0 is
 // perfectly balanced.
+//
+// Degenerate runs are well-defined rather than NaN or a misleading
+// "perfectly balanced": a run with no workers or zero total cost (no
+// work units) reports 0, meaning "nothing to measure". Any run with
+// actual work reports ≥ 1.
 func (s *Stats) CostImbalance() float64 {
 	if len(s.WorkerCost) == 0 {
-		return 1
+		return 0
 	}
 	max, sum := 0, 0
 	for _, n := range s.WorkerCost {
@@ -218,7 +256,7 @@ func (s *Stats) CostImbalance() float64 {
 		}
 	}
 	if sum == 0 {
-		return 1
+		return 0
 	}
 	mean := float64(sum) / float64(len(s.WorkerCost))
 	return float64(max) / mean
@@ -245,6 +283,48 @@ func (s *Stats) ModelSpeedup() float64 {
 	return float64(sum) / float64(max)
 }
 
+// StageReports converts the per-stage wall clocks into telemetry stage
+// reports, in pipeline order. Every stage is named even at zero wall so
+// run reports always show the full pipeline shape.
+func (s *Stats) StageReports() []telemetry.StageReport {
+	if s == nil {
+		return nil
+	}
+	return []telemetry.StageReport{
+		{Name: "synth/load", WallNs: s.Load.Nanoseconds(), Count: int64(s.Entries)},
+		{Name: "synth/build", WallNs: s.Build.Nanoseconds(), Count: int64(s.TotalNNZ)},
+		{Name: "synth/gram", WallNs: s.Gram.Nanoseconds(), Count: int64(s.WorkUnits)},
+		{Name: "synth/reduce", WallNs: s.Reduce.Nanoseconds()},
+		{Name: "synth/spill", WallNs: s.Spill.Nanoseconds(), Count: int64(s.Shards), Bytes: int64(s.SpilledBytes)},
+	}
+}
+
+// RankReport rolls one rank's synthesis up into a telemetry rank
+// report: busy is the sum of the stage walls, comm the time inside
+// collectives, and idle the remainder of the rank's end-to-end wall
+// (clamped at zero — stage parallelism can make busy exceed wall).
+// A nil receiver (a rank that processed no files) reports zero work.
+func (s *Stats) RankReport(rank int, wall, comm time.Duration) telemetry.RankReport {
+	rep := telemetry.RankReport{
+		Rank:   rank,
+		WallNs: wall.Nanoseconds(),
+		CommNs: comm.Nanoseconds(),
+	}
+	var busy time.Duration
+	if s != nil {
+		busy = s.Load + s.Build + s.Gram + s.Reduce + s.Spill
+		rep.Entries = int64(s.Entries)
+		rep.Places = int64(s.Places)
+		rep.WorkUnits = int64(s.WorkUnits)
+		rep.Splits = int64(s.Splits)
+	}
+	rep.BusyNs = busy.Nanoseconds()
+	if idle := wall - busy - comm; idle > 0 {
+		rep.IdleNs = idle.Nanoseconds()
+	}
+	return rep
+}
+
 // SynthesizeEntries builds the collocation network for the time slice
 // [t0, t1) from in-memory log entries. Cancelling ctx aborts the
 // synthesis within one stage-4 work unit; the returned error then wraps
@@ -258,10 +338,10 @@ func SynthesizeEntries(ctx context.Context, entries []eventlog.Entry, t0, t1 uin
 		sparse.PutEntries(all)
 		return nil, nil, err
 	}
-	start := time.Now()
+	_, spReduce := telemetry.StartSpan(ctx, "synth/reduce")
 	final := sparse.TriFromEntries(all)
 	sparse.PutEntries(all)
-	stats.Reduce += time.Since(start)
+	stats.Reduce += spReduce.End()
 	return final, stats, nil
 }
 
@@ -284,7 +364,11 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 	// sizes one shared backing array, so the per-place buckets are
 	// capacity-exact sub-slices of a single allocation instead of
 	// thousands of independently grown ones.
-	start := time.Now()
+	//
+	// Each stage is measured through a telemetry span; Stats reads the
+	// span walls, so the per-run Stats and the registry's cumulative
+	// synth_*_seconds histograms are views over the same measurement.
+	_, spLoad := telemetry.StartSpan(ctx, "synth/load")
 	idx := make(map[uint32]int32) // place ID -> dense bucket index
 	var placeIDs []uint32
 	var counts []int
@@ -332,18 +416,24 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 	}
 	placeIDs = sortedIDs
 	stats.Places = len(placeIDs)
-	stats.Load = time.Since(start)
+	spLoad.AddCount(int64(stats.Entries))
+	stats.Load = spLoad.End()
+	mEntries.Add(int64(stats.Entries))
+	mPlaces.Add(int64(stats.Places))
 
 	// Stage 2: per-place collocation matrices, built in parallel.
-	start = time.Now()
+	_, spBuild := telemetry.StartSpan(ctx, "synth/build")
 	mats, err := buildCollocationMatrices(ctx, byPlace, placeIDs, t0, t1, cfg.workers())
 	if err != nil {
+		spBuild.End()
 		return dst, nil, err
 	}
 	for _, m := range mats {
 		stats.TotalNNZ += m.nnz
 	}
-	stats.Build = time.Since(start)
+	spBuild.AddCount(int64(stats.TotalNNZ))
+	stats.Build = spBuild.End()
+	mNNZ.Add(int64(stats.TotalNNZ))
 
 	// Stage 3: partition work units across workers. Places whose
 	// clique-compressed cost exceeds the per-worker budget are split
@@ -358,6 +448,8 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 			stats.WorkerCost[w] += u.cost
 		}
 	}
+	mWorkUnits.Add(int64(stats.WorkUnits))
+	mSplits.Add(int64(splits))
 
 	// Stage 4: parallel x·xᵀ through the clique-compressed tile kernel.
 	// Each worker appends raw pair entries to a pooled slice — "each
@@ -365,7 +457,7 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 	// Cancellation is observed between work units: every worker re-reads
 	// a shared flag before starting a tile, so a canceled synthesis stops
 	// within one unit of compute.
-	start = time.Now()
+	_, spGram := telemetry.StartSpan(ctx, "synth/gram")
 	bufs := make([][]sparse.Entry, len(assignments))
 	stats.WorkerBusy = make([]time.Duration, len(assignments))
 	var canceled atomic.Bool
@@ -384,7 +476,9 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 					canceled.Store(true)
 					break
 				}
+				sw := telemetry.Clock()
 				buf = u.bm.GramTileAppend(buf, u.p0, u.p1, u.q0, u.q1)
+				sw.Observe(mUnitSeconds)
 			}
 			bufs[w] = buf
 			stats.WorkerBusy[w] = time.Since(t)
@@ -396,7 +490,8 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 	for _, m := range mats {
 		m.bm.Recycle()
 	}
-	stats.Gram = time.Since(start)
+	spGram.AddCount(int64(stats.WorkUnits))
+	stats.Gram = spGram.End()
 	if canceled.Load() {
 		for _, b := range bufs {
 			sparse.PutEntries(b)
@@ -411,12 +506,12 @@ func synthesizeEntriesInto(ctx context.Context, dst []sparse.Entry, entries []ev
 	// — and stays bit-identical for any worker count or balance mode
 	// because the tile cover reproduces the untiled entry multiset and
 	// weight summation is commutative.
-	start = time.Now()
+	_, spReduce := telemetry.StartSpan(ctx, "synth/reduce")
 	for _, b := range bufs {
 		dst = append(dst, b...)
 		sparse.PutEntries(b)
 	}
-	stats.Reduce = time.Since(start)
+	stats.Reduce = spReduce.End()
 
 	return dst, stats, nil
 }
@@ -641,12 +736,28 @@ func SynthesizeFile(ctx context.Context, path string, t0, t1 uint32, cfg Config)
 // the resulting error wraps context.Canceled and is NOT treated as a
 // rank failure (no re-striping).
 func SynthesizeDistributed(ctx context.Context, t mpi.Transport, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, error) {
+	tri, _, err := SynthesizeDistributedReport(ctx, t, paths, t0, t1, cfg)
+	return tri, err
+}
+
+// SynthesizeDistributedReport is SynthesizeDistributed plus
+// observability: after the result gather succeeds, every live rank
+// contributes a telemetry.RankReport (wall, busy, comm, idle, entries,
+// faults) through one extra best-effort gather, and rank 0 assembles
+// them — together with its own stage walls and the process-local
+// registry snapshot — into a run report. The report gather is
+// best-effort: a failure there never fails a synthesis whose result was
+// already gathered, it only yields a nil report. Non-zero ranks return
+// (nil, nil, nil).
+func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *telemetry.Report, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("core: no log files given")
+		return nil, nil, fmt.Errorf("core: no log files given")
 	}
+	rankStart := time.Now()
+	var comm time.Duration
 	size := t.Size()
 	retries := cfg.MaxRankRetries
 	if retries == 0 {
@@ -656,7 +767,7 @@ func SynthesizeDistributed(ctx context.Context, t mpi.Transport, paths []string,
 	failures := 0
 	for {
 		if err := ctxErr(ctx, "distributed synthesis"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Live ranks, in rank order; identical on every survivor because
 		// the transport reports every death to every survivor in the
@@ -676,39 +787,65 @@ func SynthesizeDistributed(ctx context.Context, t mpi.Transport, paths []string,
 			// This rank was declared dead by the cluster (e.g. a false
 			// positive of the failure detector); its contributions are
 			// being discarded, so stop rather than burn cycles.
-			return nil, fmt.Errorf("core: rank %d was declared failed by the cluster", t.Rank())
+			return nil, nil, fmt.Errorf("core: rank %d was declared failed by the cluster", t.Rank())
 		}
 		var mine []string
 		for i := slot; i < len(paths); i += len(alive) {
 			mine = append(mine, paths[i])
 		}
 		partial := sparse.NewAccum().Tri()
+		var stats *Stats
 		if len(mine) > 0 {
 			var err error
-			partial, _, err = SynthesizeFiles(ctx, mine, t0, t1, cfg)
+			partial, stats, err = SynthesizeFiles(ctx, mine, t0, t1, cfg)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		blob, err := partial.MarshalBinary()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		mGatherBytes.Add(int64(len(blob)))
+		gStart := time.Now()
 		gathered, err := t.Gather(ctx, blob)
+		gWall := time.Since(gStart)
+		comm += gWall
+		mCommSeconds.Observe(gWall)
 		if err != nil {
 			rf, ok := mpi.AsRankFailed(err)
 			if !ok || rf.Rank < 0 || rf.Rank >= size || retries < 0 {
-				return nil, err
+				return nil, nil, err
 			}
 			failures++
 			if failures > retries {
-				return nil, fmt.Errorf("core: giving up after %d rank failures: %w", failures, err)
+				return nil, nil, fmt.Errorf("core: giving up after %d rank failures: %w", failures, err)
 			}
 			dead[rf.Rank] = true
+			mRankRetries.Inc()
 			continue // re-stripe over the survivors and retry
 		}
+		if failures > 0 {
+			// The round completed despite earlier rank deaths: every
+			// absorbed failure counts as recovered.
+			mRecovered.Add(int64(failures))
+		}
+
+		// Result round done — roll this rank's run up and gather the rank
+		// reports. Every live rank reaches this point in the same round,
+		// so the extra collective stays aligned; its failure is swallowed
+		// (the synthesis result is already safe).
+		local := stats.RankReport(t.Rank(), time.Since(rankStart), comm)
+		local.FaultsInjected = telemetry.C("fault_injected_total").Value()
+		local.FaultsRecovered = telemetry.C("fault_recovered_total").Value()
+		var repBlob []byte
+		if b, err := telemetry.EncodeRank(local); err == nil {
+			repBlob = b
+		}
+		repGathered, repErr := t.Gather(ctx, repBlob)
+
 		if t.Rank() != 0 {
-			return nil, nil
+			return nil, nil, nil
 		}
 		tris := make([]*sparse.Tri, 0, len(alive))
 		for _, r := range alive {
@@ -717,15 +854,31 @@ func SynthesizeDistributed(ctx context.Context, t mpi.Transport, paths []string,
 				// completed round has contributions from every rank this
 				// side believes alive); other survivors have already
 				// returned, so retrying here could hang. Fail loudly.
-				return nil, fmt.Errorf("core: live rank %d produced no partial", r)
+				return nil, nil, fmt.Errorf("core: live rank %d produced no partial", r)
 			}
 			var tr sparse.Tri
 			if err := tr.UnmarshalBinary(gathered[r]); err != nil {
-				return nil, fmt.Errorf("core: partial from rank %d: %w", r, err)
+				return nil, nil, fmt.Errorf("core: partial from rank %d: %w", r, err)
 			}
 			tris = append(tris, &tr)
 		}
-		return sparse.MergeTris(tris...), nil
+		mStart := time.Now()
+		total := sparse.MergeTris(tris...)
+		mMergeSeconds.Observe(time.Since(mStart))
+
+		var report *telemetry.Report
+		if repErr == nil {
+			report = telemetry.Default.Report("synthesize-distributed")
+			report.Stages = stats.StageReports()
+			for _, r := range alive {
+				rr, err := telemetry.DecodeRank(repGathered[r])
+				if err != nil {
+					continue // a rank's report is best-effort
+				}
+				report.Ranks = append(report.Ranks, rr)
+			}
+		}
+		return total, report, nil
 	}
 }
 
@@ -951,7 +1104,10 @@ func planShards(counts map[uint32]int64, target int64) (map[uint32]int, int) {
 // associative, the merged network equals the single-coalesce result
 // bit for bit.
 func synthesizeFilesBudgeted(ctx context.Context, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
-	spillStart := time.Now()
+	// The spill span covers passes 1 and 2 (count + route); the pass-3
+	// re-reads are charged to Stats.Spill and the synth_spill_seconds
+	// histogram per shard below.
+	_, spSpill := telemetry.StartSpan(ctx, "synth/spill")
 
 	// Pass 1: per-place entry counts for the slice.
 	counts := make(map[uint32]int64)
@@ -986,9 +1142,10 @@ func synthesizeFilesBudgeted(ctx context.Context, paths []string, t0, t1 uint32,
 	if totalEntries*eventlog.BaseEntrySize <= cfg.MemBudgetBytes {
 		// Everything fits: take the fast path, charging the counting
 		// pass to Spill so the budget machinery's cost stays visible.
+		elapsed := spSpill.End()
 		tri, stats, err := synthesizeFilesInMemory(ctx, paths, t0, t1, cfg)
 		if stats != nil {
-			stats.Spill += time.Since(spillStart)
+			stats.Spill += elapsed
 		}
 		return tri, stats, err
 	}
@@ -1073,7 +1230,11 @@ func synthesizeFilesBudgeted(ctx context.Context, paths []string, t0, t1 uint32,
 			agg.SpilledBytes += uint64(st.Size())
 		}
 	}
-	agg.Spill = time.Since(spillStart)
+	spSpill.AddCount(int64(nShards))
+	spSpill.AddBytes(int64(agg.SpilledBytes))
+	agg.Spill = spSpill.End()
+	mShards.Add(int64(nShards))
+	mSpillBytes.Add(int64(agg.SpilledBytes))
 
 	// Pass 3: synthesize each shard independently, then merge.
 	tris := make([]*sparse.Tri, 0, nShards)
@@ -1092,7 +1253,9 @@ func synthesizeFilesBudgeted(ctx context.Context, paths []string, t0, t1 uint32,
 			return nil, nil, fmt.Errorf("core: spill shard %d: %w", s, err)
 		}
 		os.Remove(shardPath(s))
-		agg.Spill += time.Since(readStart)
+		readWall := time.Since(readStart)
+		agg.Spill += readWall
+		mSpillSeconds.Observe(readWall)
 		dst := sparse.GetEntries()
 		var off int64
 		for fi := range paths {
@@ -1117,6 +1280,8 @@ func synthesizeFilesBudgeted(ctx context.Context, paths []string, t0, t1 uint32,
 	}
 	start := time.Now()
 	total := sparse.MergeTrisParallel(cfg.workers(), tris...)
-	agg.Reduce += time.Since(start)
+	merge := time.Since(start)
+	agg.Reduce += merge
+	mMergeSeconds.Observe(merge)
 	return total, agg, nil
 }

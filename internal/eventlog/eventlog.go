@@ -23,6 +23,17 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/h5"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the logging stage. Entries are counted at flush
+// time (batch-sized adds), not per Log call, so the per-entry logging
+// hot path carries zero telemetry cost.
+var (
+	mEntries      = telemetry.C("eventlog_entries_total")
+	mFlushes      = telemetry.C("eventlog_flushes_total")
+	mFlushBytes   = telemetry.C("eventlog_flush_bytes_total")
+	mFlushSeconds = telemetry.H("eventlog_flush_seconds")
 )
 
 // CrashFlush is the crash-point name armed by chaos tests to kill a
@@ -164,9 +175,14 @@ func (l *Logger) Flush() error {
 	if err := faultinject.Hit(CrashFlush); err != nil {
 		return err
 	}
+	sw := telemetry.Clock()
 	if err := l.w.WriteChunk(l.cache); err != nil {
 		return err
 	}
+	sw.Observe(mFlushSeconds)
+	mEntries.Add(int64(l.n))
+	mFlushes.Inc()
+	mFlushBytes.Add(int64(len(l.cache)))
 	l.cache = l.cache[:0]
 	l.n = 0
 	l.flushes++

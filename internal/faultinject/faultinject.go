@@ -23,6 +23,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the fault layer. fault_points_armed tracks the
+// crash-point registry live; fault_injected_total counts every fault
+// that actually fired (crash points and flaky I/O alike).
+// fault_recovered_total is shared by name with the recovery paths
+// (internal/core's distributed retry, resume flows) — they bump the
+// same series without importing this package.
+var (
+	mInjected    = telemetry.C("fault_injected_total")
+	mPointsArmed = telemetry.G("fault_points_armed")
+	_            = telemetry.C("fault_recovered_total")
 )
 
 // ErrInjected is the default error returned by armed injectors. Callers
@@ -61,6 +75,7 @@ func (w *FlakyWriter) Write(p []byte) (int, error) {
 		return n, err
 	}
 	w.failed = true
+	mInjected.Inc()
 	if !w.Short {
 		return 0, w.err()
 	}
@@ -102,6 +117,7 @@ type FlakyReaderAt struct {
 	Err       error // error to return; nil selects ErrInjected
 
 	served int64
+	fired  bool
 }
 
 // ReadAt implements io.ReaderAt.
@@ -124,6 +140,10 @@ func (r *FlakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (r *FlakyReaderAt) err() error {
+	if !r.fired {
+		r.fired = true
+		mInjected.Inc()
+	}
 	if r.Err != nil {
 		return r.Err
 	}
@@ -175,6 +195,7 @@ func (c *FlakyConn) errCut() error {
 // behaviour of a killed process.
 func (c *FlakyConn) sever() error {
 	if c.cut.CompareAndSwap(false, true) {
+		mInjected.Inc()
 		c.Conn.Close()
 	}
 	return c.errCut()
@@ -268,6 +289,7 @@ func Arm(name string, nth int, err error) {
 		crashArmed.Add(1)
 	}
 	crashPts[name] = &crashPoint{after: nth - 1, err: err}
+	mPointsArmed.Set(int64(crashArmed.Load()))
 }
 
 // Disarm removes a single crash point.
@@ -278,6 +300,7 @@ func Disarm(name string) {
 		delete(crashPts, name)
 		crashArmed.Add(-1)
 	}
+	mPointsArmed.Set(int64(crashArmed.Load()))
 }
 
 // Reset disarms every crash point.
@@ -286,6 +309,7 @@ func Reset() {
 	defer crashMu.Unlock()
 	crashArmed.Store(0)
 	crashPts = map[string]*crashPoint{}
+	mPointsArmed.Set(0)
 }
 
 // Fired returns how many times the named point has fired.
@@ -316,6 +340,7 @@ func Hit(name string) error {
 		return nil
 	}
 	p.fired++
+	mInjected.Inc()
 	if p.err != nil {
 		return p.err
 	}

@@ -11,6 +11,15 @@ import (
 	"sync"
 
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the analysis stage: one count per CSR build,
+// plus edge volume and build latency.
+var (
+	mGraphBuilds  = telemetry.C("analysis_graph_builds_total")
+	mGraphEdges   = telemetry.C("analysis_graph_edges_total")
+	mBuildSeconds = telemetry.H("analysis_graph_build_seconds")
 )
 
 // Graph is an undirected weighted graph in compressed sparse row form.
@@ -25,6 +34,12 @@ type Graph struct {
 // matrix. n is the vertex-space size; pass 0 to size it from the largest
 // referenced ID. Vertices with no edges are retained as isolated.
 func FromTri(t *sparse.Tri, n int) *Graph {
+	sw := telemetry.Clock()
+	defer func() {
+		sw.Observe(mBuildSeconds)
+		mGraphBuilds.Inc()
+		mGraphEdges.Add(int64(t.NNZ()))
+	}()
 	if n == 0 && t.NNZ() > 0 {
 		n = int(t.MaxVertex()) + 1
 	}

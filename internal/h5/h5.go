@@ -43,6 +43,17 @@ import (
 	"os"
 
 	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the storage layer. Chunk granularity (one count
+// per WriteChunk/ReadChunk, i.e. per logger cache flush or index read)
+// keeps the per-record hot paths free of telemetry.
+var (
+	mChunksWritten = telemetry.C("h5_chunks_written_total")
+	mBytesWritten  = telemetry.C("h5_bytes_written_total")
+	mChunksRead    = telemetry.C("h5_chunks_read_total")
+	mBytesRead     = telemetry.C("h5_bytes_read_total")
 )
 
 const (
@@ -234,6 +245,8 @@ func (w *Writer) WriteChunk(payload []byte) error {
 		records: records,
 	})
 	w.offset += stride
+	mChunksWritten.Inc()
+	mBytesWritten.Add(int64(stride))
 	return nil
 }
 
@@ -508,6 +521,8 @@ func (r *Reader) ReadChunk(i int) ([]byte, error) {
 			return nil, fmt.Errorf("%w: chunk %d checksum mismatch (stored %#x, computed %#x)", ErrCorrupt, i, want, got)
 		}
 	}
+	mChunksRead.Inc()
+	mBytesRead.Add(int64(c.compLen))
 	if !r.compress {
 		if uint32(len(stored)) != c.rawLen {
 			return nil, fmt.Errorf("%w: chunk %d length mismatch", ErrCorrupt, i)

@@ -3,6 +3,16 @@ package mpi
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the in-process transport: one collective per
+// Barrier/Exchange/Gather call, timed through a stopwatch that costs a
+// single atomic load when telemetry is disabled.
+var (
+	mCollectives       = telemetry.C("mpi_collectives_total")
+	mCollectiveSeconds = telemetry.H("mpi_collective_seconds")
 )
 
 // Transport is the minimal communication surface the simulation's hot
@@ -64,16 +74,26 @@ func (t commTransport) Rank() int { return t.c.Rank() }
 func (t commTransport) Size() int { return t.c.Size() }
 
 func (t commTransport) Barrier(ctx context.Context) error {
+	mCollectives.Inc()
+	sw := telemetry.Clock()
 	t.c.Barrier()
+	sw.Observe(mCollectiveSeconds)
 	return nil
 }
 
 func (t commTransport) Exchange(ctx context.Context, out [][]byte) ([][]byte, error) {
-	return Alltoall(t.c, out), nil
+	mCollectives.Inc()
+	sw := telemetry.Clock()
+	in := Alltoall(t.c, out)
+	sw.Observe(mCollectiveSeconds)
+	return in, nil
 }
 
 func (t commTransport) Gather(ctx context.Context, blob []byte) ([][]byte, error) {
+	mCollectives.Inc()
+	sw := telemetry.Clock()
 	all := Allgather(t.c, blob)
+	sw.Observe(mCollectiveSeconds)
 	if t.c.Rank() != 0 {
 		return nil, nil
 	}

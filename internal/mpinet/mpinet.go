@@ -61,6 +61,17 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the network transport: one round per collective
+// (Barrier/Exchange/Gather each consume exactly one), payload bytes as
+// sent, failures as observed by the coordinator's detector.
+var (
+	mRounds       = telemetry.C("mpinet_rounds_total")
+	mBytesSent    = telemetry.C("mpinet_bytes_sent_total")
+	mRankFailures = telemetry.C("mpinet_rank_failures_total")
+	mRoundSeconds = telemetry.H("mpinet_round_seconds")
 )
 
 const handshakeMagic = "CSIM"
@@ -542,7 +553,9 @@ func (c *coordinator) markDead(rank int) {
 	p := c.peers[rank]
 	c.mu.Unlock()
 	if p != nil {
-		p.dead.Store(true)
+		if !p.dead.Swap(true) {
+			mRankFailures.Inc()
+		}
 		p.conn.Close()
 	}
 }
@@ -772,6 +785,14 @@ func (n *Node) roundTrip(ctx context.Context, f frame) (frame, error) {
 	if err := ctx.Err(); err != nil {
 		return frame{}, ctxErr(op, err)
 	}
+	mRounds.Inc()
+	var outBytes int64
+	for _, b := range f.blobs {
+		outBytes += int64(len(b))
+	}
+	mBytesSent.Add(outBytes)
+	sw := telemetry.Clock()
+	defer sw.Observe(mRoundSeconds)
 	f.seq = n.seq
 	n.seq++ // one round consumed per call, successful or aborted
 	if n.coord != nil {

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in live-introspection endpoint behind
+// -telemetry-addr. It serves
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (the registry snapshot under "telemetry")
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// on its own mux, so mounting it never pollutes http.DefaultServeMux
+// routes beyond what importing net/http/pprof already does.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-global expvar.Publish: expvar panics on
+// duplicate names, and two Serve calls (tests, restarts) must not crash.
+var expvarOnce sync.Once
+
+// Serve starts the Default registry's HTTP endpoint on addr (e.g.
+// ":9090" or "127.0.0.1:0") and enables the registry — an endpoint over
+// frozen zero series would be useless. It returns immediately; the
+// listener runs until Close.
+func Serve(addr string) (*Server, error) { return Default.Serve(addr) }
+
+// Serve starts the registry's HTTP endpoint on addr. See the
+// package-level Serve.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.SetEnabled(true)
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

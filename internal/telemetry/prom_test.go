@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exact text exposition for a small,
+// deterministic registry. Any format change must update this golden —
+// scrapers depend on the stability of this output.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("synth_entries_total").Add(12345)
+	r.Counter("abm_hours_total").Add(168)
+	r.Gauge("fault_points_armed").Set(2)
+	h := r.Histogram("synth_gram_seconds")
+	h.Observe(500 * time.Nanosecond) // bucket 0 (≤ 1µs)
+	h.Observe(3 * time.Microsecond)  // bucket 2 (≤ 4µs)
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	h.Observe(100 * time.Hour)       // overflow
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	var want strings.Builder
+	want.WriteString("# TYPE abm_hours_total counter\nabm_hours_total 168\n")
+	want.WriteString("# TYPE synth_entries_total counter\nsynth_entries_total 12345\n")
+	want.WriteString("# TYPE fault_points_armed gauge\nfault_points_armed 2\n")
+	want.WriteString("# TYPE synth_gram_seconds histogram\n")
+	cum := 0
+	for i := 0; i < NumBuckets; i++ {
+		switch i {
+		case 0:
+			cum = 1
+		case 2:
+			cum = 3
+		}
+		fmt.Fprintf(&want, "synth_gram_seconds_bucket{le=%q} %d\n", formatSeconds(BucketBound(i)), cum)
+	}
+	want.WriteString("synth_gram_seconds_bucket{le=\"+Inf\"} 4\n")
+	fmt.Fprintf(&want, "synth_gram_seconds_sum %s\n", formatSeconds(int64(500+3000+3000)+int64(100*time.Hour)))
+	want.WriteString("synth_gram_seconds_count 4\n")
+
+	if sb.String() != want.String() {
+		t.Fatalf("prometheus exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want.String())
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[int64]string{
+		1000:          "1e-06",
+		1500000:       "0.0015",
+		1000000000:    "1",
+		2500000000000: "2500",
+	}
+	for ns, want := range cases {
+		if got := formatSeconds(ns); got != want {
+			t.Errorf("formatSeconds(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+// TestServeEndpoints spins up the HTTP endpoint and checks /metrics,
+// /debug/vars and /debug/pprof all answer.
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("synth_entries_total").Add(9)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "synth_entries_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "\"telemetry\"") {
+		t.Fatalf("/debug/vars missing telemetry var:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

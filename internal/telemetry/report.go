@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// This file defines the machine-readable run report: the single JSON
+// document a run writes with -report out.json and `netstat report`
+// renders as per-stage / per-rank timing tables. The report is the
+// paper's Fig. 6/7 load-balancing analysis in file form — per-rank
+// busy/comm/idle attribution plus the full metric snapshot.
+
+// StageReport attributes wall clock (and optionally volume) to one
+// pipeline stage.
+type StageReport struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+	Count  int64  `json:"count,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+// RankReport is one rank's roll-up: where its wall clock went
+// (busy/comm/idle), what it processed, and what faults it saw.
+// SynthesizeDistributed gathers one of these per rank over the
+// transport; single-process runs emit exactly one.
+type RankReport struct {
+	Rank   int   `json:"rank"`
+	WallNs int64 `json:"wall_ns"`
+	BusyNs int64 `json:"busy_ns"`
+	CommNs int64 `json:"comm_ns"`
+	IdleNs int64 `json:"idle_ns"`
+
+	Entries   int64 `json:"entries"`
+	Places    int64 `json:"places,omitempty"`
+	WorkUnits int64 `json:"work_units,omitempty"`
+	Splits    int64 `json:"splits,omitempty"`
+
+	FaultsInjected  int64 `json:"faults_injected,omitempty"`
+	FaultsRecovered int64 `json:"faults_recovered,omitempty"`
+}
+
+// EncodeRank serializes a RankReport for a transport gather.
+func EncodeRank(r RankReport) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeRank reverses EncodeRank.
+func DecodeRank(b []byte) (RankReport, error) {
+	var r RankReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return RankReport{}, fmt.Errorf("telemetry: rank report: %w", err)
+	}
+	return r, nil
+}
+
+// BusyImbalance returns max(busy)/mean(busy) across ranks — the Fig.
+// 6/7 load-balance figure of merit. It returns 0 when there is nothing
+// to measure (no ranks, or no busy time anywhere).
+func BusyImbalance(ranks []RankReport) float64 {
+	var max, sum int64
+	for _, r := range ranks {
+		sum += r.BusyNs
+		if r.BusyNs > max {
+			max = r.BusyNs
+		}
+	}
+	if len(ranks) == 0 || sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(ranks))
+	return float64(max) / mean
+}
+
+// Report is the machine-readable run report.
+type Report struct {
+	// Command names the producing tool ("netsynth", "chisim", ...).
+	Command string `json:"command"`
+	// CreatedUnixNs is the report creation time (UnixNano; an integer
+	// so the document round-trips exactly).
+	CreatedUnixNs int64 `json:"created_unix_ns"`
+	// Stages attributes wall clock per pipeline stage.
+	Stages []StageReport `json:"stages,omitempty"`
+	// Ranks holds the per-rank roll-ups.
+	Ranks []RankReport `json:"ranks,omitempty"`
+	// Metrics is the full registry snapshot at report time.
+	Metrics Snapshot `json:"metrics"`
+	// Spans are the retained completed root span trees.
+	Spans []SpanReport `json:"spans,omitempty"`
+}
+
+// Report builds a run report from the registry's current state.
+// Callers append Stages and Ranks before writing it out.
+func (r *Registry) Report(command string) *Report {
+	return &Report{
+		Command:       command,
+		CreatedUnixNs: time.Now().UnixNano(),
+		Metrics:       r.Snapshot(),
+		Spans:         r.RootSpans(),
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadReportFile reads a report written by WriteFile.
+func ReadReportFile(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("telemetry: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// fmtNs renders a nanosecond quantity as a rounded duration.
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// Render writes the human-readable per-stage / per-rank timing tables —
+// the `netstat report` view of the document.
+func (rep *Report) Render(w io.Writer) error {
+	fmt.Fprintf(w, "run report: %s (created %s)\n",
+		rep.Command, time.Unix(0, rep.CreatedUnixNs).UTC().Format(time.RFC3339))
+
+	if len(rep.Stages) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "\nstage\twall\tcount\tbytes\n")
+		var total int64
+		for _, st := range rep.Stages {
+			total += st.WallNs
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", st.Name, fmtNs(st.WallNs), orDash(st.Count), orDash(st.Bytes))
+		}
+		fmt.Fprintf(tw, "total\t%s\t\t\n", fmtNs(total))
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(rep.Ranks) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "\nrank\twall\tbusy\tcomm\tidle\tentries\tplaces\tunits\tfaults inj/rec\n")
+		for _, r := range rep.Ranks {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%d/%d\n",
+				r.Rank, fmtNs(r.WallNs), fmtNs(r.BusyNs), fmtNs(r.CommNs), fmtNs(r.IdleNs),
+				r.Entries, orDash(r.Places), orDash(r.WorkUnits),
+				r.FaultsInjected, r.FaultsRecovered)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "busy imbalance (max/mean): %.2f\n", BusyImbalance(rep.Ranks))
+	}
+
+	if len(rep.Metrics.Histograms) > 0 {
+		names := sortedKeys(rep.Metrics.Histograms)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "\ntiming series\tcount\ttotal\tp50\tp95\tp99\n")
+		for _, name := range names {
+			h := rep.Metrics.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+				name, h.Count, fmtNs(h.SumNs), fmtNs(h.P50Ns), fmtNs(h.P95Ns), fmtNs(h.P99Ns))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(rep.Metrics.Counters) > 0 {
+		type kv struct {
+			k string
+			v int64
+		}
+		var nonzero []kv
+		for k, v := range rep.Metrics.Counters {
+			if v != 0 {
+				nonzero = append(nonzero, kv{k, v})
+			}
+		}
+		sort.Slice(nonzero, func(i, j int) bool { return nonzero[i].k < nonzero[j].k })
+		if len(nonzero) > 0 {
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(tw, "\ncounter\tvalue\n")
+			for _, c := range nonzero {
+				fmt.Fprintf(tw, "%s\t%d\n", c.k, c.v)
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func orDash(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportRoundTrip writes a fully-populated run report to disk,
+// reads it back, and requires exact equality — the -report documents
+// must survive the netsynth → netstat handoff bit-for-bit.
+func TestReportRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("synth_entries_total").Add(42)
+	r.Gauge("fault_points_armed").Set(1)
+	r.Histogram("synth_gram_seconds").Observe(3 * time.Millisecond)
+	_, sp := r.StartSpan(context.Background(), "synth/file")
+	sp.AddCount(42)
+	sp.End()
+
+	rep := r.Report("netsynth")
+	rep.Stages = []StageReport{
+		{Name: "synth/load", WallNs: int64(12 * time.Millisecond), Count: 42, Bytes: 840},
+		{Name: "synth/gram", WallNs: int64(3 * time.Millisecond)},
+	}
+	rep.Ranks = []RankReport{
+		{Rank: 0, WallNs: 100, BusyNs: 70, CommNs: 20, IdleNs: 10, Entries: 42, Places: 3, WorkUnits: 5, Splits: 1, FaultsInjected: 2, FaultsRecovered: 2},
+		{Rank: 1, WallNs: 90, BusyNs: 40, CommNs: 30, IdleNs: 20, Entries: 17},
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("report did not round-trip:\n got %+v\nwant %+v", got, rep)
+	}
+
+	// The round-tripped report renders through the netstat view.
+	var sb strings.Builder
+	if err := got.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"run report: netsynth", "synth/load", "rank", "busy imbalance", "synth_gram_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRankReportEncodeDecode(t *testing.T) {
+	in := RankReport{Rank: 3, WallNs: 5, BusyNs: 4, CommNs: 1, Entries: 9, FaultsInjected: 1}
+	blob, err := EncodeRank(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRank(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("rank report round-trip: got %+v, want %+v", out, in)
+	}
+	if _, err := DecodeRank([]byte("not json")); err == nil {
+		t.Fatal("DecodeRank accepted garbage")
+	}
+}
+
+func TestBusyImbalance(t *testing.T) {
+	cases := []struct {
+		name  string
+		ranks []RankReport
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []RankReport{{}, {}}, 0},
+		{"balanced", []RankReport{{BusyNs: 10}, {BusyNs: 10}}, 1},
+		{"skewed", []RankReport{{BusyNs: 30}, {BusyNs: 10}}, 1.5},
+		{"single", []RankReport{{BusyNs: 7}}, 1},
+	}
+	for _, c := range cases {
+		if got := BusyImbalance(c.ranks); got != c.want {
+			t.Errorf("%s: BusyImbalance = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

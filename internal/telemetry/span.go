@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements hierarchical spans. A span attributes wall
+// clock, bytes and a count to one named region of the pipeline
+// ("synth/gram", "abm/rank", ...). Spans nest through context.Context:
+// StartSpan on a context that already carries a live span records the
+// new span as its child, so a run produces a tree
+//
+//	pipeline/synthesize
+//	└── synth/file
+//	    ├── synth/load
+//	    ├── synth/build
+//	    ├── synth/gram
+//	    └── synth/reduce
+//
+// Ending a span publishes its wall time into the histogram named after
+// it (slashes become underscores, "_seconds" appended: "synth/gram" →
+// synth_gram_seconds), so span timings appear on /metrics with no
+// extra instrumentation.
+//
+// Cost contract: a span ALWAYS measures its wall time — callers such as
+// core.Stats read durations from spans whether or not telemetry is
+// enabled, which is what makes Stats a per-run view over the same
+// measurements the registry publishes. Publication (histogram observe,
+// tree linkage, root retention) happens only when the registry is
+// enabled; disabled, StartSpan allocates one small struct, reads the
+// clock once, and returns the caller's context unchanged (no
+// context.WithValue allocation).
+
+type spanKey struct{}
+
+// maxRootSpans bounds how many completed root spans a registry retains
+// (newest win); a long-lived server must not accumulate span trees
+// without bound.
+const maxRootSpans = 64
+
+// Span is one timed region. Bytes and Count accumulate attributed
+// volume (log bytes flushed, entries processed, ...). A Span's methods
+// are safe on a nil receiver, so call sites never need to check.
+type Span struct {
+	name   string
+	reg    *Registry
+	parent *Span
+	start  time.Time
+
+	bytes atomic.Int64
+	count atomic.Int64
+	ended atomic.Bool
+	wall  atomic.Int64 // ns, set once by End
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// StartSpan begins a span on the Default registry.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return Default.StartSpan(ctx, name)
+}
+
+// StartSpan begins a named span. The returned context carries the span
+// so nested StartSpan calls build a tree; pass it down the existing
+// context plumbing. Always call End (or EndSpan) exactly once.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, reg: r, start: time.Now()}
+	if !r.enabled.Load() {
+		return ctx, sp
+	}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok {
+		sp.parent = parent
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFromContext returns the innermost live span carried by ctx, or
+// nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// AddBytes attributes n bytes to the span.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.bytes.Add(n)
+}
+
+// AddCount attributes n items to the span.
+func (s *Span) AddCount(n int64) {
+	if s == nil {
+		return
+	}
+	s.count.Add(n)
+}
+
+// Wall returns the span's wall time: the final duration once ended,
+// the running duration before.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.ended.Load() {
+		return time.Duration(s.wall.Load())
+	}
+	return time.Since(s.start)
+}
+
+// End stops the span, returning its wall time. When the registry is
+// enabled the wall time is observed into the span's histogram
+// (HistName) and the span is linked under its parent — or retained as
+// a root span for the run report when it has none. End is idempotent.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if !s.ended.CompareAndSwap(false, true) {
+		return time.Duration(s.wall.Load())
+	}
+	d := time.Since(s.start)
+	s.wall.Store(int64(d))
+	if s.reg != nil && s.reg.enabled.Load() {
+		s.reg.Histogram(HistName(s.name)).observe(int64(d))
+		if s.parent != nil {
+			s.parent.mu.Lock()
+			s.parent.children = append(s.parent.children, s)
+			s.parent.mu.Unlock()
+		} else {
+			s.reg.addRoot(s)
+		}
+	}
+	return d
+}
+
+// HistName maps a span name to its histogram series:
+// "synth/gram" → "synth_gram_seconds".
+func HistName(span string) string {
+	return strings.ReplaceAll(span, "/", "_") + "_seconds"
+}
+
+func (r *Registry) addRoot(s *Span) {
+	r.rootMu.Lock()
+	defer r.rootMu.Unlock()
+	r.roots = append(r.roots, s)
+	if n := len(r.roots) - maxRootSpans; n > 0 {
+		r.roots = append(r.roots[:0], r.roots[n:]...)
+	}
+}
+
+// SpanReport is the serializable form of a completed span subtree.
+type SpanReport struct {
+	Name     string       `json:"name"`
+	WallNs   int64        `json:"wall_ns"`
+	Bytes    int64        `json:"bytes,omitempty"`
+	Count    int64        `json:"count,omitempty"`
+	Children []SpanReport `json:"children,omitempty"`
+}
+
+// Report snapshots the span subtree. Children appear in the order they
+// ended.
+func (s *Span) Report() SpanReport {
+	rep := SpanReport{
+		Name:   s.name,
+		WallNs: int64(s.Wall()),
+		Bytes:  s.bytes.Load(),
+		Count:  s.count.Load(),
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		rep.Children = append(rep.Children, c.Report())
+	}
+	return rep
+}
+
+// RootSpans returns reports for the retained completed root spans,
+// oldest first.
+func (r *Registry) RootSpans() []SpanReport {
+	r.rootMu.Lock()
+	roots := append([]*Span(nil), r.roots...)
+	r.rootMu.Unlock()
+	out := make([]SpanReport, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.Report())
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestDisabledRegistryIsNoop(t *testing.T) {
+	r := New()
+	r.SetEnabled(false)
+	c := r.Counter("x_total")
+	c.Add(10)
+	r.Gauge("y").Set(3)
+	h := r.Histogram("z_seconds")
+	h.Observe(time.Second)
+	sw := r.Clock()
+	if sw.start != 0 {
+		t.Fatal("Clock on a disabled registry read the clock")
+	}
+	if d := sw.Observe(h); d != 0 {
+		t.Fatalf("disabled stopwatch observed %v", d)
+	}
+	if c.Value() != 0 || r.Gauge("y").Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled registry recorded values")
+	}
+	// Nil handles are safe too.
+	var nc *Counter
+	nc.Add(1)
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("q_seconds")
+	// 100 observations spread over two decades.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 4*time.Microsecond || p50 > 16*time.Microsecond {
+		t.Fatalf("p50 = %v, want ≈10µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 4*time.Millisecond || p99 > 17*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≈10ms", p99)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	r := New()
+	h := r.Histogram("o_seconds")
+	h.Observe(time.Duration(BucketBound(NumBuckets-1)) * 4) // beyond the finite range
+	if got, want := h.Quantile(0.5), time.Duration(BucketBound(NumBuckets-1)); got != want {
+		t.Fatalf("overflow quantile = %v, want %v", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from GOMAXPROCS
+// goroutines — metric creation, counter adds, histogram observes, and
+// concurrent snapshot/exposition readers — and checks the totals. Run
+// with -race this is the registry's data-race proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			h := r.Histogram("hammer_seconds")
+			g := r.Gauge("hammer_gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				g.Set(int64(i))
+				// Exercise registration under contention too.
+				r.Counter(fmt.Sprintf("shared_%d_total", i%8)).Inc()
+				if i%500 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers * perWorker)
+	if got := r.Counter("hammer_total").Value(); got != want {
+		t.Fatalf("hammer_total = %d, want %d", got, want)
+	}
+	if got := r.Histogram("hammer_seconds").Count(); got != want {
+		t.Fatalf("hammer_seconds count = %d, want %d", got, want)
+	}
+	var shared int64
+	for i := 0; i < 8; i++ {
+		shared += r.Counter(fmt.Sprintf("shared_%d_total", i)).Value()
+	}
+	if shared != want {
+		t.Fatalf("shared counters sum = %d, want %d", shared, want)
+	}
+}
+
+func TestSnapshotIsConsistentCopy(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(5)
+	r.Histogram("b_seconds").Observe(3 * time.Millisecond)
+	s := r.Snapshot()
+	r.Counter("a_total").Add(100)
+	if s.Counters["a_total"] != 5 {
+		t.Fatalf("snapshot mutated: %d", s.Counters["a_total"])
+	}
+	if s.Histograms["b_seconds"].Count != 1 {
+		t.Fatalf("histogram snapshot count = %d", s.Histograms["b_seconds"].Count)
+	}
+	if len(s.Histograms["b_seconds"].BucketCounts) != NumBuckets+1 {
+		t.Fatalf("bucket count slice length %d", len(s.Histograms["b_seconds"].BucketCounts))
+	}
+}
+
+func TestNumSeries(t *testing.T) {
+	r := New()
+	r.Counter("a_total")
+	r.Gauge("b")
+	r.Histogram("c_seconds")
+	if n := r.NumSeries(); n != 3 {
+		t.Fatalf("NumSeries = %d, want 3", n)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/sparse"
 	"repro/internal/synthpop"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes an end-to-end pipeline.
@@ -131,6 +132,8 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 // ctx stops the run at the next hour boundary with resumable logs and
 // an error wrapping context.Canceled.
 func (p *Pipeline) Simulate(ctx context.Context, logDir string) (*abm.Result, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "pipeline/simulate")
+	defer sp.End()
 	return abm.Run(ctx, abm.Config{
 		Pop:    p.Pop,
 		Gen:    p.Gen,
@@ -207,6 +210,8 @@ type Network struct {
 // budgeted place-sharded spill path when the slice exceeds it).
 // Cancelling ctx aborts within one work unit.
 func (p *Pipeline) Synthesize(ctx context.Context, logPaths []string, t0, t1 uint32) (*Network, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "pipeline/synthesize")
+	defer sp.End()
 	tri, stats, err := core.SynthesizeFiles(ctx, logPaths, t0, t1, core.Config{
 		Workers:        p.cfg.Workers,
 		MemBudgetBytes: p.cfg.MemBudgetBytes,
@@ -214,6 +219,7 @@ func (p *Pipeline) Synthesize(ctx context.Context, logPaths []string, t0, t1 uin
 	if err != nil {
 		return nil, err
 	}
+	sp.AddCount(int64(stats.Entries))
 	return &Network{Tri: tri, Persons: p.Pop.NumPersons(), Stats: stats}, nil
 }
 

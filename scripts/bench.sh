@@ -24,7 +24,7 @@ echo "== synthesis benchmarks (count=$COUNT) -> $OUT"
 # with DESIGN.md §8. BenchmarkT4MemBudget reports the runtime.MemStats
 # heap high-water (peak-heap-B) for budgeted vs unbudgeted synthesis —
 # the budgeted case fails outright if the peak exceeds 2x the budget.
-go test -run '^$' -bench 'BenchmarkT3Synthesis$|BenchmarkS1WorkerScaling$|BenchmarkA1LoadBalancing$|BenchmarkT4MemBudget' \
+go test -run '^$' -bench 'BenchmarkT3Synthesis(Telemetry)?$|BenchmarkS1WorkerScaling$|BenchmarkA1LoadBalancing$|BenchmarkT4MemBudget' \
 	-benchmem -count "$COUNT" . | tee "$RAW"
 go test -run '^$' -bench 'BenchmarkGramKernel$|BenchmarkMerge$|BenchmarkCoalesce$' \
 	-benchmem -count "$COUNT" ./internal/sparse | tee -a "$RAW"
@@ -43,6 +43,10 @@ awk '
 		gsub(/\//, "_per_", unit)
 		sum[name "\t" unit] += $f
 		units[name] = units[name] unit "\n"
+		if (unit == "ns_per_op") {
+			key = name "\tmin_ns"
+			if (!(key in mn) || $f < mn[key]) mn[key] = $f
+		}
 	}
 }
 END {
@@ -64,6 +68,14 @@ END {
 			printf "\"%s\": %.6g", u, sum[name "\t" u] / n[name]
 		}
 		printf "}"
+	}
+	# Telemetry overhead ratio (DESIGN.md §10): best enabled / best
+	# disabled ns/op of the synthesis hot path (minima are robust to
+	# scheduler jitter). scripts/check.sh fails above 1.05.
+	d = "BenchmarkT3Synthesis"; e = "BenchmarkT3SynthesisTelemetry"
+	if (((d "\tmin_ns") in mn) && ((e "\tmin_ns") in mn)) {
+		printf ",\n  \"telemetry_overhead_ratio\": %.6g",
+			mn[e "\tmin_ns"] / mn[d "\tmin_ns"]
 	}
 	printf "\n}\n"
 }' "$RAW" >"$OUT"

@@ -25,6 +25,26 @@ go build ./...
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
+# Telemetry overhead guard (DESIGN.md §10): enabled telemetry may not
+# slow the synthesis hot path by more than 5% versus disabled. Compares
+# the best (minimum) ns/op of BenchmarkT3Synthesis against the
+# Telemetry variant — the minimum over repeated counts is the standard
+# noise-robust benchmark statistic; means are dominated by scheduler
+# jitter at this wall (~50 ms/op). Skip with GUARD=0 (e.g. on heavily
+# loaded CI boxes).
+if [ "${GUARD:-1}" = "1" ]; then
+	echo "== telemetry overhead guard (T3Synthesis enabled/disabled <= 1.05)"
+	go test -run '^$' -bench 'BenchmarkT3Synthesis(Telemetry)?$' -count 5 . | awk '
+	/^BenchmarkT3SynthesisTelemetry/ { if (ne == 0 || $3 < en) en = $3; ne++; next }
+	/^BenchmarkT3Synthesis/          { if (nd == 0 || $3 < dis) dis = $3; nd++ }
+	END {
+		if (nd == 0 || ne == 0) { print "guard: benchmark output missing"; exit 1 }
+		ratio = en / dis
+		printf "telemetry overhead ratio (best enabled / best disabled): %.3f\n", ratio
+		if (ratio > 1.05) { printf "FAIL: telemetry overhead %.1f%% exceeds the 5%% budget\n", (ratio - 1) * 100; exit 1 }
+	}'
+fi
+
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== scripts/bench.sh (BENCH=1)"
 	./scripts/bench.sh
