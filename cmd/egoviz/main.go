@@ -7,8 +7,11 @@
 // Usage:
 //
 //	egoviz -seed-person 123 -radius 2 -o ego.svg network.tsv
+//	egoviz -seed-person 123 -radius 2 -o ego.svg net.gsnap
 //
-// With -seed-person -1, the vertex with the median degree is used.
+// The input may be a TSV edge list or a binary .gsnap snapshot; the
+// format is sniffed from the file's magic bytes. With -seed-person -1,
+// the vertex with the median degree is used.
 package main
 
 import (
@@ -18,7 +21,7 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/layout"
 )
 
@@ -30,19 +33,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "layout random seed")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: egoviz [flags] network.tsv"))
+		fatal(fmt.Errorf("usage: egoviz [flags] network.tsv|net.gsnap"))
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	snap, err := gstore.LoadGraphFile(flag.Arg(0), 0)
 	if err != nil {
 		fatal(err)
 	}
-	tri, err := graph.ReadEdgeList(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	g := graph.FromTri(tri, 0)
+	defer snap.Close()
+	g := snap.Graph()
 
 	center := uint32(0)
 	if *person >= 0 {

@@ -1,0 +1,276 @@
+// Command netserve is the long-running query daemon over a synthesized
+// collocation network: it loads a .gsnap snapshot (or TSV edge list),
+// serves the /v1/* JSON query API, hot-reloads the snapshot on SIGHUP
+// or when the file's mtime changes, and drains gracefully on
+// SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	netsynth -t0 504 -t1 672 -snapshot net.gsnap logs/rank*.h5l
+//	netserve -snapshot net.gsnap -addr :8355
+//	curl localhost:8355/v1/stats
+//	curl localhost:8355/v1/ego/123?radius=2
+//
+// Endpoints: /v1/stats, /v1/degree/{id}, /v1/neighbors/{id},
+// /v1/ego/{id}?radius=k, /v1/path?from=&to=[&weighted=1],
+// /v1/degree-dist, /v1/clustering/{id}.
+//
+// Tooling modes:
+//
+//	netserve -convert network.tsv -snapshot net.gsnap   # TSV → snapshot
+//	netserve -selfbench -bench-out BENCH_serve.json     # load generator
+//	netserve -get http://host:8355/v1/stats             # curl-free fetch
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/gennet"
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/netserve"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+
+	// Register every pipeline stage's telemetry series so the first
+	// /metrics scrape shows the full inventory.
+	_ "repro"
+	_ "repro/internal/batch"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "", "snapshot (.gsnap) or TSV edge list to serve")
+	addr := flag.String("addr", ":8355", "HTTP listen address")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for :0 ephemeral ports)")
+	workers := flag.Int("workers", 0, "max concurrent query evaluations (0 = 2×CPUs)")
+	cacheBytes := flag.Int64("cache-bytes", 32<<20, "result cache budget in bytes (negative disables)")
+	reqTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
+	watch := flag.Duration("watch", 2*time.Second, "snapshot mtime poll interval for hot reload (0 disables)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and enable telemetry")
+
+	convert := flag.String("convert", "", "convert this TSV edge list (or snapshot) to -snapshot and exit")
+	get := flag.String("get", "", "fetch this URL, print the body, and exit (curl-free smoke tests)")
+
+	selfbench := flag.Bool("selfbench", false, "run the mixed-query load generator against an in-process server and exit")
+	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: write the JSON report here")
+	benchDur := flag.Duration("bench-duration", 5*time.Second, "selfbench: load duration")
+	benchConc := flag.Int("bench-concurrency", 16, "selfbench: concurrent clients")
+	benchVertices := flag.Int("bench-vertices", 20000, "selfbench: synthetic graph size when no -snapshot is given")
+	benchSeed := flag.Int64("bench-seed", 1, "selfbench: workload seed")
+	flag.Parse()
+
+	switch {
+	case *get != "":
+		runGet(*get)
+	case *convert != "":
+		runConvert(*convert, *snapshot)
+	case *selfbench:
+		runSelfbench(*snapshot, *benchOut, *benchDur, *benchConc, *benchVertices, *benchSeed,
+			*workers, *cacheBytes, *reqTimeout, *telemetryAddr)
+	default:
+		runServe(*snapshot, *addr, *addrFile, *workers, *cacheBytes, *reqTimeout, *watch, *telemetryAddr)
+	}
+}
+
+// runServe is the daemon mode.
+func runServe(snapshot, addr, addrFile string, workers int, cacheBytes int64,
+	reqTimeout, watch time.Duration, telemetryAddr string) {
+	if snapshot == "" {
+		fatal(fmt.Errorf("no -snapshot given; usage: netserve -snapshot net.gsnap -addr :8355"))
+	}
+	if telemetryAddr != "" {
+		tsrv, err := telemetry.Default.Serve(telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", tsrv.Addr())
+	}
+
+	start := time.Now()
+	srv, err := netserve.New(snapshot, netserve.Options{
+		Workers:        workers,
+		CacheBytes:     cacheBytes,
+		RequestTimeout: reqTimeout,
+		WatchInterval:  watch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("loaded %s in %s\n", snapshot, time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	g, gen, release := srv.Acquire()
+	fmt.Printf("serving %d vertices / %d edges on http://%s (generation %d)\n",
+		g.NumVertices(), g.NumEdges(), ln.Addr(), gen)
+	release()
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	// SIGHUP → hot reload; SIGTERM/SIGINT → graceful drain.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "netserve: reload failed, keeping current generation:", err)
+				continue
+			}
+			fmt.Printf("reloaded snapshot (generation %d)\n", srv.Generation())
+		}
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case sig := <-stop:
+		fmt.Printf("caught %s: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("drained; bye")
+	case err := <-errc:
+		if err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+// runConvert rewrites an edge list (or snapshot) as a .gsnap snapshot.
+func runConvert(in, out string) {
+	if out == "" {
+		fatal(fmt.Errorf("-convert requires -snapshot OUT.gsnap"))
+	}
+	snap, err := gstore.LoadGraphFile(in, 0)
+	if err != nil {
+		fatal(err)
+	}
+	defer snap.Close()
+	g := snap.Graph()
+	if err := gstore.WriteFile(out, g); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d vertices, %d edges → %s (%d bytes)\n",
+		in, g.NumVertices(), g.NumEdges(), out, gstore.Size(g))
+}
+
+// runGet is a dependency-free HTTP GET for smoke tests on boxes
+// without curl.
+func runGet(url string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+}
+
+// runSelfbench starts an in-process server on an ephemeral port and
+// drives the mixed-query load generator at it.
+func runSelfbench(snapshot, out string, dur time.Duration, conc, vertices int, seed int64,
+	workers int, cacheBytes int64, reqTimeout time.Duration, telemetryAddr string) {
+	if telemetryAddr != "" {
+		tsrv, err := telemetry.Default.Serve(telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", tsrv.Addr())
+	}
+
+	path := snapshot
+	if path == "" {
+		// Synthesize a scale-free stand-in network with weighted edges.
+		tri, err := gennet.BarabasiAlbert(vertices, 4, rng.New(uint64(seed)))
+		if err != nil {
+			fatal(err)
+		}
+		src := rng.New(uint64(seed) + 1)
+		for k := range tri.W {
+			tri.W[k] = uint32(src.Intn(500) + 1)
+		}
+		g := graph.FromTri(tri, vertices)
+		tmp, err := os.MkdirTemp("", "netserve-bench")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		path = tmp + "/bench.gsnap"
+		if err := gstore.WriteFile(path, g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("synthetic network: %d vertices, %d edges → %s\n",
+			g.NumVertices(), g.NumEdges(), path)
+	}
+
+	srv, err := netserve.New(path, netserve.Options{
+		Workers:        workers,
+		CacheBytes:     cacheBytes,
+		RequestTimeout: reqTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	served, _, release := srv.Acquire()
+	defer release()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	fmt.Printf("selfbench: %d clients for %s against http://%s\n", conc, dur, ln.Addr())
+	res, err := netserve.RunLoad(context.Background(), "http://"+ln.Addr().String(), served,
+		netserve.BenchConfig{Concurrency: conc, Duration: dur, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d requests (%d errors) in %.2fs → %.0f qps\n",
+		res.Requests, res.Errors, res.DurationSec, res.QPS)
+	fmt.Printf("latency: p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+		res.P50Ms, res.P95Ms, res.P99Ms, res.MaxMs)
+	if out != "" {
+		if err := res.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report → %s\n", out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netserve:", err)
+	os.Exit(1)
+}

@@ -6,9 +6,13 @@
 // Usage:
 //
 //	netstat -n 20000 network.tsv
+//	netstat net.gsnap
 //
-// -n sets the vertex-space size (the population); without it the largest
-// person ID in the file is used.
+// The input may be a TSV edge list or a binary .gsnap snapshot; the
+// format is sniffed from the file's magic bytes. -n sets the
+// vertex-space size (the population) for TSV input; without it the
+// largest person ID in the file is used. Snapshots carry their own
+// vertex space.
 //
 // The report subcommand renders the JSON run report written by chisim
 // and netsynth with -report as per-stage / per-rank timing tables:
@@ -21,7 +25,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/netstat"
 	"repro/internal/telemetry"
 )
@@ -37,29 +41,25 @@ func main() {
 	bins := flag.Int("bins", 20, "clustering histogram bins")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: netstat [flags] network.tsv | netstat report run.json"))
+		fatal(fmt.Errorf("usage: netstat [flags] network.tsv|net.gsnap | netstat report run.json"))
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	snap, err := gstore.LoadGraphFile(flag.Arg(0), *n)
 	if err != nil {
 		fatal(err)
 	}
-	tri, err := graph.ReadEdgeList(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	g := graph.FromTri(tri, *n)
+	defer snap.Close()
+	g := snap.Graph()
 
 	fmt.Printf("network: %d vertices (%d with edges), %d edges, total weight %d\n",
-		g.NumVertices(), tri.Vertices(), g.NumEdges(), tri.TotalWeight())
+		g.NumVertices(), g.VerticesWithEdges(), g.NumEdges(), g.TotalWeight())
 	labels, comps := g.ConnectedComponents()
 	_ = labels
 	fmt.Printf("components: %d, giant component %d vertices\n", comps, g.GiantComponentSize())
 	fmt.Printf("max degree: %d\n", g.MaxDegree())
 
-	hist := g.DegreeDistribution()
-	pts := netstat.Distribution(hist, g.NumVertices())
+	hist := g.DegreeHistogram()
+	pts := netstat.DistributionDense(hist, g.NumVertices())
 	fmt.Printf("\ndegree distribution (%d distinct degrees):\n", len(pts))
 	show := pts
 	if len(show) > 12 {
@@ -81,7 +81,7 @@ func main() {
 	if fit, err := netstat.FitExponential(pts); err == nil {
 		fmt.Printf("exponential: %s\n", fit)
 	}
-	if alpha, err := netstat.AlphaMLE(hist, 5); err == nil {
+	if alpha, err := netstat.AlphaMLEDense(hist, 5); err == nil {
 		fmt.Printf("MLE alpha (k≥5): %.3f\n", alpha)
 	}
 

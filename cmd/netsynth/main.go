@@ -37,7 +37,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/mpinet"
+	"repro/internal/sparse"
 	"repro/internal/telemetry"
 
 	// Link the full pipeline so every stage's telemetry series is
@@ -73,6 +75,7 @@ func main() {
 	t0 := flag.Uint("t0", 0, "slice start hour (inclusive)")
 	t1 := flag.Uint("t1", 168, "slice end hour (exclusive)")
 	out := flag.String("o", "network.tsv", "output edge-list path")
+	snapshot := flag.String("snapshot", "", "also write a binary .gsnap snapshot here (servable by netserve)")
 	workers := flag.Int("workers", 0, "synthesis workers (0 = all CPUs)")
 	balance := flag.String("balance", "nnz", "load balancing: nnz (paper) or none (naive)")
 	memBudget := flag.String("mem-budget", "", "cap on materialized log-entry bytes, e.g. 64M or 2G (empty = unlimited); larger slices spill to place-sharded temp files")
@@ -153,7 +156,7 @@ func main() {
 
 	if *distHost != "" || *distJoin != "" {
 		runDistributed(ctx, paths, uint32(*t0), uint32(*t1), cfg,
-			*distHost, *distJoin, *distSize, *out, *reportPath)
+			*distHost, *distJoin, *distSize, *out, *snapshot, *reportPath)
 		return
 	}
 
@@ -177,6 +180,7 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+	writeSnapshot(*snapshot, tri)
 
 	fmt.Printf("slice [%d,%d): %d entries at %d places, %d collocation nnz\n",
 		*t0, *t1, stats.Entries, stats.Places, stats.TotalNNZ)
@@ -239,7 +243,7 @@ func printStats(s *core.Stats) {
 
 // runDistributed stripes the log files across the processes of a TCP
 // cluster; rank 0 merges the partial networks and writes the edge list.
-func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out, reportPath string) {
+func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out, snapshot, reportPath string) {
 	var node *mpinet.Node
 	var err error
 	if hostAddr != "" {
@@ -285,6 +289,7 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 	}
 	fmt.Printf("network: %d vertices, %d edges, total weight %d → %s\n",
 		tri.Vertices(), tri.NNZ(), tri.TotalWeight(), out)
+	writeSnapshot(snapshot, tri)
 	if reportPath != "" {
 		if rep == nil {
 			fmt.Fprintln(os.Stderr, "netsynth: rank report gather failed; no run report written")
@@ -296,6 +301,20 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 		}
 		fmt.Printf("run report → %s\n", reportPath)
 	}
+}
+
+// writeSnapshot additionally persists the synthesized network as a
+// binary .gsnap snapshot when -snapshot is given — the format netserve
+// loads without re-parsing TSV.
+func writeSnapshot(path string, tri *sparse.Tri) {
+	if path == "" {
+		return
+	}
+	g := graph.FromTri(tri, 0)
+	if err := gstore.WriteFile(path, g); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot: %d bytes → %s\n", gstore.Size(g), path)
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -253,6 +254,71 @@ func (c *FlakyConn) Write(p []byte) (int, error) {
 
 // Severed reports whether the injected cut has fired.
 func (c *FlakyConn) Severed() bool { return c.cut.Load() }
+
+// ---------------------------------------------------------------------------
+// File corruption
+
+// CorruptFile deterministically corrupts n bytes of the file at path
+// starting at byte offset off by XOR-ing each with 0xFF (so corrupting
+// the same range twice restores the original — tests can un-inject).
+// A negative off counts back from the end of the file. The same
+// (path, off, n) always produces the same damage, in keeping with the
+// package's determinism contract. Used by the snapshot-store tests to
+// prove gstore.Open fails closed and netserve keeps serving the
+// previous generation after a bad reload.
+func CorruptFile(path string, off int64, n int) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if off < 0 {
+		off += size
+	}
+	if off < 0 || off >= size {
+		return fmt.Errorf("faultinject: corrupt offset %d outside file of %d bytes", off, size)
+	}
+	if int64(n) > size-off {
+		n = int(size - off)
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] ^= 0xFF
+	}
+	if _, err := f.WriteAt(buf, off); err != nil {
+		return err
+	}
+	mInjected.Inc()
+	return nil
+}
+
+// TruncateFile chops the file at path to size bytes, modelling a crash
+// mid-write (torn tail). Negative size counts back from the end.
+func TruncateFile(path string, size int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		size += fi.Size()
+	}
+	if size < 0 || size > fi.Size() {
+		return fmt.Errorf("faultinject: truncate size %d outside file of %d bytes", size, fi.Size())
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	mInjected.Inc()
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // Crash-point registry

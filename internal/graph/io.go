@@ -2,8 +2,10 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/sparse"
@@ -24,33 +26,90 @@ func WriteEdgeList(w io.Writer, t *sparse.Tri) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses a TSV edge list produced by WriteEdgeList (lines
-// beginning with '#' are ignored) into a sparse triangular matrix.
+// edgeListBufSize is the read-ahead of ReadEdgeList's streaming reader —
+// large enough that multi-GB edge lists are consumed in few syscalls,
+// small enough to be irrelevant against the parsed output.
+const edgeListBufSize = 1 << 20
+
+// ErrEdgeList tags every parse failure of ReadEdgeList; the concrete
+// error carries the 1-based line number and offending text.
+var ErrEdgeList = errors.New("graph: malformed edge list")
+
+// lineError builds a line-numbered ErrEdgeList.
+func lineError(line int, text, msg string) error {
+	if len(text) > 64 {
+		text = text[:61] + "..."
+	}
+	return fmt.Errorf("%w: line %d: %s: %q", ErrEdgeList, line, msg, text)
+}
+
+// parseID parses one uint32 field, rejecting overflow and junk
+// explicitly (strconv with bitSize 32, base 10 only).
+func parseID(field string) (uint32, error) {
+	v, err := strconv.ParseUint(field, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}
+
+// ReadEdgeList parses a TSV edge list produced by WriteEdgeList into a
+// sparse triangular matrix. Lines beginning with '#' and blank lines
+// are ignored; fields may be separated by tabs or spaces. Every other
+// line must hold exactly three base-10 fields that fit in uint32 —
+// malformed, overflowing, or self-loop lines fail with a line-numbered
+// error wrapping ErrEdgeList rather than being skipped. The input is
+// streamed line-by-line through a sized bufio.Reader — unlike the old
+// Scanner path there is no fixed maximum line length, and whole files
+// are never materialized.
 func ReadEdgeList(r io.Reader) (*sparse.Tri, error) {
 	acc := sparse.NewAccum()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	br := bufio.NewReaderSize(r, edgeListBufSize)
 	line := 0
-	for sc.Scan() {
+	for {
+		text, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		if text == "" && err == io.EOF {
+			break
+		}
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
+		if perr := parseEdgeLine(acc, line, text); perr != nil {
+			return nil, perr
 		}
-		var i, j, w uint32
-		if _, err := fmt.Sscanf(text, "%d\t%d\t%d", &i, &j, &w); err != nil {
-			// Accept space-separated too.
-			if _, err2 := fmt.Sscanf(text, "%d %d %d", &i, &j, &w); err2 != nil {
-				return nil, fmt.Errorf("graph: edge list line %d: %q: %w", line, text, err)
-			}
+		if err == io.EOF {
+			break
 		}
-		if i == j {
-			return nil, fmt.Errorf("graph: edge list line %d: self-loop %d", line, i)
-		}
-		acc.Add(i, j, w)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	return acc.Tri(), nil
+}
+
+// parseEdgeLine parses one line into the accumulator.
+func parseEdgeLine(acc *sparse.Accum, line int, text string) error {
+	text = strings.TrimSpace(text)
+	if text == "" || strings.HasPrefix(text, "#") {
+		return nil
+	}
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return lineError(line, text, fmt.Sprintf("want 3 fields, have %d", len(fields)))
+	}
+	i, err := parseID(fields[0])
+	if err != nil {
+		return lineError(line, text, "bad person_i: "+err.Error())
+	}
+	j, err := parseID(fields[1])
+	if err != nil {
+		return lineError(line, text, "bad person_j: "+err.Error())
+	}
+	w, err := parseID(fields[2])
+	if err != nil {
+		return lineError(line, text, "bad weight: "+err.Error())
+	}
+	if i == j {
+		return lineError(line, text, fmt.Sprintf("self-loop %d", i))
+	}
+	acc.Add(i, j, w)
+	return nil
 }

@@ -1,0 +1,128 @@
+package graph
+
+import "container/heap"
+
+// ShortestPathBFS returns a minimum-hop path from src to dst (inclusive
+// of both endpoints) via breadth-first search, and whether one exists.
+// A vertex's path to itself is [src].
+func (g *Graph) ShortestPathBFS(src, dst uint32) ([]uint32, bool) {
+	n := g.NumVertices()
+	if int(src) >= n || int(dst) >= n {
+		return nil, false
+	}
+	if src == dst {
+		return []uint32{src}, true
+	}
+	const none = ^uint32(0)
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = none
+	}
+	parent[src] = src
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		row, _ := g.Neighbors(v)
+		for _, u := range row {
+			if parent[u] != none {
+				continue
+			}
+			parent[u] = v
+			if u == dst {
+				return tracePath(parent, src, dst), true
+			}
+			queue = append(queue, u)
+		}
+	}
+	return nil, false
+}
+
+// ShortestPathWeighted returns the minimum-cost path from src to dst
+// under Dijkstra, where traversing an edge of collocation weight w
+// costs 1/w — strongly collocated pairs are "close", so the returned
+// path prefers strong ties (the contact-tracing reading of the
+// network). It returns the path, its total cost, and whether a path
+// exists.
+func (g *Graph) ShortestPathWeighted(src, dst uint32) ([]uint32, float64, bool) {
+	n := g.NumVertices()
+	if int(src) >= n || int(dst) >= n {
+		return nil, 0, false
+	}
+	if src == dst {
+		return []uint32{src}, 0, true
+	}
+	const none = ^uint32(0)
+	dist := make([]float64, n)
+	parent := make([]uint32, n)
+	done := make([]bool, n)
+	for i := range parent {
+		parent[i] = none
+		dist[i] = -1 // unreached
+	}
+	dist[src] = 0
+	parent[src] = src
+	pq := &pathHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pathItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == dst {
+			return tracePath(parent, src, dst), it.d, true
+		}
+		row, wts := g.Neighbors(it.v)
+		for k, u := range row {
+			if done[u] {
+				continue
+			}
+			w := wts[k]
+			if w == 0 {
+				continue // zero-weight edges carry no contact signal
+			}
+			nd := it.d + 1/float64(w)
+			if dist[u] < 0 || nd < dist[u] {
+				dist[u] = nd
+				parent[u] = it.v
+				heap.Push(pq, pathItem{v: u, d: nd})
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// tracePath rebuilds the src→dst path from the parent array.
+func tracePath(parent []uint32, src, dst uint32) []uint32 {
+	var rev []uint32
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	out := make([]uint32, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+type pathItem struct {
+	v uint32
+	d float64
+}
+
+type pathHeap []pathItem
+
+func (h pathHeap) Len() int           { return len(h) }
+func (h pathHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h pathHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x any)        { *h = append(*h, x.(pathItem)) }
+func (h *pathHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,47 @@
+package gstore
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// nativeLittleEndian reports whether the host stores integers
+// little-endian, the precondition for aliasing snapshot sections as
+// typed slices instead of decoding them.
+var nativeLittleEndian = func() bool {
+	var x uint16 = 1
+	return binary.LittleEndian.Uint16((*[2]byte)(unsafe.Pointer(&x))[:]) == 1
+}()
+
+// castInt64s reinterprets b as []int64 without copying, or returns nil
+// when b is misaligned or not a multiple of 8 bytes (the caller then
+// falls back to decoding).
+func castInt64s(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return []int64{}
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(int64(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(p), len(b)/8)
+}
+
+// castUint32s reinterprets b as []uint32 without copying, or returns
+// nil when b is misaligned or not a multiple of 4 bytes.
+func castUint32s(b []byte) []uint32 {
+	if len(b)%4 != 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return []uint32{}
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(uint32(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(p), len(b)/4)
+}

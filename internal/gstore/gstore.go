@@ -1,0 +1,446 @@
+// Package gstore is the snapshot layer of the serving stack: a
+// versioned, checksummed binary container for graph.Graph that loads a
+// multi-gigabyte collocation network in milliseconds.
+//
+// # Format (version 1)
+//
+// All integers are little-endian. The file is a fixed 64-byte header
+// followed by the graph's three CSR sections, each 4-byte aligned (the
+// offsets section is 8-byte aligned at byte 64):
+//
+//	[0:6]    magic "GSNAP\x00"
+//	[6:8]    version uint16 (= 1)
+//	[8:16]   numVertices uint64 (V)
+//	[16:24]  numHalfEdges uint64 (H = 2·edges)
+//	[24:28]  CRC32 (IEEE) of the offsets section
+//	[28:32]  CRC32 of the neighbors section
+//	[32:36]  CRC32 of the weights section
+//	[36:40]  CRC32 of header bytes [0:36]
+//	[40:64]  reserved (zero)
+//	[64:]    offsets  (V+1)·8 bytes  int64
+//	         nbrs     H·4 bytes      uint32
+//	         weights  H·4 bytes      uint32
+//
+// The section layout matches graph.Graph's in-memory CSR arrays
+// byte-for-byte on little-endian hardware, so Open can mmap the file
+// and hand the mapped sections straight to graph.NewCSR — a zero-copy
+// load. On big-endian hosts (and on platforms without mmap) Open falls
+// back to a buffered read plus an explicit decode.
+//
+// # Fail-closed contract
+//
+// Open never publishes a partial Snapshot: every header field, every
+// section checksum and the CSR structural invariants are verified
+// before a Snapshot is returned, and each failure mode carries a typed
+// sentinel (ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum,
+// ErrInvalid) detectable with errors.Is. internal/netserve relies on
+// this to keep serving the previous snapshot generation when a reload
+// hits a corrupt file.
+package gstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+// Telemetry series for the snapshot store.
+var (
+	mWrites       = telemetry.C("gstore_writes_total")
+	mWriteBytes   = telemetry.C("gstore_write_bytes_total")
+	mOpens        = telemetry.C("gstore_opens_total")
+	mOpenFailures = telemetry.C("gstore_open_failures_total")
+	mOpenSeconds  = telemetry.H("gstore_open_seconds")
+)
+
+// Magic is the 6-byte file signature; CLIs sniff it to distinguish
+// .gsnap snapshots from TSV edge lists.
+const Magic = "GSNAP\x00"
+
+// Version is the current format version written by Write.
+const Version = 1
+
+// headerSize is the fixed header length in bytes.
+const headerSize = 64
+
+// Typed failure modes of Open/Read, detectable with errors.Is.
+var (
+	ErrBadMagic  = errors.New("gstore: not a snapshot (bad magic)")
+	ErrVersion   = errors.New("gstore: unsupported snapshot version")
+	ErrTruncated = errors.New("gstore: truncated snapshot")
+	ErrChecksum  = errors.New("gstore: snapshot checksum mismatch")
+	ErrInvalid   = errors.New("gstore: invalid snapshot structure")
+)
+
+// SniffMagic reports whether the byte prefix looks like a snapshot
+// file. Any prefix of at least len(Magic) bytes is decisive.
+func SniffMagic(prefix []byte) bool {
+	return len(prefix) >= len(Magic) && string(prefix[:len(Magic)]) == Magic
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+
+// Write serializes g to w in snapshot format. The sections are streamed
+// in fixed-size chunks, so Write allocates O(1) beyond the destination
+// writer's buffer regardless of graph size.
+func Write(w io.Writer, g *graph.Graph) error {
+	offsets, nbrs, weights := g.CSR()
+
+	// Pass 1: section checksums.
+	crcOff := crc32.NewIEEE()
+	if err := encodeInt64s(offsets, crcOff.Write); err != nil {
+		return err
+	}
+	crcNbr := crc32.NewIEEE()
+	if err := encodeUint32s(nbrs, crcNbr.Write); err != nil {
+		return err
+	}
+	crcWts := crc32.NewIEEE()
+	if err := encodeUint32s(weights, crcWts.Write); err != nil {
+		return err
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[0:6], Magic)
+	binary.LittleEndian.PutUint16(hdr[6:8], Version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(offsets)-1))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(nbrs)))
+	binary.LittleEndian.PutUint32(hdr[24:28], crcOff.Sum32())
+	binary.LittleEndian.PutUint32(hdr[28:32], crcNbr.Sum32())
+	binary.LittleEndian.PutUint32(hdr[32:36], crcWts.Sum32())
+	binary.LittleEndian.PutUint32(hdr[36:40], crc32.ChecksumIEEE(hdr[0:36]))
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	sink := func(p []byte) (int, error) { return bw.Write(p) }
+	if err := encodeInt64s(offsets, sink); err != nil {
+		return err
+	}
+	if err := encodeUint32s(nbrs, sink); err != nil {
+		return err
+	}
+	if err := encodeUint32s(weights, sink); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	mWrites.Inc()
+	mWriteBytes.Add(int64(Size(g)))
+	return nil
+}
+
+// Size returns the exact byte size of g's snapshot encoding.
+func Size(g *graph.Graph) int64 {
+	offsets, nbrs, _ := g.CSR()
+	return headerSize + int64(len(offsets))*8 + int64(len(nbrs))*8
+}
+
+// WriteFile writes g's snapshot to path atomically: the bytes go to a
+// temporary file in the same directory, are fsynced, and are renamed
+// over path — a concurrently reloading netserve never observes a
+// half-written snapshot.
+func WriteFile(path string, g *graph.Graph) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, g); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// encodeInt64s streams vs little-endian through sink in 64 KiB chunks.
+func encodeInt64s(vs []int64, sink func([]byte) (int, error)) error {
+	var buf [1 << 16]byte
+	k := 0
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[k:], uint64(v))
+		k += 8
+		if k == len(buf) {
+			if _, err := sink(buf[:k]); err != nil {
+				return err
+			}
+			k = 0
+		}
+	}
+	if k > 0 {
+		if _, err := sink(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeUint32s streams vs little-endian through sink in 64 KiB chunks.
+func encodeUint32s(vs []uint32, sink func([]byte) (int, error)) error {
+	var buf [1 << 16]byte
+	k := 0
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[k:], v)
+		k += 4
+		if k == len(buf) {
+			if _, err := sink(buf[:k]); err != nil {
+				return err
+			}
+			k = 0
+		}
+	}
+	if k > 0 {
+		if _, err := sink(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+// header is the decoded fixed header.
+type header struct {
+	version                uint16
+	vertices, halfEdges    uint64
+	crcOff, crcNbr, crcWts uint32
+}
+
+// parseHeader validates the fixed header (magic, version, header CRC)
+// and the declared section geometry against the total file size.
+func parseHeader(data []byte) (header, error) {
+	var h header
+	if len(data) < headerSize {
+		return h, fmt.Errorf("%w: %d bytes, need ≥ %d for the header", ErrTruncated, len(data), headerSize)
+	}
+	if !SniffMagic(data) {
+		return h, ErrBadMagic
+	}
+	h.version = binary.LittleEndian.Uint16(data[6:8])
+	if h.version != Version {
+		return h, fmt.Errorf("%w: version %d, support %d", ErrVersion, h.version, Version)
+	}
+	if got, want := crc32.ChecksumIEEE(data[0:36]), binary.LittleEndian.Uint32(data[36:40]); got != want {
+		return h, fmt.Errorf("%w: header crc %08x, stored %08x", ErrChecksum, got, want)
+	}
+	h.vertices = binary.LittleEndian.Uint64(data[8:16])
+	h.halfEdges = binary.LittleEndian.Uint64(data[16:24])
+	h.crcOff = binary.LittleEndian.Uint32(data[24:28])
+	h.crcNbr = binary.LittleEndian.Uint32(data[28:32])
+	h.crcWts = binary.LittleEndian.Uint32(data[32:36])
+	// Geometry, with overflow guards: both counts must be addressable.
+	const maxCount = 1 << 56 // far beyond any file that fits on disk
+	if h.vertices >= maxCount || h.halfEdges >= maxCount {
+		return h, fmt.Errorf("%w: absurd counts V=%d H=%d", ErrInvalid, h.vertices, h.halfEdges)
+	}
+	need := headerSize + (h.vertices+1)*8 + h.halfEdges*8
+	if uint64(len(data)) != need {
+		if uint64(len(data)) < need {
+			return h, fmt.Errorf("%w: %d bytes, header declares %d", ErrTruncated, len(data), need)
+		}
+		return h, fmt.Errorf("%w: %d trailing bytes after declared sections", ErrInvalid, uint64(len(data))-need)
+	}
+	return h, nil
+}
+
+// parse decodes a whole snapshot image. When zeroCopy is true and the
+// host is little-endian, the returned graph's CSR arrays alias data;
+// otherwise they are fresh decoded copies.
+func parse(data []byte, zeroCopy bool) (*graph.Graph, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	offBytes := data[headerSize : headerSize+(h.vertices+1)*8]
+	nbrBytes := data[headerSize+uint64(len(offBytes)) : headerSize+uint64(len(offBytes))+h.halfEdges*4]
+	wtsBytes := data[headerSize+uint64(len(offBytes))+h.halfEdges*4:]
+	if got := crc32.ChecksumIEEE(offBytes); got != h.crcOff {
+		return nil, fmt.Errorf("%w: offsets section crc %08x, stored %08x", ErrChecksum, got, h.crcOff)
+	}
+	if got := crc32.ChecksumIEEE(nbrBytes); got != h.crcNbr {
+		return nil, fmt.Errorf("%w: neighbors section crc %08x, stored %08x", ErrChecksum, got, h.crcNbr)
+	}
+	if got := crc32.ChecksumIEEE(wtsBytes); got != h.crcWts {
+		return nil, fmt.Errorf("%w: weights section crc %08x, stored %08x", ErrChecksum, got, h.crcWts)
+	}
+
+	var offsets []int64
+	var nbrs, weights []uint32
+	if zeroCopy && nativeLittleEndian {
+		o, nb, wt := castInt64s(offBytes), castUint32s(nbrBytes), castUint32s(wtsBytes)
+		if o != nil && nb != nil && wt != nil {
+			offsets, nbrs, weights = o, nb, wt
+		}
+	}
+	if offsets == nil { // big-endian host, misaligned image, or copy requested
+		offsets = make([]int64, h.vertices+1)
+		for i := range offsets {
+			offsets[i] = int64(binary.LittleEndian.Uint64(offBytes[i*8:]))
+		}
+		nbrs = make([]uint32, h.halfEdges)
+		for i := range nbrs {
+			nbrs[i] = binary.LittleEndian.Uint32(nbrBytes[i*4:])
+		}
+		weights = make([]uint32, h.halfEdges)
+		for i := range weights {
+			weights[i] = binary.LittleEndian.Uint32(wtsBytes[i*4:])
+		}
+	}
+	g, err := graph.NewCSR(offsets, nbrs, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return g, nil
+}
+
+// Read decodes a snapshot from r (buffered fully in memory). For files
+// prefer Open, which memory-maps where the platform allows.
+func Read(r io.Reader) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// The backing buffer is private to this call, so aliasing it
+	// zero-copy is safe.
+	return parse(data, true)
+}
+
+// Snapshot is an opened snapshot: an immutable graph plus the resources
+// (mmap region) backing it. Close releases the mapping — the Graph must
+// not be used afterwards when Mapped reports true.
+type Snapshot struct {
+	g      *graph.Graph
+	path   string
+	size   int64
+	mapped bool
+	unmap  func() error
+}
+
+// Graph returns the decoded graph. It is immutable and safe for
+// concurrent readers.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Path returns the file the snapshot was opened from ("" for
+// synthesized snapshots).
+func (s *Snapshot) Path() string { return s.path }
+
+// SizeBytes returns the on-disk snapshot size (0 for synthesized
+// snapshots).
+func (s *Snapshot) SizeBytes() int64 { return s.size }
+
+// Mapped reports whether the graph aliases an mmap'd region.
+func (s *Snapshot) Mapped() bool { return s.mapped }
+
+// Close releases the snapshot's resources. It is idempotent.
+func (s *Snapshot) Close() error {
+	if s.unmap == nil {
+		return nil
+	}
+	f := s.unmap
+	s.unmap = nil
+	return f()
+}
+
+// FromGraph wraps an already-built in-memory graph as a Snapshot, the
+// form netserve uses for graphs loaded from TSV edge lists.
+func FromGraph(g *graph.Graph, path string) *Snapshot {
+	return &Snapshot{g: g, path: path}
+}
+
+// Open opens a snapshot file. On platforms with mmap support the
+// sections are memory-mapped and handed to the graph zero-copy (the
+// checksum pass touches every page once, priming the cache); elsewhere
+// the file is read and decoded. Failures are typed — errors.Is against
+// ErrBadMagic / ErrVersion / ErrTruncated / ErrChecksum / ErrInvalid —
+// and never yield a partial Snapshot.
+func Open(path string) (*Snapshot, error) {
+	sw := telemetry.Clock()
+	s, err := open(path)
+	if err != nil {
+		mOpenFailures.Inc()
+		return nil, err
+	}
+	sw.Observe(mOpenSeconds)
+	mOpens.Inc()
+	return s, nil
+}
+
+func open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+
+	if data, unmap, merr := mapFile(f, size); merr == nil {
+		g, perr := parse(data, true)
+		if perr != nil {
+			unmap()
+			return nil, perr
+		}
+		return &Snapshot{g: g, path: path, size: size, mapped: true, unmap: unmap}, nil
+	}
+
+	// Fallback: buffered read (platforms without mmap, or mmap failure).
+	data, err := io.ReadAll(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	g, perr := parse(data, true)
+	if perr != nil {
+		return nil, perr
+	}
+	return &Snapshot{g: g, path: path, size: size}, nil
+}
+
+// LoadGraphFile opens either a .gsnap snapshot or a TSV edge list,
+// sniffing the magic bytes — the input-format bridge for the analysis
+// CLIs (egoviz, netstat, netserve). n is the vertex-space floor applied
+// to TSV inputs (snapshots fix their own vertex space).
+func LoadGraphFile(path string, n int) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	prefix := make([]byte, len(Magic))
+	nr, _ := io.ReadFull(f, prefix)
+	if SniffMagic(prefix[:nr]) {
+		f.Close()
+		return Open(path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	tri, err := graph.ReadEdgeList(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(graph.FromTri(tri, n), path), nil
+}

@@ -1,0 +1,28 @@
+//go:build linux
+
+package gstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the whole file read-only. The returned unmap
+// func releases the mapping; it must not be called while the mapped
+// bytes are still referenced. Empty files cannot be mapped (and cannot
+// be valid snapshots anyway), so they report an error to trigger the
+// read fallback, which then fails with the proper typed error.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("gstore: cannot map %d-byte file", size)
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("gstore: file too large to map (%d bytes)", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package gstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable off linux; Open falls back to a buffered read.
+func mapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("gstore: mmap unsupported on this platform")
+}

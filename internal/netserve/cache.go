@@ -1,0 +1,180 @@
+package netserve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// ---------------------------------------------------------------------------
+// Size-budgeted LRU result cache
+
+// lruCache is a byte-budgeted LRU of marshaled JSON responses. Keys
+// embed the snapshot generation, so a hot reload implicitly invalidates
+// every cached result; purgeBelow additionally drops stale generations
+// eagerly so they stop occupying budget.
+type lruCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	evictions *telemetry.Counter
+	bytes     *telemetry.Gauge
+}
+
+type cacheEntry struct {
+	key string
+	gen uint64
+	val []byte
+}
+
+func newLRUCache(budget int64, evictions *telemetry.Counter, bytes *telemetry.Gauge) *lruCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &lruCache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		evictions: evictions,
+		bytes:     bytes,
+	}
+}
+
+// get returns the cached response and marks it most recently used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts a response, evicting least-recently-used entries until
+// the byte budget holds. Values larger than the whole budget are not
+// cached.
+func (c *lruCache) put(key string, gen uint64, val []byte) {
+	if c == nil || int64(len(val)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		ent.gen = gen
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, gen: gen, val: val})
+		c.items[key] = el
+		c.used += int64(len(val))
+	}
+	for c.used > c.budget {
+		c.evictLocked(c.ll.Back())
+		c.evictions.Inc()
+	}
+	c.bytes.Set(c.used)
+}
+
+// purgeBelow drops every entry from a generation older than gen —
+// called on hot reload so stale results free their budget immediately.
+func (c *lruCache) purgeBelow(gen uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*cacheEntry).gen < gen {
+			c.evictLocked(el)
+		}
+	}
+	c.bytes.Set(c.used)
+}
+
+func (c *lruCache) evictLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	ent := c.ll.Remove(el).(*cacheEntry)
+	delete(c.items, ent.key)
+	c.used -= int64(len(ent.val))
+}
+
+// len returns the number of cached entries (tests).
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// ---------------------------------------------------------------------------
+// Singleflight
+
+// flightGroup coalesces concurrent identical expensive queries: the
+// first caller computes, the rest block on the same call and share the
+// result. Keys embed the snapshot generation, so callers on different
+// generations never share.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+	dups atomic.Int64 // callers that piggybacked on this computation
+}
+
+// waiters returns how many callers are currently coalesced onto key
+// (tests use this to sequence concurrency deterministically).
+func (g *flightGroup) waiters(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.dups.Load()
+	}
+	return 0
+}
+
+// do runs fn once per concurrent key, returning the shared result and
+// whether this caller piggybacked on another's computation.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

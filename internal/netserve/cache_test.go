@@ -1,0 +1,171 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func newTestCache(budget int64) (*lruCache, *telemetry.Registry) {
+	reg := telemetry.New()
+	return newLRUCache(budget, reg.Counter("ev"), reg.Gauge("by")), reg
+}
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c, reg := newTestCache(10)
+	c.put("a", 1, []byte("aaaa")) // 4 bytes
+	c.put("b", 1, []byte("bbbb")) // 8 bytes
+	c.put("c", 1, []byte("cccc")) // 12 > 10: evicts "a" (LRU)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived past the byte budget")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted prematurely", k)
+		}
+	}
+	if got := reg.Counter("ev").Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := reg.Gauge("by").Value(); got != 8 {
+		t.Fatalf("cache bytes gauge = %d, want 8", got)
+	}
+}
+
+func TestLRUCacheGetRefreshesRecency(t *testing.T) {
+	c, _ := newTestCache(10)
+	c.put("a", 1, []byte("aaaa"))
+	c.put("b", 1, []byte("bbbb"))
+	c.get("a")                    // a is now most recent
+	c.put("c", 1, []byte("cccc")) // evicts b, not a
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used a was evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least-recently-used b survived")
+	}
+}
+
+func TestLRUCacheUpdateExistingKey(t *testing.T) {
+	c, _ := newTestCache(100)
+	c.put("a", 1, []byte("xx"))
+	c.put("a", 2, []byte("yyyy"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 after update", c.len())
+	}
+	if v, _ := c.get("a"); string(v) != "yyyy" {
+		t.Fatalf("get after update = %q", v)
+	}
+	if c.used != 4 {
+		t.Fatalf("used = %d, want 4 (old size released)", c.used)
+	}
+}
+
+func TestLRUCacheRejectsOversized(t *testing.T) {
+	c, _ := newTestCache(4)
+	c.put("big", 1, []byte("too large for budget"))
+	if c.len() != 0 {
+		t.Fatal("oversized value was cached")
+	}
+}
+
+func TestLRUCachePurgeBelow(t *testing.T) {
+	c, _ := newTestCache(1 << 20)
+	c.put("old1", 1, []byte("a"))
+	c.put("old2", 1, []byte("b"))
+	c.put("new", 2, []byte("c"))
+	c.purgeBelow(2)
+	if c.len() != 1 {
+		t.Fatalf("len after purge = %d, want 1", c.len())
+	}
+	if _, ok := c.get("new"); !ok {
+		t.Fatal("current-generation entry purged")
+	}
+	if c.used != 1 {
+		t.Fatalf("used after purge = %d, want 1", c.used)
+	}
+}
+
+func TestLRUCacheNilSafe(t *testing.T) {
+	var c *lruCache // budget <= 0 → newLRUCache returns nil
+	if newLRUCache(0, nil, nil) != nil || newLRUCache(-5, nil, nil) != nil {
+		t.Fatal("non-positive budget should disable the cache")
+	}
+	c.put("a", 1, []byte("x")) // all methods are nil-safe no-ops
+	c.purgeBelow(9)
+	if _, ok := c.get("a"); ok || c.len() != 0 {
+		t.Fatal("nil cache returned data")
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var fg flightGroup
+	var calls atomic.Int64
+	block := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := fg.do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-block
+				return []byte("result"), nil
+			})
+			if err != nil || string(v) != "result" {
+				t.Errorf("do = %q, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait for everyone else to pile onto the in-flight call.
+	for fg.waiters("k") != n-1 {
+		runtime.Gosched() // single-CPU boxes need the yield
+	}
+	close(block)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Fatalf("shared = %d, want %d", got, n-1)
+	}
+	// The key is free again: a fresh call recomputes.
+	_, _, shared := fg.do("k", func() ([]byte, error) { return nil, nil })
+	if shared {
+		t.Fatal("fresh call after drain reported shared")
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var fg flightGroup
+	sentinel := errors.New("boom")
+	_, err, _ := fg.do("k", func() ([]byte, error) { return nil, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
+	var fg flightGroup
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, err, shared := fg.do(key, func() ([]byte, error) {
+			return []byte(key), nil
+		})
+		if err != nil || shared || string(v) != key {
+			t.Fatalf("do(%s) = %q, %v, shared=%v", key, v, err, shared)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// BenchConfig drives the mixed-query load generator behind
+// `netserve -selfbench`.
+type BenchConfig struct {
+	// Concurrency is the number of closed-loop client goroutines.
+	Concurrency int
+	// Duration is how long to drive load.
+	Duration time.Duration
+	// Seed makes the query mix reproducible.
+	Seed int64
+}
+
+// BenchResult is the load generator's report, written to
+// BENCH_serve.json by scripts/bench.sh. The serve_qps / serve_p99_ms
+// keys are the scripted figures of merit.
+type BenchResult struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_s"`
+	QPS         float64 `json:"serve_qps"`
+	P50Ms       float64 `json:"serve_p50_ms"`
+	P95Ms       float64 `json:"serve_p95_ms"`
+	P99Ms       float64 `json:"serve_p99_ms"`
+	MaxMs       float64 `json:"serve_max_ms"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+
+	// PerEndpoint counts how often each endpoint family was hit.
+	PerEndpoint map[string]int64 `json:"per_endpoint"`
+}
+
+// queryKind is one entry of the mixed workload with its weight.
+type queryKind struct {
+	name   string
+	weight int
+	build  func(rng *rand.Rand, n int) string
+}
+
+// workloadMix is the benchmark's query distribution: dominated by the
+// cheap point lookups a contact-tracing consumer issues per person,
+// with a tail of expensive neighborhood/path/aggregate queries.
+var workloadMix = []queryKind{
+	{"degree", 30, func(rng *rand.Rand, n int) string {
+		return fmt.Sprintf("/v1/degree/%d", rng.Intn(n))
+	}},
+	{"neighbors", 25, func(rng *rand.Rand, n int) string {
+		return fmt.Sprintf("/v1/neighbors/%d?limit=50", rng.Intn(n))
+	}},
+	{"ego1", 15, func(rng *rand.Rand, n int) string {
+		return fmt.Sprintf("/v1/ego/%d?radius=1", rng.Intn(n))
+	}},
+	{"ego2", 10, func(rng *rand.Rand, n int) string {
+		return fmt.Sprintf("/v1/ego/%d?radius=2", rng.Intn(n))
+	}},
+	{"clustering", 8, func(rng *rand.Rand, n int) string {
+		return fmt.Sprintf("/v1/clustering/%d", rng.Intn(n))
+	}},
+	{"path", 5, func(rng *rand.Rand, n int) string {
+		return fmt.Sprintf("/v1/path?from=%d&to=%d&weighted=1", rng.Intn(n), rng.Intn(n))
+	}},
+	{"stats", 4, func(_ *rand.Rand, _ int) string { return "/v1/stats" }},
+	{"degree-dist", 3, func(_ *rand.Rand, _ int) string { return "/v1/degree-dist" }},
+}
+
+// pickQuery samples the mix.
+func pickQuery(rng *rand.Rand, n int) (string, string) {
+	total := 0
+	for _, k := range workloadMix {
+		total += k.weight
+	}
+	t := rng.Intn(total)
+	for _, k := range workloadMix {
+		if t < k.weight {
+			return k.name, k.build(rng, n)
+		}
+		t -= k.weight
+	}
+	k := workloadMix[0]
+	return k.name, k.build(rng, n)
+}
+
+// RunLoad drives concurrent mixed queries against baseURL (a running
+// netserve) for the configured duration and reports QPS and latency
+// quantiles. g is the served graph, used only to draw valid vertex IDs.
+func RunLoad(ctx context.Context, baseURL string, g *graph.Graph, cfg BenchConfig) (*BenchResult, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("netserve: cannot bench an empty graph")
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	type workerStats struct {
+		lats     []time.Duration
+		errs     int64
+		perQuery map[string]int64
+	}
+	stats := make([]workerStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < cfg.Concurrency; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)*7919))
+			ws := &stats[wi]
+			ws.perQuery = make(map[string]int64)
+			for ctx.Err() == nil {
+				kind, q := pickQuery(rng, n)
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+q, nil)
+				if err != nil {
+					ws.errs++
+					continue
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // deadline, not a server error
+					}
+					ws.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					ws.errs++
+					continue
+				}
+				ws.lats = append(ws.lats, time.Since(t0))
+				ws.perQuery[kind]++
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	res := &BenchResult{
+		Concurrency: cfg.Concurrency,
+		DurationSec: elapsed.Seconds(),
+		Vertices:    n,
+		Edges:       g.NumEdges(),
+		PerEndpoint: make(map[string]int64),
+	}
+	for i := range stats {
+		all = append(all, stats[i].lats...)
+		res.Errors += stats[i].errs
+		for k, v := range stats[i].perQuery {
+			res.PerEndpoint[k] += v
+		}
+	}
+	res.Requests = int64(len(all))
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("netserve: bench made no successful requests (%d errors)", res.Errors)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	res.QPS = float64(res.Requests) / elapsed.Seconds()
+	res.P50Ms = q(0.50)
+	res.P95Ms = q(0.95)
+	res.P99Ms = q(0.99)
+	res.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	return res, nil
+}
+
+// WriteFile writes the result as indented JSON to path.
+func (r *BenchResult) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,705 @@
+// Package netserve is the serving stage of the pipeline: a resident,
+// concurrent HTTP JSON query service over a synthesized collocation
+// network — the paper's Section II contact-tracing reading of the
+// network as a repeatedly-interrogated substrate.
+//
+// The design centers on an atomically swappable snapshot generation:
+//
+//   - the current gstore.Snapshot lives behind an atomic.Pointer; every
+//     request takes a reference, so a hot reload (SIGHUP, or an mtime
+//     watcher noticing netsynth rewrote the file) swaps the pointer and
+//     the old generation drains — it is closed only when its last
+//     in-flight request finishes. A failed reload (corrupt snapshot)
+//     leaves the old generation serving.
+//   - a bounded worker semaphore caps concurrent query evaluation;
+//     requests that cannot get a slot within their deadline get 503.
+//   - identical in-flight expensive queries are coalesced (single
+//     flight) and results land in a byte-budgeted LRU keyed by snapshot
+//     generation, so a reload invalidates the cache wholesale.
+//   - every endpoint reports request/latency/in-flight/cache-hit series
+//     into the shared telemetry registry (prefix serve_), exposed on
+//     the same -telemetry-addr Prometheus endpoint as the rest of the
+//     pipeline.
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/telemetry"
+)
+
+// Options configures a Server. Zero values select the documented
+// defaults.
+type Options struct {
+	// Workers bounds concurrent query evaluation (default 2×CPUs).
+	Workers int
+	// CacheBytes budgets the LRU result cache (default 32 MiB;
+	// negative disables caching).
+	CacheBytes int64
+	// RequestTimeout bounds each query (default 5s; negative disables).
+	RequestTimeout time.Duration
+	// WatchInterval polls the snapshot file's mtime for hot reload
+	// (default off; set > 0 to enable).
+	WatchInterval time.Duration
+	// Registry receives the serve_* telemetry series (default
+	// telemetry.Default).
+	Registry *telemetry.Registry
+	// MaxEgoMembers caps the member list returned by /v1/ego
+	// (default 10000).
+	MaxEgoMembers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2 * runtime.NumCPU()
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default
+	}
+	if o.MaxEgoMembers <= 0 {
+		o.MaxEgoMembers = 10000
+	}
+	return o
+}
+
+// generation is one published snapshot plus its reference count. The
+// publisher holds one reference; every in-flight request holds one
+// more. The snapshot is closed exactly once, when the count reaches
+// zero after the generation has been superseded.
+type generation struct {
+	num      uint64
+	snap     *gstore.Snapshot
+	mtime    time.Time
+	loadedAt time.Time
+	refs     atomic.Int64
+	closed   sync.Once
+}
+
+func (g *generation) unref() {
+	if g.refs.Add(-1) == 0 {
+		g.closed.Do(func() { g.snap.Close() })
+	}
+}
+
+// Server is the query service. Create with New, mount Handler on an
+// http.Server, and Close when done.
+type Server struct {
+	opts Options
+	path string
+
+	cur      atomic.Pointer[generation]
+	genSeq   atomic.Uint64
+	reloadMu sync.Mutex
+
+	sem    chan struct{}
+	cache  *lruCache
+	flight flightGroup
+	mux    *http.ServeMux
+
+	stopWatch chan struct{}
+	watchDone chan struct{}
+
+	// Global series.
+	mRequests    *telemetry.Counter
+	mErrors      *telemetry.Counter
+	mCoalesced   *telemetry.Counter
+	mCacheHits   *telemetry.Counter
+	mCacheMisses *telemetry.Counter
+	mReloads     *telemetry.Counter
+	mReloadFails *telemetry.Counter
+	mGeneration  *telemetry.Gauge
+	mSaturated   *telemetry.Counter
+}
+
+// endpoint bundles one route's handler with its telemetry series.
+type endpoint struct {
+	name      string
+	cacheable bool
+	fn        func(g *graph.Graph, gen *generation, r *http.Request) (any, error)
+
+	requests  *telemetry.Counter
+	errors    *telemetry.Counter
+	latency   *telemetry.Histogram
+	inflight  *telemetry.Gauge
+	cacheHits *telemetry.Counter
+}
+
+// apiError is a handler failure with an HTTP status.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &apiError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// New loads the snapshot at path (a .gsnap snapshot or a TSV edge list,
+// sniffed by magic bytes) and returns a ready Server. The mtime watcher
+// starts only when Options.WatchInterval > 0.
+func New(path string, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	s := &Server{
+		opts: opts,
+		path: path,
+		sem:  make(chan struct{}, opts.Workers),
+
+		mRequests:    reg.Counter("serve_requests_total"),
+		mErrors:      reg.Counter("serve_errors_total"),
+		mCoalesced:   reg.Counter("serve_coalesced_total"),
+		mCacheHits:   reg.Counter("serve_cache_hits_total"),
+		mCacheMisses: reg.Counter("serve_cache_misses_total"),
+		mReloads:     reg.Counter("serve_reloads_total"),
+		mReloadFails: reg.Counter("serve_reload_failures_total"),
+		mGeneration:  reg.Gauge("serve_generation"),
+		mSaturated:   reg.Counter("serve_saturated_total"),
+	}
+	s.cache = newLRUCache(opts.CacheBytes,
+		reg.Counter("serve_cache_evictions_total"), reg.Gauge("serve_cache_bytes"))
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	s.buildMux()
+	if opts.WatchInterval > 0 {
+		s.stopWatch = make(chan struct{})
+		s.watchDone = make(chan struct{})
+		go s.watchLoop()
+	}
+	return s, nil
+}
+
+// Reload (re)loads the snapshot file and atomically publishes it as a
+// new generation. On failure the previous generation keeps serving and
+// the error is returned; serve_reload_failures_total counts it.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	var mtime time.Time
+	if fi, err := os.Stat(s.path); err == nil {
+		mtime = fi.ModTime()
+	}
+	snap, err := gstore.LoadGraphFile(s.path, 0)
+	if err != nil {
+		s.mReloadFails.Inc()
+		return fmt.Errorf("netserve: reload %s: %w", s.path, err)
+	}
+	gen := &generation{
+		num:      s.genSeq.Add(1),
+		snap:     snap,
+		mtime:    mtime,
+		loadedAt: time.Now(),
+	}
+	gen.refs.Store(1) // publisher reference
+	old := s.cur.Swap(gen)
+	s.mGeneration.Set(int64(gen.num))
+	s.mReloads.Inc()
+	s.cache.purgeBelow(gen.num)
+	if old != nil {
+		old.unref() // drains: closed when the last in-flight request ends
+	}
+	return nil
+}
+
+// acquire takes a reference on the current generation. The
+// load-increment-recheck loop guarantees the reference is valid: the
+// publisher drops its own reference only after swapping the pointer,
+// so observing cur == g after incrementing proves the publisher still
+// held its reference when we incremented.
+func (s *Server) acquire() *generation {
+	for {
+		g := s.cur.Load()
+		if g == nil {
+			return nil
+		}
+		g.refs.Add(1)
+		if s.cur.Load() == g {
+			return g
+		}
+		g.unref() // superseded under us; retry on the new generation
+	}
+}
+
+// Acquire pins the current generation and returns its graph, its
+// generation number, and a release func that must be called when the
+// caller is done — the generation cannot be drained (and its mmap
+// cannot be unmapped) until then. Callers outside the request path
+// (startup banners, self-bench drivers) use this instead of re-opening
+// the snapshot file.
+func (s *Server) Acquire() (*graph.Graph, uint64, func()) {
+	gen := s.acquire()
+	if gen == nil {
+		return nil, 0, func() {}
+	}
+	var once sync.Once
+	return gen.snap.Graph(), gen.num, func() { once.Do(gen.unref) }
+}
+
+// Generation returns the current snapshot generation number.
+func (s *Server) Generation() uint64 {
+	if g := s.cur.Load(); g != nil {
+		return g.num
+	}
+	return 0
+}
+
+// watchLoop polls the snapshot file's mtime and hot-reloads on change.
+func (s *Server) watchLoop() {
+	defer close(s.watchDone)
+	t := time.NewTicker(s.opts.WatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopWatch:
+			return
+		case <-t.C:
+			g := s.cur.Load()
+			fi, err := os.Stat(s.path)
+			if err != nil || g == nil {
+				continue
+			}
+			if !fi.ModTime().Equal(g.mtime) {
+				s.Reload() // failure keeps the old generation; counted
+			}
+		}
+	}
+}
+
+// Close stops the watcher and releases the current generation. It does
+// not touch any http.Server mounted on Handler — drain that first
+// (http.Server.Shutdown), then Close.
+func (s *Server) Close() error {
+	if s.stopWatch != nil {
+		close(s.stopWatch)
+		<-s.watchDone
+		s.stopWatch = nil
+	}
+	if g := s.cur.Swap(nil); g != nil {
+		g.unref()
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ---------------------------------------------------------------------------
+// Routing
+
+func (s *Server) buildMux() {
+	s.mux = http.NewServeMux()
+	s.route("GET /v1/stats", "stats", true, s.handleStats)
+	s.route("GET /v1/degree/{id}", "degree", false, s.handleDegree)
+	s.route("GET /v1/neighbors/{id}", "neighbors", true, s.handleNeighbors)
+	s.route("GET /v1/ego/{id}", "ego", true, s.handleEgo)
+	s.route("GET /v1/path", "path", true, s.handlePath)
+	s.route("GET /v1/degree-dist", "degree_dist", true, s.handleDegreeDist)
+	s.route("GET /v1/clustering/{id}", "clustering", true, s.handleClustering)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, nil, notFound("no such endpoint %q", r.URL.Path))
+	})
+}
+
+func (s *Server) route(pattern, name string, cacheable bool,
+	fn func(g *graph.Graph, gen *generation, r *http.Request) (any, error)) {
+	reg := s.opts.Registry
+	ep := &endpoint{
+		name:      name,
+		cacheable: cacheable,
+		fn:        fn,
+		requests:  reg.Counter("serve_" + name + "_requests_total"),
+		errors:    reg.Counter("serve_" + name + "_errors_total"),
+		latency:   reg.Histogram("serve_" + name + "_seconds"),
+		inflight:  reg.Gauge("serve_" + name + "_inflight"),
+		cacheHits: reg.Counter("serve_" + name + "_cache_hits_total"),
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.serve(ep, w, r)
+	})
+}
+
+// serve is the request spine shared by every endpoint: timeout,
+// semaphore, generation reference, cache, singleflight, telemetry.
+func (s *Server) serve(ep *endpoint, w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	ep.requests.Inc()
+	ep.inflight.Add(1)
+	defer ep.inflight.Add(-1)
+	sw := s.opts.Registry.Clock()
+	defer func() { sw.Observe(ep.latency) }()
+
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+
+	// Bounded worker pool: wait for a slot within the deadline.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.mSaturated.Inc()
+		s.writeError(w, ep, &apiError{code: http.StatusServiceUnavailable, msg: "server saturated"})
+		return
+	}
+
+	gen := s.acquire()
+	if gen == nil {
+		s.writeError(w, ep, &apiError{code: http.StatusServiceUnavailable, msg: "shutting down"})
+		return
+	}
+	defer gen.unref()
+	g := gen.snap.Graph()
+
+	if !ep.cacheable || s.cache == nil {
+		v, err := ep.fn(g, gen, r)
+		if err != nil {
+			s.writeError(w, ep, err)
+			return
+		}
+		s.writeJSON(w, ep, v)
+		return
+	}
+
+	key := cacheKey(ep.name, gen.num, r)
+	if b, ok := s.cache.get(key); ok {
+		s.mCacheHits.Inc()
+		ep.cacheHits.Inc()
+		writeJSONBytes(w, http.StatusOK, b)
+		return
+	}
+	s.mCacheMisses.Inc()
+	b, err, shared := s.flight.do(key, func() ([]byte, error) {
+		v, ferr := ep.fn(g, gen, r)
+		if ferr != nil {
+			return nil, ferr
+		}
+		mb, merr := json.Marshal(v)
+		if merr != nil {
+			return nil, merr
+		}
+		s.cache.put(key, gen.num, mb)
+		return mb, nil
+	})
+	if shared {
+		s.mCoalesced.Inc()
+	}
+	if err != nil {
+		s.writeError(w, ep, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, b)
+}
+
+// cacheKey canonicalizes a request: endpoint, generation, path, and
+// the sorted query encoding (url.Values.Encode sorts by key).
+func cacheKey(name string, gen uint64, r *http.Request) string {
+	return name + "|" + strconv.FormatUint(gen, 10) + "|" + r.URL.Path + "?" + r.URL.Query().Encode()
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, ep *endpoint, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, ep, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, b)
+}
+
+func writeJSONBytes(w http.ResponseWriter, code int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+	w.Write([]byte{'\n'})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, ep *endpoint, err error) {
+	s.mErrors.Inc()
+	if ep != nil {
+		ep.errors.Inc()
+	}
+	code := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		code = ae.code
+	}
+	b, _ := json.Marshal(map[string]any{"error": err.Error(), "status": code})
+	writeJSONBytes(w, code, b)
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+
+// vertexArg parses a vertex ID path/query argument against the graph:
+// 400 for junk, 404 for IDs outside the vertex space.
+func vertexArg(g *graph.Graph, raw, what string) (uint32, error) {
+	if raw == "" {
+		return 0, badRequest("missing %s", what)
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, badRequest("bad %s %q: %v", what, raw, err)
+	}
+	if int(v) >= g.NumVertices() {
+		return 0, notFound("%s %d outside vertex space [0,%d)", what, v, g.NumVertices())
+	}
+	return uint32(v), nil
+}
+
+// intArg parses an optional bounded integer query parameter.
+func intArg(r *http.Request, name string, def, lo, hi int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("bad %s %q: %v", name, raw, err)
+	}
+	if v < lo || v > hi {
+		return 0, badRequest("%s %d outside [%d,%d]", name, v, lo, hi)
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+// StatsResponse is /v1/stats.
+type StatsResponse struct {
+	Vertices          int    `json:"vertices"`
+	VerticesWithEdges int    `json:"vertices_with_edges"`
+	Edges             int    `json:"edges"`
+	TotalWeight       uint64 `json:"total_weight"`
+	MaxDegree         int    `json:"max_degree"`
+	Generation        uint64 `json:"generation"`
+	SnapshotPath      string `json:"snapshot_path"`
+	SnapshotBytes     int64  `json:"snapshot_bytes"`
+	Mapped            bool   `json:"mapped"`
+	LoadedAt          string `json:"loaded_at"`
+}
+
+func (s *Server) handleStats(g *graph.Graph, gen *generation, _ *http.Request) (any, error) {
+	return StatsResponse{
+		Vertices:          g.NumVertices(),
+		VerticesWithEdges: g.VerticesWithEdges(),
+		Edges:             g.NumEdges(),
+		TotalWeight:       g.TotalWeight(),
+		MaxDegree:         g.MaxDegree(),
+		Generation:        gen.num,
+		SnapshotPath:      gen.snap.Path(),
+		SnapshotBytes:     gen.snap.SizeBytes(),
+		Mapped:            gen.snap.Mapped(),
+		LoadedAt:          gen.loadedAt.UTC().Format(time.RFC3339Nano),
+	}, nil
+}
+
+// DegreeResponse is /v1/degree/{id}.
+type DegreeResponse struct {
+	ID       uint32 `json:"id"`
+	Degree   int    `json:"degree"`
+	Strength uint64 `json:"strength"`
+}
+
+func (s *Server) handleDegree(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+	v, err := vertexArg(g, r.PathValue("id"), "vertex")
+	if err != nil {
+		return nil, err
+	}
+	return DegreeResponse{ID: v, Degree: g.Degree(v), Strength: g.Strength(v)}, nil
+}
+
+// Neighbor is one weighted adjacency in /v1/neighbors/{id}.
+type Neighbor struct {
+	ID     uint32 `json:"id"`
+	Weight uint32 `json:"weight"`
+}
+
+// NeighborsResponse is /v1/neighbors/{id}: the strongest contacts
+// first (weight descending, ID ascending on ties), paginated.
+type NeighborsResponse struct {
+	ID        uint32     `json:"id"`
+	Degree    int        `json:"degree"`
+	Offset    int        `json:"offset"`
+	Returned  int        `json:"returned"`
+	Neighbors []Neighbor `json:"neighbors"`
+}
+
+func (s *Server) handleNeighbors(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+	v, err := vertexArg(g, r.PathValue("id"), "vertex")
+	if err != nil {
+		return nil, err
+	}
+	offset, err := intArg(r, "offset", 0, 0, 1<<31-1)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := intArg(r, "limit", 50, 1, 1000)
+	if err != nil {
+		return nil, err
+	}
+	ids, wts := g.Neighbors(v)
+	all := make([]Neighbor, len(ids))
+	for k := range ids {
+		all[k] = Neighbor{ID: ids[k], Weight: wts[k]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Weight != all[j].Weight {
+			return all[i].Weight > all[j].Weight
+		}
+		return all[i].ID < all[j].ID
+	})
+	if offset > len(all) {
+		offset = len(all)
+	}
+	page := all[offset:]
+	if len(page) > limit {
+		page = page[:limit]
+	}
+	return NeighborsResponse{
+		ID: v, Degree: len(all), Offset: offset, Returned: len(page), Neighbors: page,
+	}, nil
+}
+
+// EgoResponse is /v1/ego/{id}: the radius-k ego network (the paper's
+// V = v ∪ V1 ∪ V2 construction) with its induced edge count.
+type EgoResponse struct {
+	ID        uint32   `json:"id"`
+	Radius    int      `json:"radius"`
+	Size      int      `json:"size"`
+	Edges     int      `json:"edges"`
+	Members   []uint32 `json:"members"`
+	Truncated bool     `json:"truncated"`
+}
+
+func (s *Server) handleEgo(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+	v, err := vertexArg(g, r.PathValue("id"), "vertex")
+	if err != nil {
+		return nil, err
+	}
+	radius, err := intArg(r, "radius", 2, 0, 6)
+	if err != nil {
+		return nil, err
+	}
+	members := g.Ego(v, radius)
+	inSet := make(map[uint32]struct{}, len(members))
+	for _, m := range members {
+		inSet[m] = struct{}{}
+	}
+	edges := 0
+	for _, m := range members {
+		row, _ := g.Neighbors(m)
+		for _, u := range row {
+			if u > m {
+				if _, ok := inSet[u]; ok {
+					edges++
+				}
+			}
+		}
+	}
+	resp := EgoResponse{ID: v, Radius: radius, Size: len(members), Edges: edges, Members: members}
+	if len(resp.Members) > s.opts.MaxEgoMembers {
+		resp.Members = resp.Members[:s.opts.MaxEgoMembers]
+		resp.Truncated = true
+	}
+	return resp, nil
+}
+
+// PathResponse is /v1/path?from=&to=[&weighted=1]. Unweighted searches
+// minimize hops (BFS); weighted searches run Dijkstra with edge cost
+// 1/weight, preferring strong collocation ties.
+type PathResponse struct {
+	From     uint32   `json:"from"`
+	To       uint32   `json:"to"`
+	Weighted bool     `json:"weighted"`
+	Found    bool     `json:"found"`
+	Hops     int      `json:"hops"`
+	Cost     float64  `json:"cost"`
+	Path     []uint32 `json:"path"`
+}
+
+func (s *Server) handlePath(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+	from, err := vertexArg(g, r.URL.Query().Get("from"), "from")
+	if err != nil {
+		return nil, err
+	}
+	to, err := vertexArg(g, r.URL.Query().Get("to"), "to")
+	if err != nil {
+		return nil, err
+	}
+	weighted := r.URL.Query().Get("weighted") == "1"
+	resp := PathResponse{From: from, To: to, Weighted: weighted}
+	if weighted {
+		path, cost, ok := g.ShortestPathWeighted(from, to)
+		if ok {
+			resp.Found, resp.Path, resp.Cost, resp.Hops = true, path, cost, len(path)-1
+		}
+	} else {
+		path, ok := g.ShortestPathBFS(from, to)
+		if ok {
+			resp.Found, resp.Path, resp.Hops = true, path, len(path)-1
+			resp.Cost = float64(len(path) - 1)
+		}
+	}
+	return resp, nil
+}
+
+// DegreeDistResponse is /v1/degree-dist: the dense degree histogram
+// (slot k = number of vertices with degree k), deterministic across
+// runs.
+type DegreeDistResponse struct {
+	Vertices  int   `json:"vertices"`
+	MaxDegree int   `json:"max_degree"`
+	Histogram []int `json:"histogram"`
+}
+
+func (s *Server) handleDegreeDist(g *graph.Graph, _ *generation, _ *http.Request) (any, error) {
+	hist := g.DegreeHistogram()
+	return DegreeDistResponse{
+		Vertices:  g.NumVertices(),
+		MaxDegree: len(hist) - 1,
+		Histogram: hist,
+	}, nil
+}
+
+// ClusteringResponse is /v1/clustering/{id}.
+type ClusteringResponse struct {
+	ID         uint32  `json:"id"`
+	Degree     int     `json:"degree"`
+	Clustering float64 `json:"clustering"`
+}
+
+func (s *Server) handleClustering(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+	v, err := vertexArg(g, r.PathValue("id"), "vertex")
+	if err != nil {
+		return nil, err
+	}
+	return ClusteringResponse{ID: v, Degree: g.Degree(v), Clustering: g.LocalClustering(v)}, nil
+}

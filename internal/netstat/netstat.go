@@ -42,6 +42,28 @@ func Distribution(hist map[int]int, total int) []Point {
 	return pts
 }
 
+// DistributionDense converts a dense degree histogram (slot k = number
+// of vertices with degree k, as produced by graph.DegreeHistogram) into
+// sorted points over k ≥ 1, with fractions relative to total. If total
+// is 0 the sum of all slots (including degree 0) is used. Unlike the
+// map-based Distribution it iterates in degree order, so the output is
+// deterministic without a sort.
+func DistributionDense(hist []int, total int) []Point {
+	if total == 0 {
+		for _, c := range hist {
+			total += c
+		}
+	}
+	var pts []Point
+	for k, c := range hist {
+		if k < 1 || c == 0 {
+			continue
+		}
+		pts = append(pts, Point{K: k, Count: c, Frac: float64(c) / float64(total)})
+	}
+	return pts
+}
+
 // LogBin merges points into logarithmically spaced bins (binsPerDecade
 // bins per factor of 10), averaging fractions within each bin. It
 // de-noises the sparse tail of a log-log plot.
@@ -295,6 +317,28 @@ func AlphaMLE(hist map[int]int, kmin int) (float64, error) {
 	var sum float64
 	for k, c := range hist {
 		if k < kmin || c == 0 {
+			continue
+		}
+		n += c
+		sum += float64(c) * math.Log(float64(k)/(float64(kmin)-0.5))
+	}
+	if n == 0 || sum == 0 {
+		return 0, fmt.Errorf("netstat: no degrees ≥ %d", kmin)
+	}
+	return 1 + float64(n)/sum, nil
+}
+
+// AlphaMLEDense is AlphaMLE over a dense degree histogram (slot k =
+// vertex count at degree k).
+func AlphaMLEDense(hist []int, kmin int) (float64, error) {
+	if kmin < 1 {
+		kmin = 1
+	}
+	var n int
+	var sum float64
+	for k := kmin; k < len(hist); k++ {
+		c := hist[k]
+		if c == 0 {
 			continue
 		}
 		n += c

@@ -275,3 +275,71 @@ func TestQuickHistogramConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDistributionDenseMatchesMap(t *testing.T) {
+	// A dense histogram and its map equivalent must produce identical
+	// point sets.
+	dense := []int{100, 10, 0, 5, 0, 0, 0, 1} // degrees 0..7
+	m := map[int]int{0: 100, 1: 10, 3: 5, 7: 1}
+	dp := DistributionDense(dense, 0)
+	mp := Distribution(m, 0)
+	if len(dp) != len(mp) {
+		t.Fatalf("dense %d points vs map %d", len(dp), len(mp))
+	}
+	for i := range dp {
+		if dp[i] != mp[i] {
+			t.Fatalf("point %d: dense %+v vs map %+v", i, dp[i], mp[i])
+		}
+	}
+	// Already sorted by construction.
+	for i := 1; i < len(dp); i++ {
+		if dp[i-1].K >= dp[i].K {
+			t.Fatalf("dense points not strictly increasing in K: %v", dp)
+		}
+	}
+}
+
+func TestDistributionDenseExplicitTotal(t *testing.T) {
+	pts := DistributionDense([]int{0, 0, 5}, 50)
+	if len(pts) != 1 || math.Abs(pts[0].Frac-0.1) > 1e-12 {
+		t.Fatalf("pts = %v, want single point with frac 0.1", pts)
+	}
+	if got := DistributionDense(nil, 0); len(got) != 0 {
+		t.Fatalf("empty histogram produced points: %v", got)
+	}
+}
+
+func TestAlphaMLEDenseMatchesMap(t *testing.T) {
+	r := rng.New(11)
+	z := rng.NewZipf(2.2, 10000)
+	m := make(map[int]int)
+	maxK := 0
+	for i := 0; i < 100000; i++ {
+		k := z.Sample(r)
+		m[k]++
+		if k > maxK {
+			maxK = k
+		}
+	}
+	dense := make([]int, maxK+1)
+	for k, c := range m {
+		dense[k] = c
+	}
+	am, err1 := AlphaMLE(m, 3)
+	ad, err2 := AlphaMLEDense(dense, 3)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(am-ad) > 1e-12 {
+		t.Fatalf("dense MLE %v differs from map MLE %v", ad, am)
+	}
+}
+
+func TestAlphaMLEDenseEmpty(t *testing.T) {
+	if _, err := AlphaMLEDense([]int{0, 5}, 10); err == nil {
+		t.Fatal("dense MLE with no qualifying degrees accepted")
+	}
+	if _, err := AlphaMLEDense(nil, 1); err == nil {
+		t.Fatal("dense MLE on nil histogram accepted")
+	}
+}

@@ -81,3 +81,19 @@ END {
 }' "$RAW" >"$OUT"
 
 echo "== wrote $OUT"
+
+# Serving benchmark (DESIGN.md §11): the netserve mixed-query load
+# generator against an in-process server over a synthetic scale-free
+# network. serve_qps and serve_p99_ms in BENCH_serve.json are the
+# scripted figures of merit. Skip with SERVE=0.
+SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+if [ "${SERVE:-1}" = "1" ]; then
+	echo "== serve benchmark (selfbench) -> $SERVE_OUT"
+	go run ./cmd/netserve -selfbench \
+		-bench-out "$SERVE_OUT" \
+		-bench-duration "${SERVE_DURATION:-5s}" \
+		-bench-concurrency "${SERVE_CONCURRENCY:-16}" \
+		-bench-vertices "${SERVE_VERTICES:-20000}" \
+		-bench-seed 1
+	echo "== wrote $SERVE_OUT"
+fi

@@ -45,6 +45,37 @@ if [ "${GUARD:-1}" = "1" ]; then
 	}'
 fi
 
+# Serve smoke (DESIGN.md §11): convert the tiny testdata edge list to a
+# snapshot, boot netserve on an ephemeral port, query two endpoints with
+# the binary's own curl-free -get mode, then SIGTERM and require a clean
+# graceful drain (exit 0). Skip with SMOKE=0.
+if [ "${SMOKE:-1}" = "1" ]; then
+	echo "== netserve smoke (convert -> serve -> query -> drain)"
+	smoke_dir=$(mktemp -d)
+	go build -o "$smoke_dir/netserve" ./cmd/netserve
+	"$smoke_dir/netserve" -convert cmd/netserve/testdata/smoke.tsv -snapshot "$smoke_dir/smoke.gsnap"
+	"$smoke_dir/netserve" -snapshot "$smoke_dir/smoke.gsnap" \
+		-addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" -watch 0 &
+	smoke_pid=$!
+	i=0
+	while [ ! -s "$smoke_dir/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "FAIL: netserve never bound its port"
+			kill "$smoke_pid" 2>/dev/null || true
+			rm -rf "$smoke_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	smoke_addr=$(cat "$smoke_dir/addr")
+	"$smoke_dir/netserve" -get "http://$smoke_addr/v1/stats"
+	"$smoke_dir/netserve" -get "http://$smoke_addr/v1/ego/0?radius=2"
+	kill -TERM "$smoke_pid"
+	wait "$smoke_pid" # graceful drain must exit 0 (set -e aborts otherwise)
+	rm -rf "$smoke_dir"
+fi
+
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== scripts/bench.sh (BENCH=1)"
 	./scripts/bench.sh
