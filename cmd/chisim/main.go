@@ -14,6 +14,13 @@
 //	chisim -persons 20000 -days 28 -ranks 4 -dist-host :7946 ...   # rank 0
 //	chisim -persons 20000 -days 28 -ranks 4 -dist-join host:7946   # ranks 1..3
 //
+// Under a supervisor (cmd/netlaunch), each worker additionally pins its
+// rank with -dist-rank/-dist-token so a restarted process reclaims its
+// slot, and discovers the coordinator through -dist-join @file (the
+// address file rank 0 publishes with -dist-addr-file). Exit codes tell
+// the supervisor what happened: 0 success, 2 cooperative drain after
+// SIGINT/SIGTERM, 1 real failure.
+//
 // A SIGINT or SIGTERM stops the run gracefully at the next simulated
 // hour: every rank flushes and closes its log with a valid footer, and
 // the run can be continued later with -resume. -resume also recovers
@@ -43,8 +50,20 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpinet"
 	"repro/internal/schedule"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 )
+
+// distOptions bundles the supervisor-facing distributed flags so
+// runDistributed's signature stays readable.
+type distOptions struct {
+	Host         string
+	Join         string
+	Rank         int
+	Token        uint64
+	AddrFile     string
+	RoundTimeout time.Duration
+}
 
 func main() {
 	persons := flag.Int("persons", 20000, "synthetic population size")
@@ -56,7 +75,12 @@ func main() {
 	compress := flag.Bool("compress", false, "DEFLATE-compress log chunks")
 	resume := flag.Bool("resume", false, "continue a crashed or interrupted run from the logs in -logdir")
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
-	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address (rank assigned by coordinator)")
+	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address or @file (rank assigned by coordinator unless -dist-rank is set)")
+	distRank := flag.Int("dist-rank", 0, "claim this specific rank when joining (0 = let the coordinator assign)")
+	distToken := flag.Uint64("dist-token", 0, "rank claim token; a restarted process presenting the same token reclaims its slot")
+	distAddrFile := flag.String("dist-addr-file", "", "rank 0: publish the coordinator's bound address to this file (for -dist-join @file)")
+	distRoundTimeout := flag.Duration("dist-round-timeout", 0, "rank 0: declare the slowest rank failed when a collective stalls this long (0 = off)")
+	hourDelay := flag.Duration("hour-delay", 0, "sleep this long per simulated hour (chaos/testing aid)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address and enable telemetry")
 	reportPath := flag.String("report", "", "write a JSON run report to this path (render it with `netstat report`)")
 	flag.Parse()
@@ -75,7 +99,7 @@ func main() {
 
 	p, err := repro.NewPipeline(repro.Config{
 		Persons: *persons, Days: *days, Seed: *seed, Ranks: *ranks,
-		CacheEntries: *cache, Compress: *compress,
+		CacheEntries: *cache, Compress: *compress, HourDelay: *hourDelay,
 	})
 	if err != nil {
 		fatal(err)
@@ -86,7 +110,11 @@ func main() {
 	ctx := signalContext()
 
 	if *distHost != "" || *distJoin != "" {
-		runDistributed(ctx, p, *distHost, *distJoin, *ranks, *logdir, *resume, eventlog.Config{
+		runDistributed(ctx, p, distOptions{
+			Host: *distHost, Join: *distJoin,
+			Rank: *distRank, Token: *distToken,
+			AddrFile: *distAddrFile, RoundTimeout: *distRoundTimeout,
+		}, *ranks, *logdir, *resume, *hourDelay, eventlog.Config{
 			CacheEntries: *cache, Compress: *compress,
 		}, *reportPath)
 		return
@@ -169,14 +197,16 @@ func signalContext() context.Context {
 }
 
 // exitCanceled recognizes the cooperative-cancellation error, prints
-// the resume hint, and exits cleanly: an interrupted run is a stopped
-// run, not a failed one — the logs have valid footers.
+// the resume hint, and exits with the dedicated drain code so a
+// supervisor (cmd/netlaunch) can tell a deliberate interruption from a
+// real failure: an interrupted run is a stopped run — the logs have
+// valid footers — and must not consume the restart budget.
 func exitCanceled(err error, logdir string) {
 	if !errors.Is(err, context.Canceled) {
 		return
 	}
 	fmt.Printf("interrupted; logs in %s are intact — rerun with -resume to continue (%v)\n", logdir, err)
-	os.Exit(0)
+	os.Exit(supervise.ExitCanceled)
 }
 
 func printResumeReport(reports []*abm.ResumeReport) {
@@ -199,16 +229,29 @@ func printResumeReport(reports []*abm.ResumeReport) {
 // runDistributed executes one rank of the simulation in this process
 // over the TCP transport, then gathers and prints the combined summary
 // on rank 0.
-func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr string, ranks int, logdir string, resume bool, logCfg eventlog.Config, reportPath string) {
+func runDistributed(ctx context.Context, p *repro.Pipeline, dist distOptions, ranks int, logdir string, resume bool, hourDelay time.Duration, logCfg eventlog.Config, reportPath string) {
 	var node *mpinet.Node
 	var err error
-	if hostAddr != "" {
-		node, err = mpinet.Host(hostAddr, ranks)
+	if dist.Host != "" {
+		node, err = mpinet.Host(dist.Host, ranks, mpinet.Options{RoundTimeout: dist.RoundTimeout})
 		if err == nil {
 			fmt.Printf("rank 0 hosting on %s, waiting for %d peers\n", node.Addr(), ranks-1)
+			if dist.AddrFile != "" {
+				if werr := supervise.WriteAddrFile(dist.AddrFile, node.Addr()); werr != nil {
+					node.Close()
+					fatal(werr)
+				}
+			}
 		}
 	} else {
-		node, err = mpinet.Join(joinAddr)
+		addr, rerr := supervise.ResolveAddr(dist.Join, 30*time.Second)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		node, err = mpinet.Join(addr, mpinet.Options{
+			ClaimRank:  dist.Rank,
+			ClaimToken: dist.Token,
+		})
 		if err == nil {
 			fmt.Printf("joined as rank %d of %d\n", node.Rank(), node.Size())
 		}
@@ -226,8 +269,9 @@ func runDistributed(ctx context.Context, p *repro.Pipeline, hostAddr, joinAddr s
 	assign := p.SpatialAssignment(node.Size())
 	cfg := abm.RankConfig{
 		Pop: p.Pop, Gen: p.Gen, Days: p.Days(), Assign: assign,
-		LogPath: filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
-		Log:     logCfg,
+		LogPath:   filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
+		Log:       logCfg,
+		HourDelay: hourDelay,
 	}
 	start := time.Now()
 	var rr abm.RankResult

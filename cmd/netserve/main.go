@@ -123,7 +123,9 @@ func runServe(snapshot, addr, addrFile string, workers int, cacheBytes int64,
 		g.NumVertices(), g.NumEdges(), ln.Addr(), gen)
 	release()
 
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// HardenedHandler adds the http.TimeoutHandler backstop for wedged
+	// handlers and the Retry-After hint on 503 saturation responses.
+	httpSrv := &http.Server{Handler: srv.HardenedHandler(), ReadHeaderTimeout: 5 * time.Second}
 
 	// SIGHUP → hot reload; SIGTERM/SIGINT → graceful drain.
 	hup := make(chan os.Signal, 1)
@@ -248,7 +250,7 @@ func runSelfbench(snapshot, out string, dur time.Duration, conc, vertices int, s
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: srv.HardenedHandler()}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 

@@ -16,6 +16,13 @@
 //	netsynth -dist-host :7947 -dist-size 4 -o network.tsv logs/*.h5l  # rank 0
 //	netsynth -dist-join host:7947 logs/*.h5l                          # ranks 1..3
 //
+// Under a supervisor (cmd/netlaunch), workers pin their rank with
+// -dist-rank/-dist-token so a restarted process reclaims its dead slot
+// mid-synthesis, and discover the coordinator with -dist-join @file
+// (the address file rank 0 publishes with -dist-addr-file). Exit codes
+// tell the supervisor what happened: 0 success, 2 cooperative drain
+// after SIGINT/SIGTERM, 1 real failure.
+//
 // The output is a three-column TSV (person_i, person_j, hours) holding
 // the strict upper triangle of the adjacency matrix.
 package main
@@ -40,6 +47,7 @@ import (
 	"repro/internal/gstore"
 	"repro/internal/mpinet"
 	"repro/internal/sparse"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 
 	// Link the full pipeline so every stage's telemetry series is
@@ -80,8 +88,12 @@ func main() {
 	balance := flag.String("balance", "nnz", "load balancing: nnz (paper) or none (naive)")
 	memBudget := flag.String("mem-budget", "", "cap on materialized log-entry bytes, e.g. 64M or 2G (empty = unlimited); larger slices spill to place-sharded temp files")
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
-	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address")
+	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address or @file (rank assigned by coordinator unless -dist-rank is set)")
 	distSize := flag.Int("dist-size", 0, "total process count when hosting")
+	distRank := flag.Int("dist-rank", 0, "claim this specific rank when joining (0 = let the coordinator assign)")
+	distToken := flag.Uint64("dist-token", 0, "rank claim token; a restarted process presenting the same token reclaims its slot")
+	distAddrFile := flag.String("dist-addr-file", "", "rank 0: publish the coordinator's bound address to this file (for -dist-join @file)")
+	distRoundTimeout := flag.Duration("dist-round-timeout", 0, "rank 0: declare the slowest rank failed when a collective stalls this long (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the synthesis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the synthesis to this file")
 	showStats := flag.Bool("stats", false, "print the per-stage statistics table after the run")
@@ -155,17 +167,18 @@ func main() {
 	defer cancelSignals()
 
 	if *distHost != "" || *distJoin != "" {
-		runDistributed(ctx, paths, uint32(*t0), uint32(*t1), cfg,
-			*distHost, *distJoin, *distSize, *out, *snapshot, *reportPath)
+		runDistributed(ctx, paths, uint32(*t0), uint32(*t1), cfg, distOptions{
+			Host: *distHost, Join: *distJoin, Size: *distSize,
+			Rank: *distRank, Token: *distToken,
+			AddrFile: *distAddrFile, RoundTimeout: *distRoundTimeout,
+		}, *out, *snapshot, *reportPath)
 		return
 	}
 
 	start := time.Now()
 	tri, stats, err := core.SynthesizeFiles(ctx, paths, uint32(*t0), uint32(*t1), cfg)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			fatal(fmt.Errorf("interrupted: %w", err))
-		}
+		exitCanceled(err)
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -241,21 +254,46 @@ func printStats(s *core.Stats) {
 	w.Flush()
 }
 
+// distOptions bundles the supervisor-facing distributed flags so
+// runDistributed's signature stays readable.
+type distOptions struct {
+	Host         string
+	Join         string
+	Size         int
+	Rank         int
+	Token        uint64
+	AddrFile     string
+	RoundTimeout time.Duration
+}
+
 // runDistributed stripes the log files across the processes of a TCP
 // cluster; rank 0 merges the partial networks and writes the edge list.
-func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, hostAddr, joinAddr string, size int, out, snapshot, reportPath string) {
+func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, dist distOptions, out, snapshot, reportPath string) {
 	var node *mpinet.Node
 	var err error
-	if hostAddr != "" {
-		if size < 1 {
+	if dist.Host != "" {
+		if dist.Size < 1 {
 			fatal(fmt.Errorf("-dist-host requires -dist-size"))
 		}
-		node, err = mpinet.Host(hostAddr, size)
+		node, err = mpinet.Host(dist.Host, dist.Size, mpinet.Options{RoundTimeout: dist.RoundTimeout})
 		if err == nil {
-			fmt.Printf("rank 0 hosting on %s, waiting for %d peers\n", node.Addr(), size-1)
+			fmt.Printf("rank 0 hosting on %s, waiting for %d peers\n", node.Addr(), dist.Size-1)
+			if dist.AddrFile != "" {
+				if werr := supervise.WriteAddrFile(dist.AddrFile, node.Addr()); werr != nil {
+					node.Close()
+					fatal(werr)
+				}
+			}
 		}
 	} else {
-		node, err = mpinet.Join(joinAddr)
+		addr, rerr := supervise.ResolveAddr(dist.Join, 30*time.Second)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		node, err = mpinet.Join(addr, mpinet.Options{
+			ClaimRank:  dist.Rank,
+			ClaimToken: dist.Token,
+		})
 		if err == nil {
 			fmt.Printf("joined as rank %d of %d\n", node.Rank(), node.Size())
 		}
@@ -268,9 +306,7 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 	start := time.Now()
 	tri, rep, err := core.SynthesizeDistributedReport(ctx, node, paths, t0, t1, cfg)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			fatal(fmt.Errorf("interrupted: %w", err))
-		}
+		exitCanceled(err)
 		fatal(err)
 	}
 	fmt.Printf("rank %d done in %s\n", node.Rank(), time.Since(start).Round(time.Millisecond))
@@ -315,6 +351,17 @@ func writeSnapshot(path string, tri *sparse.Tri) {
 		fatal(err)
 	}
 	fmt.Printf("snapshot: %d bytes → %s\n", gstore.Size(g), path)
+}
+
+// exitCanceled recognizes the cooperative-cancellation error and exits
+// with the dedicated drain code so a supervisor (cmd/netlaunch) can
+// tell a deliberate interruption from a real failure.
+func exitCanceled(err error) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "netsynth: interrupted: %v\n", err)
+	os.Exit(supervise.ExitCanceled)
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/eventlog"
 	"repro/internal/mpi"
@@ -90,6 +91,9 @@ type Config struct {
 	// stops the simulation through the same hourly alignment but returns
 	// an error wrapping context.Canceled; both leave resumable logs.
 	Stop <-chan struct{}
+	// HourDelay stretches the wall clock for chaos tests; see
+	// RankConfig.HourDelay.
+	HourDelay time.Duration
 }
 
 // Result summarizes a run.
@@ -190,6 +194,7 @@ func run(ctx context.Context, cfg Config, resume bool) (*Result, []*ResumeReport
 			Pop: cfg.Pop, Gen: cfg.Gen, Days: cfg.Days, Assign: assign,
 			LogPath: logPath, Log: cfg.Log, FullStateLog: cfg.FullStateLog,
 			Interact: cfg.Interact, LogExt: cfg.LogExt, Stop: cfg.Stop,
+			HourDelay: cfg.HourDelay,
 		}
 		var rr RankResult
 		var err error
@@ -260,6 +265,12 @@ type RankConfig struct {
 	// resumable logs — the only difference is that RunRank then returns
 	// an error wrapping context.Canceled.
 	Stop <-chan struct{}
+	// HourDelay, when positive, sleeps this long at the top of every
+	// simulated hour. It exists for chaos testing: tiny populations
+	// finish in milliseconds, too fast for an external fault (kill -9,
+	// link cut) to reliably land mid-run, so the supervised smoke tests
+	// stretch the wall clock deterministically with it.
+	HourDelay time.Duration
 }
 
 // RankResult is one rank's counters.
@@ -514,6 +525,9 @@ func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (rr RankResul
 	rr.StoppedAt = endHour
 	for hour := cfg.StartHour; hour < endHour; hour++ {
 		sortLocal()
+		if cfg.HourDelay > 0 {
+			time.Sleep(cfg.HourDelay)
+		}
 		if pollFlags {
 			// Stop/cancel alignment: every rank contributes a flag each
 			// hour; if ANY rank saw a signal, all ranks leave the loop

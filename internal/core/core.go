@@ -55,6 +55,7 @@ var (
 	mShards       = telemetry.C("synth_shards_total")
 	mSpillBytes   = telemetry.C("synth_spill_bytes_total")
 	mRankRetries  = telemetry.C("synth_rank_retries_total")
+	mRankRevived  = telemetry.C("synth_rank_revivals_total")
 	mRecovered    = telemetry.C("fault_recovered_total")
 	mUnitSeconds  = telemetry.H("synth_gram_unit_seconds")
 	mGatherBytes  = telemetry.C("synth_gather_bytes_total")
@@ -731,6 +732,14 @@ func SynthesizeFile(ctx context.Context, path string, t0, t1 uint32, cfg Config)
 // bit-identical to a healthy run — provided the dead rank's files remain
 // reachable by the survivors (e.g. on shared storage). Unattributable
 // failures (the coordinator itself is gone) are returned as-is.
+//
+// Membership can also grow back: when a supervised restart reclaims a
+// dead slot, survivors observe a typed *mpi.RankRevivedError and put the
+// rank back into the stripe (without consuming the retry budget), and
+// the rejoined rank itself seeds its dead set from the transport's
+// mpi.DeadRankser view so everyone stripes identically. Degradation via
+// re-striping and recovery via rejoin therefore produce the same final
+// network, differing only in wall clock.
 // Cancelling ctx aborts the local synthesis within one work unit and
 // the gather collective at the transport's cancellation granularity;
 // the resulting error wraps context.Canceled and is NOT treated as a
@@ -764,6 +773,16 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 		retries = size
 	}
 	dead := make([]bool, size)
+	// A rank that rejoined a running cluster (supervised restart) learns
+	// the already-dead membership from its join handshake; seeding from
+	// it makes this rank's first stripe agree with the incumbents'.
+	if dr, ok := t.(mpi.DeadRankser); ok {
+		for _, r := range dr.InitialDead() {
+			if r >= 0 && r < size {
+				dead[r] = true
+			}
+		}
+	}
 	failures := 0
 	for {
 		if err := ctxErr(ctx, "distributed synthesis"); err != nil {
@@ -813,6 +832,16 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 		comm += gWall
 		mCommSeconds.Observe(gWall)
 		if err != nil {
+			if rr, ok := mpi.AsRankRevived(err); ok && rr.Rank > 0 && rr.Rank < size {
+				// A supervised restart reclaimed a dead slot mid-round:
+				// put the rank back into the stripe and retry. Revivals
+				// never consume the retry budget — they shrink the
+				// degradation, and each one was preceded by a death that
+				// already paid for it.
+				dead[rr.Rank] = false
+				mRankRevived.Inc()
+				continue
+			}
 			rf, ok := mpi.AsRankFailed(err)
 			if !ok || rf.Rank < 0 || rf.Rank >= size || retries < 0 {
 				return nil, nil, err

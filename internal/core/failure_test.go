@@ -190,3 +190,91 @@ func TestSynthesizeDistributedRetriesDisabled(t *testing.T) {
 		t.Fatalf("error = %v, want RankFailedError{Rank:1}", err)
 	}
 }
+
+// TestSynthesizeDistributedAbsorbsRejoin is the supervised-restart
+// story end to end at the synthesis layer: a rank dies, a replacement
+// process reclaims its slot with the rank claim token, survivors absorb
+// the typed revival and put the rank back into the stripe, the rejoined
+// rank seeds its membership view from the join handshake — and the
+// merged network is still bit-identical to the serial reference.
+func TestSynthesizeDistributedAbsorbsRejoin(t *testing.T) {
+	paths, serial := buildLogs(t, 95)
+
+	opts := mpinet.Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	}
+	const size = 3
+	const token = uint64(4242)
+	host, err := mpinet.Host("127.0.0.1:0", size, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	survivor, err := mpinet.Join(host.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	claimed := opts
+	claimed.ClaimRank = 2
+	claimed.ClaimToken = token
+	victim, err := mpinet.Join(host.Addr(), claimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimRank := victim.Rank()
+	victim.Close()
+
+	// Drive rounds until both survivors have observed the death, so the
+	// revival below is the only membership event left in flight.
+	for tries := 0; tries < 10; tries++ {
+		var wg sync.WaitGroup
+		var hostErr, survErr error
+		wg.Add(2)
+		go func() { defer wg.Done(); hostErr = host.Barrier(context.Background()) }()
+		go func() { defer wg.Done(); survErr = survivor.Barrier(context.Background()) }()
+		wg.Wait()
+		if rf, ok := mpi.AsRankFailed(hostErr); ok && rf.Rank == victimRank {
+			if rf2, ok2 := mpi.AsRankFailed(survErr); !ok2 || rf2.Rank != victimRank {
+				t.Fatalf("survivors disagree on the death: %v vs %v", hostErr, survErr)
+			}
+			break
+		}
+		if hostErr != nil {
+			t.Fatalf("unexpected barrier error: %v", hostErr)
+		}
+	}
+
+	// The supervised restart reclaims the slot. Each survivor now holds
+	// one buffered revival abort for its next collective.
+	revived, err := mpinet.Join(host.Addr(), claimed)
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	defer revived.Close()
+	if got := revived.InitialDead(); len(got) != 0 {
+		t.Fatalf("InitialDead = %v, want empty (only this rank had died)", got)
+	}
+
+	var wg sync.WaitGroup
+	tris := make([]*sparse.Tri, size)
+	errs := make([]error, size)
+	nodes := []*mpinet.Node{host, survivor, revived}
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *mpinet.Node) {
+			defer wg.Done()
+			tris[i], errs[i] = SynthesizeDistributed(context.Background(), n, paths, 0, 48, Config{Workers: 1})
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", nodes[i].Rank(), err)
+		}
+	}
+	if tris[0] == nil || !tris[0].Equal(serial) {
+		t.Fatal("network after rejoin differs from healthy reference")
+	}
+}

@@ -293,7 +293,9 @@ func TestFlakyConnTornFrame(t *testing.T) {
 	victimOpts.DisableHeartbeat = true // all written bytes budget to the torn frame
 	var flaky *faultinject.FlakyConn
 	victimOpts.WrapConn = func(c net.Conn) net.Conn {
-		flaky = faultinject.NewFlakyConn(c, faultinject.ConnFaults{CutAfterWriteBytes: 6})
+		// The 16-byte join hello goes through intact; the cut lands 6
+		// bytes into the first collective frame.
+		flaky = faultinject.NewFlakyConn(c, faultinject.ConnFaults{CutAfterWriteBytes: helloSize + 6})
 		return flaky
 	}
 	victim, err := Join(host.Addr(), victimOpts)

@@ -32,7 +32,29 @@
 // Liveness is coordinator-driven: clients heartbeat the coordinator so
 // silent deaths are detected even mid-computation, and the coordinator
 // heartbeats blocked clients so a rank waiting in a collective can
-// distinguish "peers are slow" from "coordinator is gone".
+// distinguish "peers are slow" from "coordinator is gone". An optional
+// per-collective deadline (Options.RoundTimeout) additionally bounds the
+// skew between the first and last rank entering a round: laggards past
+// the deadline are declared failed, so a wedged rank cannot stall the
+// cluster forever even while its heartbeats keep flowing.
+//
+// # Rank discovery and rejoin
+//
+// The coordinator keeps accepting connections for its whole lifetime,
+// and every joiner presents a claim: a (rank, token) pair. A fresh
+// cluster member claims rank -1 (assigned the next free slot) or pins a
+// specific slot; either way the slot records the presented token as its
+// identity. A later Join claiming a DEAD slot with the matching token
+// reclaims it — a supervised restart of a crashed rank process rejoins
+// the running cluster instead of being rejected. The revival aborts the
+// round in progress exactly like a death does, except survivors receive
+// a typed *mpi.RankRevivedError naming the returning rank, so
+// failure-tolerant callers can put it back into the work distribution.
+// The rejoiner's handshake reply carries the coordinator's current round
+// sequence and the set of currently-dead ranks, so the revived process
+// is round-aligned and membership-aligned from its first collective
+// (exposed via Node.InitialDead / mpi.DeadRankser). A claim with a stale
+// or wrong token is rejected with ErrClaimRejected.
 //
 // # Wire format
 //
@@ -40,11 +62,13 @@
 //
 //	frameLen u32 | op u8 | seq u32 | nblobs u32 | { blobLen u32 | blob }*
 //
-// with all integers little-endian. The handshake after connect is
+// with all integers little-endian. The join handshake is client-first:
 //
-//	magic "CSIM" | rank u32 | size u32
+//	client → coordinator: magic "CSIM" | claim i32 | token u64
+//	coordinator → client: magic "CSIM" | rank u32 | size u32 | seq u32 |
+//	                      ndead u32 | { deadRank u32 }*
 //
-// from coordinator to client.
+// A rejected claim is answered with magic "CNO!" in the reply header.
 package mpinet
 
 import (
@@ -66,15 +90,33 @@ import (
 
 // Telemetry series for the network transport: one round per collective
 // (Barrier/Exchange/Gather each consume exactly one), payload bytes as
-// sent, failures as observed by the coordinator's detector.
+// sent, failures as observed by the coordinator's detector, rejoins as
+// accepted by the claim validator.
 var (
 	mRounds       = telemetry.C("mpinet_rounds_total")
 	mBytesSent    = telemetry.C("mpinet_bytes_sent_total")
 	mRankFailures = telemetry.C("mpinet_rank_failures_total")
+	mRankRejoins  = telemetry.C("mpinet_rank_rejoins_total")
 	mRoundSeconds = telemetry.H("mpinet_round_seconds")
 )
 
-const handshakeMagic = "CSIM"
+const (
+	handshakeMagic = "CSIM"
+	rejectMagic    = "CNO!"
+)
+
+// helloSize is the client hello: magic, claim i32, token u64.
+const helloSize = 4 + 4 + 8
+
+// replyHdrSize is the coordinator reply header: magic, rank, size, seq,
+// ndead. A dead-rank list of ndead u32s follows.
+const replyHdrSize = 4 + 4 + 4 + 4 + 4
+
+// ErrClaimRejected is returned by Join when the coordinator refuses the
+// presented rank claim (wrong token, slot already owned by a live peer
+// with a different identity, or no free slot for an anonymous join).
+// The rejection is permanent: retrying the same claim cannot succeed.
+var ErrClaimRejected = errors.New("mpinet: join claim rejected")
 
 // Collective opcodes.
 const (
@@ -83,6 +125,7 @@ const (
 	opGather
 	opHeartbeat // liveness signal; never part of a round
 	opError     // round abort: blobs[0] = failed rank (int32 LE)
+	opRevive    // round abort: blobs[0] = rejoined rank (int32 LE)
 )
 
 func opName(op byte) string {
@@ -111,7 +154,8 @@ const frameHdrSize = 1 + 4 + 4
 type Options struct {
 	// DialTimeout is Join's total retry budget when the coordinator is
 	// not yet listening (exponential backoff with jitter underneath) and
-	// the coordinator's window for accepting all joins. Default 15s.
+	// the coordinator's window for accepting the initial joins. Default
+	// 15s.
 	DialTimeout time.Duration
 	// IOTimeout is the per-frame write deadline and the handshake read
 	// deadline. Default 30s.
@@ -122,9 +166,27 @@ type Options struct {
 	// HeartbeatTimeout is how long a peer may stay silent before being
 	// declared dead. Default 5s.
 	HeartbeatTimeout time.Duration
+	// RoundTimeout, when positive, is the coordinator's per-collective
+	// deadline: once the first contribution of a round arrives, the
+	// remaining live ranks (other than rank 0, which hosts the clock)
+	// must contribute within this window or the lowest-numbered laggard
+	// is declared failed. It bounds the compute skew the cluster
+	// tolerates between ranks, so set it well above the slowest rank's
+	// longest inter-collective stretch — including any supervised
+	// restart it may be recovering through. Zero disables (default).
+	RoundTimeout time.Duration
 	// DisableHeartbeat turns the failure detector off entirely; dead
 	// ranks are then only detected by connection errors.
 	DisableHeartbeat bool
+	// ClaimRank, when positive, pins the rank this Join claims instead
+	// of accepting coordinator assignment — a supervisor restarting a
+	// crashed rank process claims the dead slot back. Zero joins
+	// anonymously. Join only.
+	ClaimRank int
+	// ClaimToken is the identity presented with the claim. The slot
+	// records the token of its first claimant; reclaiming a dead slot
+	// requires the matching token. Join only.
+	ClaimToken uint64
 	// WrapConn, when non-nil, wraps the dialed connection before use —
 	// a fault-injection hook for chaos tests (see
 	// faultinject.NewFlakyConn). Join only.
@@ -210,6 +272,11 @@ func readFrame(r *bufio.Reader) (frame, error) {
 		return frame{}, err
 	}
 	f := frame{op: body[0], seq: le.Uint32(body[1:5])}
+	if f.op == 0 || f.op > opRevive {
+		// On-the-wire corruption: reject the frame so the connection is
+		// declared dead instead of a bogus opcode entering a round.
+		return frame{}, fmt.Errorf("mpinet: bad opcode %d", f.op)
+	}
 	n := le.Uint32(body[5:9])
 	off := uint32(frameHdrSize)
 	for i := uint32(0); i < n; i++ {
@@ -227,15 +294,16 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	return f, nil
 }
 
-// errorFrame builds the round-abort broadcast for a failed rank.
-func errorFrame(seq uint32, failed int) frame {
+// rankFrame builds a round-abort broadcast (opError or opRevive)
+// carrying one rank identity.
+func rankFrame(op byte, seq uint32, rank int) frame {
 	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(int32(failed)))
-	return frame{op: opError, seq: seq, blobs: [][]byte{b[:]}}
+	binary.LittleEndian.PutUint32(b[:], uint32(int32(rank)))
+	return frame{op: op, seq: seq, blobs: [][]byte{b[:]}}
 }
 
-// failedRank decodes an opError frame.
-func failedRank(f frame) int {
+// frameRank decodes the rank identity of an opError/opRevive frame.
+func frameRank(f frame) int {
 	if len(f.blobs) < 1 || len(f.blobs[0]) < 4 {
 		return -1
 	}
@@ -243,11 +311,22 @@ func failedRank(f frame) int {
 }
 
 // contribution is one rank's collective input arriving at the
-// coordinator.
+// coordinator. p identifies the connection incarnation it came from, so
+// a stale error from a superseded connection cannot kill a revived
+// rank's fresh one (nil for rank 0's local contributions).
 type contribution struct {
 	rank int
 	f    frame
 	err  error
+	p    *peer
+}
+
+// joinReq is one validated client hello awaiting the run loop's
+// membership decision.
+type joinReq struct {
+	conn  net.Conn
+	claim int
+	token uint64
 }
 
 // peer is the coordinator's per-client connection state.
@@ -276,12 +355,13 @@ type Node struct {
 	seq        uint32 // next collective round number
 
 	// Client side (rank > 0).
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	wmu    sync.Mutex // serializes collective and heartbeat writes
-	hbStop chan struct{}
-	hbOnce sync.Once
+	conn        net.Conn
+	br          *bufio.Reader
+	bw          *bufio.Writer
+	wmu         sync.Mutex // serializes collective and heartbeat writes
+	hbStop      chan struct{}
+	hbOnce      sync.Once
+	initialDead []int
 
 	// Coordinator side (rank 0).
 	coord *coordinator
@@ -289,12 +369,20 @@ type Node struct {
 
 type coordinator struct {
 	ln   net.Listener
+	size int
 	opts Options
 
 	mu    sync.Mutex // guards peers slots for the failure detector
 	peers []*peer    // index 0 unused
 
+	// Membership bookkeeping, owned by the run loop.
+	claimed    []bool   // slot has recorded an identity
+	tokens     []uint64 // identity recorded at first claim
+	firstJoins int      // slots filled at least once
+	joinsDone  atomic.Bool
+
 	contribs  chan contribution
+	joins     chan *joinReq
 	replies   []chan frame // only [0] is used: rank 0's local delivery
 	done      chan struct{}
 	closeOnce sync.Once
@@ -302,6 +390,7 @@ type coordinator struct {
 }
 
 var errHeartbeatExpired = errors.New("mpinet: heartbeat timeout")
+var errRoundExpired = errors.New("mpinet: collective round deadline exceeded")
 
 // stop records err (best effort), signals shutdown and releases the
 // sockets. Safe to call from any goroutine, any number of times.
@@ -318,26 +407,30 @@ func (c *coordinator) stop(err error) {
 
 // Host listens on addr, waits for size-1 ranks to join, and returns the
 // rank-0 Node. Size must be at least 1; with size 1 the transport is
-// fully local.
+// fully local. The coordinator keeps accepting connections after the
+// initial join phase so restarted ranks can reclaim their slots (see
+// the package comment on rejoin).
 func Host(addr string, size int, opts ...Options) (*Node, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpinet: size must be ≥ 1, got %d", size)
 	}
 	o := withDefaults(opts)
 	c := &coordinator{
+		size:     size,
 		opts:     o,
 		contribs: make(chan contribution, 2*size+2),
+		joins:    make(chan *joinReq, size),
 		replies:  make([]chan frame, size),
 		done:     make(chan struct{}),
 		errs:     make(chan error, size),
 	}
-	// replies[0] must absorb one abort broadcast per possible rank death
-	// without blocking the round loop, even if rank 0 is between
-	// collectives at the time.
-	c.replies[0] = make(chan frame, size+1)
+	// replies[0] must absorb one abort broadcast per possible membership
+	// event without blocking the round loop, even if rank 0 is between
+	// collectives at the time (deaths and revivals both broadcast).
+	c.replies[0] = make(chan frame, 2*size+2)
 	node := &Node{rank: 0, size: size, opts: o, coord: c}
 	if size == 1 {
-		go c.run(size)
+		go c.run()
 		return node, nil
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -346,55 +439,90 @@ func Host(addr string, size int, opts ...Options) (*Node, error) {
 	}
 	c.ln = ln
 	c.peers = make([]*peer, size)
-	// Accept joins in the background so callers can publish Addr()
-	// before the other ranks dial in; the first collective blocks until
-	// everyone has joined, because the round needs all contributions.
-	go func() {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(time.Now().Add(o.DialTimeout))
-		}
-		for r := 1; r < size; r++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				c.stop(fmt.Errorf("mpinet: accepting rank %d/%d: %w", r, size-1, err))
-				return
-			}
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
-			// Handshake: assign the next rank.
-			var hs [12]byte
-			copy(hs[:4], handshakeMagic)
-			binary.LittleEndian.PutUint32(hs[4:], uint32(r))
-			binary.LittleEndian.PutUint32(hs[8:], uint32(size))
-			conn.SetWriteDeadline(time.Now().Add(o.IOTimeout))
-			if _, err := conn.Write(hs[:]); err != nil {
-				c.stop(err)
-				return
-			}
-			conn.SetWriteDeadline(time.Time{})
-			p := &peer{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
-			p.lastSeen.Store(time.Now().UnixNano())
-			c.mu.Lock()
-			c.peers[r] = p
-			c.mu.Unlock()
-			go c.readLoop(r, p)
-		}
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(time.Time{})
-		}
-		c.run(size)
-	}()
+	c.claimed = make([]bool, size)
+	c.tokens = make([]uint64, size)
+	// The initial join phase runs under the dial deadline; once every
+	// slot has joined at least once the run loop clears it and the
+	// listener stays open for rejoins.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(o.DialTimeout))
+	}
+	go c.acceptLoop()
+	go c.run()
 	if !o.DisableHeartbeat {
 		go c.heartbeatLoop()
 	}
 	return node, nil
 }
 
+// acceptLoop admits connections for the coordinator's whole lifetime.
+// An accept error during the initial join phase is fatal (some rank
+// never arrived before the join deadline); afterwards it only disables
+// rejoins.
+func (c *coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			if !c.joinsDone.Load() {
+				c.stop(fmt.Errorf("mpinet: accepting joins: %w", err))
+			}
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		go c.handleHello(conn)
+	}
+}
+
+// handleHello reads one client hello off its own goroutine (so a stalled
+// joiner cannot head-of-line block other joins) and posts the claim to
+// the run loop, which owns membership.
+func (c *coordinator) handleHello(conn net.Conn) {
+	var hello [helloSize]byte
+	conn.SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if string(hello[:4]) != handshakeMagic {
+		conn.Close()
+		return
+	}
+	le := binary.LittleEndian
+	jr := &joinReq{
+		conn:  conn,
+		claim: int(int32(le.Uint32(hello[4:]))),
+		token: le.Uint64(hello[8:]),
+	}
+	select {
+	case c.joins <- jr:
+	case <-c.done:
+		conn.Close()
+	}
+}
+
+// reject answers a refused claim and closes the connection.
+func (c *coordinator) reject(conn net.Conn) {
+	var b [replyHdrSize]byte
+	copy(b[:4], rejectMagic)
+	conn.SetWriteDeadline(time.Now().Add(c.opts.IOTimeout))
+	conn.Write(b[:])
+	conn.Close()
+}
+
 // Join dials the coordinator at addr and returns this process's Node.
-// The coordinator assigns the rank. Dialing retries with exponential
-// backoff plus jitter until Options.DialTimeout elapses, so ranks can be
-// launched in any order without a thundering-herd of reconnects.
+// The rank is the claimed one (Options.ClaimRank) or assigned by the
+// coordinator. Dialing retries with exponential backoff plus jitter
+// until Options.DialTimeout elapses, so ranks can be launched in any
+// order without a thundering-herd of reconnects. A refused claim
+// returns an error wrapping ErrClaimRejected and is not retried.
 func Join(addr string, opts ...Options) (*Node, error) {
 	o := withDefaults(opts)
 	var conn net.Conn
@@ -432,27 +560,74 @@ func Join(addr string, opts ...Options) (*Node, error) {
 	if o.WrapConn != nil {
 		conn = o.WrapConn(conn)
 	}
-	var hs [12]byte
-	conn.SetReadDeadline(time.Now().Add(o.IOTimeout))
-	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+	le := binary.LittleEndian
+
+	// Client hello: present the claim.
+	claim := o.ClaimRank
+	if claim <= 0 {
+		claim = -1
+	}
+	var hello [helloSize]byte
+	copy(hello[:4], handshakeMagic)
+	le.PutUint32(hello[4:], uint32(int32(claim)))
+	le.PutUint64(hello[8:], o.ClaimToken)
+	conn.SetWriteDeadline(time.Now().Add(o.IOTimeout))
+	if _, err := conn.Write(hello[:]); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("mpinet: handshake: %w", err)
 	}
-	conn.SetReadDeadline(time.Time{})
-	if string(hs[:4]) != handshakeMagic {
+	conn.SetWriteDeadline(time.Time{})
+
+	// Coordinator reply: assigned rank, cluster geometry, round
+	// alignment, and the current dead set.
+	var hdr [replyHdrSize]byte
+	conn.SetReadDeadline(time.Now().Add(o.IOTimeout))
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("mpinet: bad handshake magic %q", hs[:4])
+		return nil, fmt.Errorf("mpinet: handshake: %w", err)
 	}
-	rank := int(binary.LittleEndian.Uint32(hs[4:]))
-	size := int(binary.LittleEndian.Uint32(hs[8:]))
+	switch string(hdr[:4]) {
+	case handshakeMagic:
+	case rejectMagic:
+		conn.Close()
+		if o.ClaimRank > 0 {
+			return nil, fmt.Errorf("mpinet: claiming rank %d: %w", o.ClaimRank, ErrClaimRejected)
+		}
+		return nil, fmt.Errorf("mpinet: joining %s: %w", addr, ErrClaimRejected)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("mpinet: bad handshake magic %q", hdr[:4])
+	}
+	rank := int(le.Uint32(hdr[4:]))
+	size := int(le.Uint32(hdr[8:]))
+	seq := le.Uint32(hdr[12:])
+	ndead := int(le.Uint32(hdr[16:]))
+	if ndead < 0 || ndead > size {
+		conn.Close()
+		return nil, fmt.Errorf("mpinet: handshake reports %d dead ranks of %d", ndead, size)
+	}
+	var initialDead []int
+	if ndead > 0 {
+		buf := make([]byte, 4*ndead)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("mpinet: handshake dead set: %w", err)
+		}
+		for i := 0; i < ndead; i++ {
+			initialDead = append(initialDead, int(le.Uint32(buf[4*i:])))
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
 	n := &Node{
-		rank:   rank,
-		size:   size,
-		opts:   o,
-		conn:   conn,
-		br:     bufio.NewReaderSize(conn, 1<<16),
-		bw:     bufio.NewWriterSize(conn, 1<<16),
-		hbStop: make(chan struct{}),
+		rank:        rank,
+		size:        size,
+		opts:        o,
+		seq:         seq,
+		conn:        conn,
+		br:          bufio.NewReaderSize(conn, 1<<16),
+		bw:          bufio.NewWriterSize(conn, 1<<16),
+		hbStop:      make(chan struct{}),
+		initialDead: initialDead,
 	}
 	if !o.DisableHeartbeat {
 		go n.heartbeatLoop()
@@ -506,7 +681,7 @@ func (c *coordinator) heartbeatLoop() {
 			if now.Sub(time.Unix(0, p.lastSeen.Load())) > c.opts.HeartbeatTimeout {
 				p.dead.Store(true)
 				select {
-				case c.contribs <- contribution{rank: r, err: errHeartbeatExpired}:
+				case c.contribs <- contribution{rank: r, err: errHeartbeatExpired, p: p}:
 				case <-c.done:
 					return
 				}
@@ -526,7 +701,7 @@ func (c *coordinator) readLoop(rank int, p *peer) {
 		f, err := readFrame(br)
 		if err != nil {
 			select {
-			case c.contribs <- contribution{rank: rank, err: err}:
+			case c.contribs <- contribution{rank: rank, err: err, p: p}:
 			case <-c.done:
 			}
 			return
@@ -536,22 +711,31 @@ func (c *coordinator) readLoop(rank int, p *peer) {
 			continue
 		}
 		select {
-		case c.contribs <- contribution{rank: rank, f: f}:
+		case c.contribs <- contribution{rank: rank, f: f, p: p}:
 		case <-c.done:
 			return
 		}
 	}
 }
 
-// markDead flags a rank's peer and closes its socket (waking its
-// readLoop and failing any in-flight write).
-func (c *coordinator) markDead(rank int) {
+// currentPeer returns the installed connection for a rank.
+func (c *coordinator) currentPeer(rank int) *peer {
 	if rank <= 0 || c.peers == nil {
-		return
+		return nil
 	}
 	c.mu.Lock()
-	p := c.peers[rank]
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	return c.peers[rank]
+}
+
+// markDead flags a rank's peer and closes its socket (waking its
+// readLoop and failing any in-flight write). When p is non-nil only
+// that incarnation is touched, so a death reported against a superseded
+// connection cannot take down a revived rank's fresh one.
+func (c *coordinator) markDead(rank int, p *peer) {
+	if p == nil {
+		p = c.currentPeer(rank)
+	}
 	if p != nil {
 		if !p.dead.Swap(true) {
 			mRankFailures.Inc()
@@ -560,54 +744,176 @@ func (c *coordinator) markDead(rank int) {
 	}
 }
 
-// broadcastAbort tells every live rank that `failed` died during round
-// seq. Ranks whose notification cannot be delivered are themselves
-// marked dead and returned for follow-up aborts.
-func (c *coordinator) broadcastAbort(alive []bool, seq uint32, failed int) (more []int) {
-	ef := errorFrame(seq, failed)
+// broadcast delivers a round-abort frame to every live rank. Ranks
+// whose notification cannot be delivered are themselves marked dead and
+// returned for follow-up aborts.
+func (c *coordinator) broadcast(alive []bool, f frame) (more []int) {
 	for r := range alive {
 		if !alive[r] {
 			continue
 		}
 		if r == 0 {
 			select {
-			case c.replies[0] <- ef:
+			case c.replies[0] <- f:
 			case <-c.done:
 			}
 			continue
 		}
-		c.mu.Lock()
-		p := c.peers[r]
-		c.mu.Unlock()
+		p := c.currentPeer(r)
 		if p == nil {
 			continue
 		}
-		if err := p.send(ef, c.opts.IOTimeout); err != nil {
+		if err := p.send(f, c.opts.IOTimeout); err != nil {
 			alive[r] = false
-			c.markDead(r)
+			c.markDead(r, p)
 			more = append(more, r)
 		}
 	}
 	return more
 }
 
+// joinClass is the run loop's membership decision for one claim.
+type joinClass int
+
+const (
+	joinReject    joinClass = iota // refused; connection already answered
+	joinFresh                      // new member, no round abort needed
+	joinRevive                     // dead slot reclaimed: abort + opRevive
+	joinSupersede                  // live slot reclaimed: death + revival
+)
+
+// classify decides what a claim means given the current membership.
+// Anonymous claims (claim < 0) get the lowest never-claimed slot.
+// Explicit claims record their token on first use and must match it
+// afterwards. Only the run loop calls this.
+func (c *coordinator) classify(jr *joinReq, alive []bool) joinClass {
+	if jr.claim < 0 {
+		for r := 1; r < c.size; r++ {
+			if !c.claimed[r] {
+				jr.claim = r
+				c.claimed[r] = true
+				c.tokens[r] = jr.token
+				if alive[r] {
+					return joinFresh
+				}
+				return joinRevive // declared dead before ever joining
+			}
+		}
+		c.reject(jr.conn)
+		return joinReject
+	}
+	if jr.claim == 0 || jr.claim >= c.size {
+		c.reject(jr.conn)
+		return joinReject
+	}
+	r := jr.claim
+	if !c.claimed[r] {
+		c.claimed[r] = true
+		c.tokens[r] = jr.token
+		if alive[r] {
+			return joinFresh
+		}
+		return joinRevive
+	}
+	if c.tokens[r] != jr.token {
+		c.reject(jr.conn)
+		return joinReject
+	}
+	if !alive[r] {
+		return joinRevive
+	}
+	if c.currentPeer(r) == nil {
+		return joinFresh // claimed but never installed; cannot happen today
+	}
+	// The slot's owner reconnected while its old connection still looks
+	// alive (e.g. half-open after a silent kill): the old incarnation is
+	// implicitly dead.
+	return joinSupersede
+}
+
+// install publishes a joined connection as rank jr.claim: it sends the
+// handshake reply (rank, size, current seq, dead set), registers the
+// peer, and starts its read loop. It returns false if the handshake
+// could not be delivered, in which case the connection is abandoned and
+// the slot keeps its previous state.
+func (c *coordinator) install(jr *joinReq, seq uint32, alive []bool) bool {
+	r := jr.claim
+	le := binary.LittleEndian
+	var deadSet []int
+	for i := range alive {
+		if !alive[i] && i != r {
+			deadSet = append(deadSet, i)
+		}
+	}
+	buf := make([]byte, replyHdrSize+4*len(deadSet))
+	copy(buf[:4], handshakeMagic)
+	le.PutUint32(buf[4:], uint32(r))
+	le.PutUint32(buf[8:], uint32(c.size))
+	le.PutUint32(buf[12:], seq)
+	le.PutUint32(buf[16:], uint32(len(deadSet)))
+	for i, d := range deadSet {
+		le.PutUint32(buf[replyHdrSize+4*i:], uint32(d))
+	}
+	jr.conn.SetWriteDeadline(time.Now().Add(c.opts.IOTimeout))
+	if _, err := jr.conn.Write(buf); err != nil {
+		jr.conn.Close()
+		return false
+	}
+	jr.conn.SetWriteDeadline(time.Time{})
+	p := &peer{conn: jr.conn, bw: bufio.NewWriterSize(jr.conn, 1<<16)}
+	p.lastSeen.Store(time.Now().UnixNano())
+	c.mu.Lock()
+	first := c.peers[r] == nil
+	c.peers[r] = p
+	c.mu.Unlock()
+	if first {
+		c.firstJoins++
+		if c.firstJoins == c.size-1 {
+			// Initial join phase complete: lift the join deadline and
+			// keep listening for rejoins.
+			c.joinsDone.Store(true)
+			if tl, ok := c.ln.(*net.TCPListener); ok {
+				tl.SetDeadline(time.Time{})
+			}
+		}
+	}
+	go c.readLoop(r, p)
+	return true
+}
+
 // run processes collective rounds until teardown. Round protocol: one
 // contribution per live rank, all carrying the current sequence number;
-// any death aborts the round (survivors get an opError frame) and bumps
-// the sequence so stale retransmissions are discarded.
-func (c *coordinator) run(size int) {
+// any membership change aborts the round — survivors get an opError
+// (death) or opRevive (rejoin) frame — and bumps the sequence so stale
+// retransmissions are discarded.
+func (c *coordinator) run() {
+	size := c.size
 	alive := make([]bool, size)
 	for i := range alive {
 		alive[i] = true
 	}
 	var seq uint32
 	var pendingDead []int
+	var pendingRevive []*joinReq
 	for {
 		if len(pendingDead) > 0 {
 			f := pendingDead[0]
 			pendingDead = append(pendingDead[:0], pendingDead[1:]...)
-			pendingDead = append(pendingDead, c.broadcastAbort(alive, seq, f)...)
+			pendingDead = append(pendingDead, c.broadcast(alive, rankFrame(opError, seq, f))...)
 			seq++
+			continue
+		}
+		if len(pendingRevive) > 0 {
+			jr := pendingRevive[0]
+			pendingRevive = pendingRevive[1:]
+			// Announce the revival (aborting the round in progress), then
+			// install the rejoiner aligned to the post-abort sequence.
+			pendingDead = append(pendingDead, c.broadcast(alive, rankFrame(opRevive, seq, jr.claim))...)
+			seq++
+			if c.install(jr, seq, alive) {
+				alive[jr.claim] = true
+				mRankRejoins.Inc()
+			}
 			continue
 		}
 		need := 0
@@ -620,39 +926,97 @@ func (c *coordinator) run(size int) {
 		round := make([]frame, size)
 		have := make([]bool, size)
 		failed := -1
+		var revive *joinReq
+		var roundTimer *time.Timer
+		var timerC <-chan time.Time
+	collect:
 		for got := 0; got < need; {
-			var ct contribution
 			select {
-			case ct = <-c.contribs:
-			case <-c.done:
-				return
-			}
-			if ct.rank < 0 || ct.rank >= size || !alive[ct.rank] {
-				continue // late traffic from an already-dead rank
-			}
-			if ct.err != nil {
-				alive[ct.rank] = false
-				c.markDead(ct.rank)
-				failed = ct.rank
-				break
-			}
-			if ct.f.seq != seq {
-				if ct.f.seq < seq {
-					continue // stale contribution from an aborted round
+			case ct := <-c.contribs:
+				if ct.rank < 0 || ct.rank >= size || !alive[ct.rank] {
+					continue // late traffic from an already-dead rank
 				}
-				c.stop(fmt.Errorf("mpinet: rank %d ahead of round (seq %d, coordinator at %d)", ct.rank, ct.f.seq, seq))
+				if ct.err != nil {
+					if ct.p != nil && c.currentPeer(ct.rank) != ct.p {
+						continue // stale incarnation; the slot was reclaimed
+					}
+					alive[ct.rank] = false
+					c.markDead(ct.rank, ct.p)
+					failed = ct.rank
+					break collect
+				}
+				if ct.f.seq != seq {
+					if ct.f.seq < seq {
+						continue // stale contribution from an aborted round
+					}
+					c.stop(fmt.Errorf("mpinet: rank %d ahead of round (seq %d, coordinator at %d)", ct.rank, ct.f.seq, seq))
+					return
+				}
+				if have[ct.rank] {
+					c.stop(fmt.Errorf("mpinet: rank %d contributed twice to round %d", ct.rank, seq))
+					return
+				}
+				round[ct.rank] = ct.f
+				have[ct.rank] = true
+				got++
+				if got == 1 && c.opts.RoundTimeout > 0 {
+					roundTimer = time.NewTimer(c.opts.RoundTimeout)
+					timerC = roundTimer.C
+				}
+			case jr := <-c.joins:
+				switch c.classify(jr, alive) {
+				case joinFresh:
+					c.install(jr, seq, alive)
+					// No abort: the slot was already counted alive, the
+					// round simply waits for its first contribution.
+				case joinRevive:
+					revive = jr
+					break collect
+				case joinSupersede:
+					old := c.currentPeer(jr.claim)
+					alive[jr.claim] = false
+					c.markDead(jr.claim, old)
+					failed = jr.claim
+					revive = jr
+					break collect
+				case joinReject:
+					// Answered and closed by classify.
+				}
+			case <-timerC:
+				// Per-collective deadline: the slowest live rank (rank 0
+				// hosts the clock and is exempt) is declared failed.
+				lag := -1
+				for r := 1; r < size; r++ {
+					if alive[r] && !have[r] {
+						lag = r
+						break
+					}
+				}
+				if lag < 0 {
+					roundTimer.Reset(c.opts.RoundTimeout)
+					continue
+				}
+				alive[lag] = false
+				c.markDead(lag, c.currentPeer(lag))
+				failed = lag
+				break collect
+			case <-c.done:
+				if roundTimer != nil {
+					roundTimer.Stop()
+				}
 				return
 			}
-			if have[ct.rank] {
-				c.stop(fmt.Errorf("mpinet: rank %d contributed twice to round %d", ct.rank, seq))
-				return
-			}
-			round[ct.rank] = ct.f
-			have[ct.rank] = true
-			got++
+		}
+		if roundTimer != nil {
+			roundTimer.Stop()
 		}
 		if failed >= 0 {
 			pendingDead = append(pendingDead, failed)
+		}
+		if revive != nil {
+			pendingRevive = append(pendingRevive, revive)
+		}
+		if failed >= 0 || revive != nil {
 			continue
 		}
 		// All live ranks must be in the same collective.
@@ -718,15 +1082,13 @@ func (c *coordinator) run(size int) {
 				}
 				continue
 			}
-			c.mu.Lock()
-			p := c.peers[r]
-			c.mu.Unlock()
+			p := c.currentPeer(r)
 			if p == nil {
 				continue
 			}
 			if err := p.send(out[r], c.opts.IOTimeout); err != nil {
 				alive[r] = false
-				c.markDead(r)
+				c.markDead(r, p)
 				pendingDead = append(pendingDead, r)
 			}
 		}
@@ -753,6 +1115,14 @@ func (n *Node) Rank() int { return n.rank }
 // Size returns the number of participating ranks.
 func (n *Node) Size() int { return n.size }
 
+// InitialDead returns the ranks that were already declared dead when
+// this node joined (empty for an initial join). It implements
+// mpi.DeadRankser so failure-tolerant callers can seed their survivor
+// set consistently with the incumbents after a rejoin.
+func (n *Node) InitialDead() []int {
+	return append([]int(nil), n.initialDead...)
+}
+
 // failErr wraps a transport-level failure where no specific rank can be
 // blamed (from this node's point of view the coordinator is gone).
 func failErr(op string, err error) error {
@@ -769,7 +1139,8 @@ func ctxErr(op string, err error) error {
 
 // roundTrip submits f for the next round and waits for the reply.
 // Heartbeat frames are skipped; an opError reply is surfaced as a
-// *mpi.RankFailedError naming the dead rank.
+// *mpi.RankFailedError naming the dead rank, an opRevive reply as a
+// *mpi.RankRevivedError naming the returning one.
 //
 // Cancellation joins the existing failure machinery: on the coordinator
 // rank the reply wait selects on ctx.Done alongside the shutdown
@@ -805,8 +1176,11 @@ func (n *Node) roundTrip(ctx context.Context, f frame) (frame, error) {
 		}
 		select {
 		case rep := <-n.coord.replies[0]:
-			if rep.op == opError {
-				return frame{}, &mpi.RankFailedError{Rank: failedRank(rep), Op: op}
+			switch rep.op {
+			case opError:
+				return frame{}, &mpi.RankFailedError{Rank: frameRank(rep), Op: op}
+			case opRevive:
+				return frame{}, &mpi.RankRevivedError{Rank: frameRank(rep), Op: op}
 			}
 			return rep, nil
 		case <-ctx.Done():
@@ -854,7 +1228,10 @@ func (n *Node) roundTrip(ctx context.Context, f frame) (frame, error) {
 			continue
 		case opError:
 			n.conn.SetReadDeadline(time.Time{})
-			return frame{}, &mpi.RankFailedError{Rank: failedRank(rep), Op: op}
+			return frame{}, &mpi.RankFailedError{Rank: frameRank(rep), Op: op}
+		case opRevive:
+			n.conn.SetReadDeadline(time.Time{})
+			return frame{}, &mpi.RankRevivedError{Rank: frameRank(rep), Op: op}
 		default:
 			n.conn.SetReadDeadline(time.Time{})
 			return rep, nil

@@ -308,6 +308,59 @@ func (s *Server) Close() error {
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// HardenedHandler returns Handler wrapped with the process-level
+// robustness middleware from WithBackpressure, using the server's
+// request timeout and a 1-second Retry-After hint. The daemon
+// (cmd/netserve) mounts this one.
+func (s *Server) HardenedHandler() http.Handler {
+	return WithBackpressure(s.mux, s.opts.RequestTimeout, time.Second)
+}
+
+// WithBackpressure wraps h with two robustness layers:
+//
+//   - an http.TimeoutHandler backstop slightly above timeout, so a
+//     handler that wedges without honoring its context still produces
+//     a 503 instead of holding the connection forever (the context
+//     deadline inside Server.serve remains the first line of defense
+//     and wins on well-behaved paths);
+//   - a Retry-After header injected into every 503 response — both
+//     the semaphore's "server saturated" rejection and the timeout
+//     backstop — so clients back off instead of hammering a saturated
+//     service.
+//
+// The Retry-After layer sits outside the timeout layer so it sees the
+// backstop's 503s too. Zero timeout disables the backstop; zero
+// retryAfter disables the header.
+func WithBackpressure(h http.Handler, timeout, retryAfter time.Duration) http.Handler {
+	if timeout > 0 {
+		h = http.TimeoutHandler(h, timeout+250*time.Millisecond, `{"error":"request timed out"}`)
+	}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		val := strconv.FormatInt(secs, 10)
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(&retryAfterWriter{ResponseWriter: w, seconds: val}, r)
+		})
+	}
+	return h
+}
+
+// retryAfterWriter injects a Retry-After header the moment a 503
+// status is committed — headers cannot be added after WriteHeader, so
+// this is the only point where the hint can ride along.
+type retryAfterWriter struct {
+	http.ResponseWriter
+	seconds string
+}
+
+func (w *retryAfterWriter) WriteHeader(code int) {
+	if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", w.seconds)
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
 // ---------------------------------------------------------------------------
 // Routing
 

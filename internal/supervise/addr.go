@@ -1,0 +1,66 @@
+package supervise
+
+// Coordinator address discovery for multi-process runs. Rank 0 binds
+// its listener (possibly on ":0") before the worker ranks exist, so the
+// launcher cannot pass the final address on the command line. Instead
+// rank 0 publishes it to a file and workers join "@file": poll until
+// the file appears, then dial what it names.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// WriteAddrFile atomically publishes addr at path (write to a temp file
+// in the same directory, then rename), so a polling reader never sees a
+// torn address.
+func WriteAddrFile(path, addr string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".addr-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(addr + "\n"); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ResolveAddr resolves a join target: a plain "host:port" passes
+// through unchanged; "@path" polls the file at path (written by
+// WriteAddrFile) until it appears or timeout elapses. The polling
+// covers the window where rank 0 has been spawned but has not bound its
+// listener yet — and, after a gang restart, where the stale file was
+// removed and the new coordinator has not published yet.
+func ResolveAddr(spec string, timeout time.Duration) (string, error) {
+	if !strings.HasPrefix(spec, "@") {
+		return spec, nil
+	}
+	path := spec[1:]
+	deadline := time.Now().Add(timeout)
+	for {
+		b, err := os.ReadFile(path)
+		if err == nil {
+			addr := strings.TrimSpace(string(b))
+			if addr != "" {
+				return addr, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("supervise: no coordinator address at %s within %v", path, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -75,6 +75,40 @@ func BusyImbalance(ranks []RankReport) float64 {
 	return float64(max) / mean
 }
 
+// SupervisionRank is one supervised rank process's lifecycle roll-up.
+type SupervisionRank struct {
+	Rank int `json:"rank"`
+	// Restarts is how many times the supervisor relaunched this rank.
+	Restarts int `json:"restarts"`
+	// Degraded marks a rank whose restart budget ran out; the run
+	// continued without it (the synthesis re-striped its files).
+	Degraded bool `json:"degraded,omitempty"`
+	// PeakRSSKiB is the maximum resident set size across the rank's
+	// incarnations, in KiB.
+	PeakRSSKiB int64 `json:"peak_rss_kib,omitempty"`
+	// ExitCode is the final incarnation's exit code.
+	ExitCode int `json:"exit_code"`
+}
+
+// SupervisionReport summarizes what a supervisor (cmd/netlaunch) did to
+// keep a multi-process run alive: restarts, gang relaunches, storms,
+// and which ranks the run ultimately gave up on.
+type SupervisionReport struct {
+	// Mode is the supervision strategy: "gang" (simulation phase,
+	// restart everyone with -resume) or "per-rank" (synthesis phase,
+	// claim-token rejoin).
+	Mode string `json:"mode"`
+	// GangRestarts counts whole-gang relaunches (gang mode only).
+	GangRestarts int `json:"gang_restarts,omitempty"`
+	// Storm marks a restart storm: the supervisor stopped restarting
+	// and let the run degrade.
+	Storm bool `json:"storm,omitempty"`
+	// WallNs is the phase's wall clock under supervision.
+	WallNs int64 `json:"wall_ns"`
+	// Ranks holds the per-rank lifecycle roll-ups.
+	Ranks []SupervisionRank `json:"ranks,omitempty"`
+}
+
 // Report is the machine-readable run report.
 type Report struct {
 	// Command names the producing tool ("netsynth", "chisim", ...).
@@ -86,6 +120,9 @@ type Report struct {
 	Stages []StageReport `json:"stages,omitempty"`
 	// Ranks holds the per-rank roll-ups.
 	Ranks []RankReport `json:"ranks,omitempty"`
+	// Supervision, when present, summarizes the process supervision a
+	// launcher applied to the run (restarts, storms, degraded ranks).
+	Supervision []SupervisionReport `json:"supervision,omitempty"`
 	// Metrics is the full registry snapshot at report time.
 	Metrics Snapshot `json:"metrics"`
 	// Spans are the retained completed root span trees.
@@ -173,6 +210,32 @@ func (rep *Report) Render(w io.Writer) error {
 		fmt.Fprintf(w, "busy imbalance (max/mean): %.2f\n", BusyImbalance(rep.Ranks))
 	}
 
+	for _, sup := range rep.Supervision {
+		fmt.Fprintf(w, "\nsupervision (%s): wall %s", sup.Mode, fmtNs(sup.WallNs))
+		if sup.GangRestarts > 0 {
+			fmt.Fprintf(w, ", %d gang restart(s)", sup.GangRestarts)
+		}
+		if sup.Storm {
+			fmt.Fprintf(w, ", restart storm")
+		}
+		fmt.Fprintln(w)
+		if len(sup.Ranks) > 0 {
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(tw, "rank\trestarts\tdegraded\tpeak rss\texit\n")
+			for _, r := range sup.Ranks {
+				deg := "-"
+				if r.Degraded {
+					deg = "yes"
+				}
+				fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%d\n",
+					r.Rank, r.Restarts, deg, fmtKiB(r.PeakRSSKiB), r.ExitCode)
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+
 	if len(rep.Metrics.Histograms) > 0 {
 		names := sortedKeys(rep.Metrics.Histograms)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -221,4 +284,15 @@ func orDash(v int64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%d", v)
+}
+
+// fmtKiB renders a KiB quantity at MiB granularity when large.
+func fmtKiB(kib int64) string {
+	if kib <= 0 {
+		return "-"
+	}
+	if kib >= 1<<10 {
+		return fmt.Sprintf("%.1f MiB", float64(kib)/(1<<10))
+	}
+	return fmt.Sprintf("%d KiB", kib)
 }

@@ -23,6 +23,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/abm"
 	"repro/internal/core"
@@ -59,6 +60,11 @@ type Config struct {
 	// stage materializes at once; zero means unlimited. See
 	// core.Config.MemBudgetBytes.
 	MemBudgetBytes int64
+	// HourDelay slows the simulation down by sleeping this long per
+	// simulated hour — a chaos/testing aid that widens the window in
+	// which an injected crash can land mid-run. Zero (the default)
+	// runs at full speed.
+	HourDelay time.Duration
 }
 
 func (c *Config) ranks() int {
@@ -92,6 +98,9 @@ func (c *Config) validate() error {
 	}
 	if c.MemBudgetBytes < 0 {
 		return fmt.Errorf("repro: MemBudgetBytes must be non-negative, got %d", c.MemBudgetBytes)
+	}
+	if c.HourDelay < 0 {
+		return fmt.Errorf("repro: HourDelay must be non-negative, got %v", c.HourDelay)
 	}
 	return nil
 }
@@ -135,12 +144,13 @@ func (p *Pipeline) Simulate(ctx context.Context, logDir string) (*abm.Result, er
 	ctx, sp := telemetry.StartSpan(ctx, "pipeline/simulate")
 	defer sp.End()
 	return abm.Run(ctx, abm.Config{
-		Pop:    p.Pop,
-		Gen:    p.Gen,
-		Ranks:  p.cfg.ranks(),
-		Days:   p.cfg.Days,
-		LogDir: logDir,
-		Log:    eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Pop:       p.Pop,
+		Gen:       p.Gen,
+		Ranks:     p.cfg.ranks(),
+		Days:      p.cfg.Days,
+		LogDir:    logDir,
+		Log:       eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		HourDelay: p.cfg.HourDelay,
 	})
 }
 
@@ -150,13 +160,14 @@ func (p *Pipeline) Simulate(ctx context.Context, logDir string) (*abm.Result, er
 // result's StoppedAt reports where the run ended.
 func (p *Pipeline) SimulateUntil(ctx context.Context, logDir string, stop <-chan struct{}) (*abm.Result, error) {
 	return abm.Run(ctx, abm.Config{
-		Pop:    p.Pop,
-		Gen:    p.Gen,
-		Ranks:  p.cfg.ranks(),
-		Days:   p.cfg.Days,
-		LogDir: logDir,
-		Log:    eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
-		Stop:   stop,
+		Pop:       p.Pop,
+		Gen:       p.Gen,
+		Ranks:     p.cfg.ranks(),
+		Days:      p.cfg.Days,
+		LogDir:    logDir,
+		Log:       eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Stop:      stop,
+		HourDelay: p.cfg.HourDelay,
 	})
 }
 
@@ -168,13 +179,14 @@ func (p *Pipeline) SimulateUntil(ctx context.Context, logDir string, stop <-chan
 // nil).
 func (p *Pipeline) Resume(ctx context.Context, logDir string, stop <-chan struct{}) (*abm.Result, []*abm.ResumeReport, error) {
 	return abm.Resume(ctx, abm.Config{
-		Pop:    p.Pop,
-		Gen:    p.Gen,
-		Ranks:  p.cfg.ranks(),
-		Days:   p.cfg.Days,
-		LogDir: logDir,
-		Log:    eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
-		Stop:   stop,
+		Pop:       p.Pop,
+		Gen:       p.Gen,
+		Ranks:     p.cfg.ranks(),
+		Days:      p.cfg.Days,
+		LogDir:    logDir,
+		Log:       eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Stop:      stop,
+		HourDelay: p.cfg.HourDelay,
 	})
 }
 

@@ -76,6 +76,39 @@ if [ "${SMOKE:-1}" = "1" ]; then
 	rm -rf "$smoke_dir"
 fi
 
+# Supervised smoke (DESIGN.md §12): run the full two-phase pipeline
+# under cmd/netlaunch twice — once unfailed, once with a kill -9 aimed
+# at rank 2 mid-simulation (the -hour-delay widens the window so the
+# kill lands mid-run) — and require bit-identical edge lists and
+# snapshots. This is the crash-recovery contract end to end: gang
+# restart with -resume replays the logs, and the synthesized network
+# must not betray that anything happened. Skip with SUPSMOKE=0.
+if [ "${SUPSMOKE:-1}" = "1" ]; then
+	echo "== supervised smoke (netlaunch 4 ranks; kill -9 mid-sim -> identical hashes)"
+	sup_dir=$(mktemp -d)
+	go build -o "$sup_dir/" ./cmd/chisim ./cmd/netsynth ./cmd/netlaunch
+	echo "-- baseline (no faults)"
+	"$sup_dir/netlaunch" -persons 2000 -days 2 -ranks 4 \
+		-workdir "$sup_dir/base" >/dev/null
+	echo "-- chaos (kill -9 rank 2 mid-simulation)"
+	"$sup_dir/netlaunch" -persons 2000 -days 2 -ranks 4 \
+		-workdir "$sup_dir/chaos" -hour-delay 20ms \
+		-kill-rank 2 -kill-after 300ms -kill-phase sim >/dev/null
+	base_hash=$(cksum "$sup_dir/base/network.tsv" | cut -d' ' -f1-2)
+	chaos_hash=$(cksum "$sup_dir/chaos/network.tsv" | cut -d' ' -f1-2)
+	base_snap=$(cksum "$sup_dir/base/network.gsnap" | cut -d' ' -f1-2)
+	chaos_snap=$(cksum "$sup_dir/chaos/network.gsnap" | cut -d' ' -f1-2)
+	if [ "$base_hash" != "$chaos_hash" ] || [ "$base_snap" != "$chaos_snap" ]; then
+		echo "FAIL: chaos run diverged from baseline"
+		echo "  edge list: $base_hash vs $chaos_hash"
+		echo "  snapshot:  $base_snap vs $chaos_snap"
+		rm -rf "$sup_dir"
+		exit 1
+	fi
+	echo "edge lists and snapshots bit-identical across kill -9 recovery"
+	rm -rf "$sup_dir"
+fi
+
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== scripts/bench.sh (BENCH=1)"
 	./scripts/bench.sh
