@@ -17,9 +17,14 @@
 //
 // Tooling modes:
 //
-//	netserve -convert network.tsv -snapshot net.gsnap   # TSV → snapshot
+//	netserve -convert network.tsv -snapshot net.gsnap   # TSV → indexed v2 snapshot
+//	netserve -reindex net.gsnap                         # upgrade v1 → v2 in place (atomic)
 //	netserve -selfbench -bench-out BENCH_serve.json     # load generator
 //	netserve -get http://host:8355/v1/stats             # curl-free fetch
+//
+// Converted and reindexed snapshots carry the precomputed v2 index
+// sections (degree, strength, clustering, top-32 neighbors, degree
+// histogram, global stats), which the daemon serves as O(1) mmap reads.
 package main
 
 import (
@@ -57,14 +62,15 @@ func main() {
 	watch := flag.Duration("watch", 2*time.Second, "snapshot mtime poll interval for hot reload (0 disables)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and enable telemetry")
 
-	convert := flag.String("convert", "", "convert this TSV edge list (or snapshot) to -snapshot and exit")
+	convert := flag.String("convert", "", "convert this TSV edge list (or snapshot) to an indexed -snapshot and exit")
+	reindex := flag.String("reindex", "", "rewrite this snapshot in place as v2 with baked index sections and exit")
 	get := flag.String("get", "", "fetch this URL, print the body, and exit (curl-free smoke tests)")
 
 	selfbench := flag.Bool("selfbench", false, "run the mixed-query load generator against an in-process server and exit")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: write the JSON report here")
 	benchDur := flag.Duration("bench-duration", 5*time.Second, "selfbench: load duration")
 	benchConc := flag.Int("bench-concurrency", 16, "selfbench: concurrent clients")
-	benchVertices := flag.Int("bench-vertices", 20000, "selfbench: synthetic graph size when no -snapshot is given")
+	benchVertices := flag.Int("bench-vertices", 1_000_000, "selfbench: synthetic graph size when no -snapshot is given")
 	benchSeed := flag.Int64("bench-seed", 1, "selfbench: workload seed")
 	flag.Parse()
 
@@ -73,6 +79,8 @@ func main() {
 		runGet(*get)
 	case *convert != "":
 		runConvert(*convert, *snapshot)
+	case *reindex != "":
+		runReindex(*reindex)
 	case *selfbench:
 		runSelfbench(*snapshot, *benchOut, *benchDur, *benchConc, *benchVertices, *benchSeed,
 			*workers, *cacheBytes, *reqTimeout, *telemetryAddr)
@@ -159,7 +167,8 @@ func runServe(snapshot, addr, addrFile string, workers int, cacheBytes int64,
 	}
 }
 
-// runConvert rewrites an edge list (or snapshot) as a .gsnap snapshot.
+// runConvert rewrites an edge list (or snapshot) as an indexed v2
+// .gsnap snapshot.
 func runConvert(in, out string) {
 	if out == "" {
 		fatal(fmt.Errorf("-convert requires -snapshot OUT.gsnap"))
@@ -170,11 +179,43 @@ func runConvert(in, out string) {
 	}
 	defer snap.Close()
 	g := snap.Graph()
-	if err := gstore.WriteFile(out, g); err != nil {
+	if err := gstore.WriteFileIndexed(out, g, gstore.IndexOptions{}); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s: %d vertices, %d edges → %s (%d bytes)\n",
-		in, g.NumVertices(), g.NumEdges(), out, gstore.Size(g))
+	fi, err := os.Stat(out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d vertices, %d edges → %s (%d bytes, v%d + index)\n",
+		in, g.NumVertices(), g.NumEdges(), out, fi.Size(), gstore.Version)
+}
+
+// runReindex upgrades a snapshot in place to v2 with baked index
+// sections. The write goes through the store's temp+fsync+rename path,
+// so a crash mid-upgrade leaves the original file untouched, and a
+// daemon watching the file mtime hot-reloads the indexed version.
+func runReindex(path string) {
+	snap, err := gstore.LoadGraphFile(path, 0)
+	if err != nil {
+		fatal(err)
+	}
+	g := snap.Graph()
+	before := snap.SizeBytes()
+	fromVersion := snap.Version()
+	sections := snap.Index().Sections()
+	if err := gstore.WriteFileIndexed(path, g, gstore.IndexOptions{}); err != nil {
+		snap.Close()
+		fatal(err)
+	}
+	snap.Close()
+	re, err := gstore.LoadGraphFile(path, 0)
+	if err != nil {
+		fatal(fmt.Errorf("reindexed snapshot failed verification: %w", err))
+	}
+	defer re.Close()
+	fmt.Printf("%s: v%d (%d sections, %d bytes) → v%d (%d sections, %d bytes)\n",
+		path, fromVersion, len(sections), before,
+		re.Version(), len(re.Index().Sections()), re.SizeBytes())
 }
 
 // runGet is a dependency-free HTTP GET for smoke tests on boxes
@@ -227,10 +268,10 @@ func runSelfbench(snapshot, out string, dur time.Duration, conc, vertices int, s
 		}
 		defer os.RemoveAll(tmp)
 		path = tmp + "/bench.gsnap"
-		if err := gstore.WriteFile(path, g); err != nil {
+		if err := gstore.WriteFileIndexed(path, g, gstore.IndexOptions{}); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("synthetic network: %d vertices, %d edges → %s\n",
+		fmt.Printf("synthetic network: %d vertices, %d edges → %s (indexed)\n",
 			g.NumVertices(), g.NumEdges(), path)
 	}
 
@@ -264,6 +305,8 @@ func runSelfbench(snapshot, out string, dur time.Duration, conc, vertices int, s
 		res.Requests, res.Errors, res.DurationSec, res.QPS)
 	fmt.Printf("latency: p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
 		res.P50Ms, res.P95Ms, res.P99Ms, res.MaxMs)
+	res.HotAllocsPerOp = srv.HotAllocs()
+	fmt.Printf("hot allocs/op: %v\n", res.HotAllocsPerOp)
 	if out != "" {
 		if err := res.WriteFile(out); err != nil {
 			fatal(err)

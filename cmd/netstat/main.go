@@ -53,6 +53,12 @@ func main() {
 
 	fmt.Printf("network: %d vertices (%d with edges), %d edges, total weight %d\n",
 		g.NumVertices(), g.VerticesWithEdges(), g.NumEdges(), g.TotalWeight())
+	if secs := snap.Index().Sections(); secs != nil {
+		fmt.Printf("snapshot: v%d, index sections: %v\n", snap.Version(), secs)
+	} else if snap.Version() > 0 {
+		fmt.Printf("snapshot: v%d, no index sections (reindex with: netserve -reindex %s)\n",
+			snap.Version(), flag.Arg(0))
+	}
 	labels, comps := g.ConnectedComponents()
 	_ = labels
 	fmt.Printf("components: %d, giant component %d vertices\n", comps, g.GiantComponentSize())

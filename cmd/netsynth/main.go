@@ -341,16 +341,22 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 
 // writeSnapshot additionally persists the synthesized network as a
 // binary .gsnap snapshot when -snapshot is given — the format netserve
-// loads without re-parsing TSV.
+// loads without re-parsing TSV. Snapshots are written as v2 with the
+// precomputed index sections baked in, so the daemon's hot endpoints
+// serve them as O(1) mmap reads with no warmup pass.
 func writeSnapshot(path string, tri *sparse.Tri) {
 	if path == "" {
 		return
 	}
 	g := graph.FromTri(tri, 0)
-	if err := gstore.WriteFile(path, g); err != nil {
+	if err := gstore.WriteFileIndexed(path, g, gstore.IndexOptions{}); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("snapshot: %d bytes → %s\n", gstore.Size(g), path)
+	fi, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot: %d bytes (v%d, indexed) → %s\n", fi.Size(), gstore.Version, path)
 }
 
 // exitCanceled recognizes the cooperative-cancellation error and exits

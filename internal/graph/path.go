@@ -6,6 +6,39 @@ import "container/heap"
 // of both endpoints) via breadth-first search, and whether one exists.
 // A vertex's path to itself is [src].
 func (g *Graph) ShortestPathBFS(src, dst uint32) ([]uint32, bool) {
+	return g.ShortestPathBFSScratch(src, dst, &PathScratch{})
+}
+
+// PathScratch holds the reusable state of a BFS shortest-path search.
+// A zero PathScratch is ready; arrays grow to NumVertices on first use
+// and subsequent searches reuse them without re-zeroing (visited marks
+// are epoch-stamped), so a pooled scratch makes repeated path queries
+// allocation-free apart from the returned path itself.
+type PathScratch struct {
+	parent []uint32
+	stamp  []uint32
+	queue  []uint32
+	epoch  uint32
+}
+
+// grow sizes the scratch for an n-vertex graph and opens a new epoch.
+func (s *PathScratch) grow(n int) {
+	if len(s.parent) < n {
+		s.parent = make([]uint32, n)
+		s.stamp = make([]uint32, n)
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wraparound: re-zero once every 2^32 searches
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// ShortestPathBFSScratch is ShortestPathBFS with caller-owned scratch
+// state — the allocation-free variant for hot callers.
+func (g *Graph) ShortestPathBFSScratch(src, dst uint32, s *PathScratch) ([]uint32, bool) {
 	n := g.NumVertices()
 	if int(src) >= n || int(dst) >= n {
 		return nil, false
@@ -13,28 +46,27 @@ func (g *Graph) ShortestPathBFS(src, dst uint32) ([]uint32, bool) {
 	if src == dst {
 		return []uint32{src}, true
 	}
-	const none = ^uint32(0)
-	parent := make([]uint32, n)
-	for i := range parent {
-		parent[i] = none
-	}
-	parent[src] = src
-	queue := []uint32{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	s.grow(n)
+	s.stamp[src] = s.epoch
+	s.parent[src] = src
+	queue := append(s.queue[:0], src)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		row, _ := g.Neighbors(v)
 		for _, u := range row {
-			if parent[u] != none {
+			if s.stamp[u] == s.epoch {
 				continue
 			}
-			parent[u] = v
+			s.stamp[u] = s.epoch
+			s.parent[u] = v
 			if u == dst {
-				return tracePath(parent, src, dst), true
+				s.queue = queue
+				return tracePath(s.parent, src, dst), true
 			}
 			queue = append(queue, u)
 		}
 	}
+	s.queue = queue
 	return nil, false
 }
 

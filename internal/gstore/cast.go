@@ -30,6 +30,39 @@ func castInt64s(b []byte) []int64 {
 	return unsafe.Slice((*int64)(p), len(b)/8)
 }
 
+// castUint64s reinterprets b as []uint64 without copying, or returns
+// nil when b is misaligned or not a multiple of 8 bytes.
+func castUint64s(b []byte) []uint64 {
+	if len(b)%8 != 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return []uint64{}
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(uint64(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(p), len(b)/8)
+}
+
+// castFloat64s reinterprets b as []float64 (IEEE-754 bits) without
+// copying, or returns nil when b is misaligned or not a multiple of 8
+// bytes.
+func castFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return []float64{}
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(float64(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(p), len(b)/8)
+}
+
 // castUint32s reinterprets b as []uint32 without copying, or returns
 // nil when b is misaligned or not a multiple of 4 bytes.
 func castUint32s(b []byte) []uint32 {

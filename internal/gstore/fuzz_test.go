@@ -45,11 +45,55 @@ func FuzzOpen(f *testing.F) {
 	fixHeaderCRCOnly(huge)
 	f.Add(huge)
 
+	// v2 corpus: a fully indexed snapshot, its truncations, bit flips in
+	// the header (version, indexOff, table CRC), section table, and
+	// section payloads — plus hostile rewrites of the index offset and
+	// table count with the v2 header CRC patched back up so the damage
+	// reaches the table parser instead of dying at the header check.
+	var ibuf bytes.Buffer
+	if err := WriteIndexed(&ibuf, g, IndexOptions{TopK: 2}); err != nil {
+		f.Fatal(err)
+	}
+	iv := ibuf.Bytes()
+	f.Add(iv)
+	tableOff := int(binary.LittleEndian.Uint64(iv[36:44]))
+	for _, cut := range []int{headerSize, tableOff - 1, tableOff, tableOff + 9,
+		tableOff + tableEntrySize, len(iv) - 9, len(iv) - 1} {
+		if cut >= 0 && cut < len(iv) {
+			f.Add(iv[:cut])
+		}
+	}
+	for _, off := range []int{6, 36, 40, 44, 56, tableOff, tableOff + 4, tableOff + 8,
+		tableOff + 12, tableOff + 16, tableOff + 24, tableOff + 8 + tableEntrySize,
+		len(iv) - 5} {
+		mut := bytes.Clone(iv)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+	for _, tweak := range []func(b []byte){
+		func(b []byte) { binary.LittleEndian.PutUint64(b[36:44], uint64(len(b))) },     // table past EOF
+		func(b []byte) { binary.LittleEndian.PutUint64(b[36:44], uint64(tableOff+1)) }, // misaligned table
+		func(b []byte) { binary.LittleEndian.PutUint32(b[tableOff:], 0xFFFF) },         // absurd count
+		func(b []byte) { binary.LittleEndian.PutUint32(b[tableOff:], 0) },              // empty table
+		func(b []byte) { binary.LittleEndian.PutUint32(b[tableOff+8:], 99) },           // unknown kind
+		func(b []byte) { // duplicate kind
+			copy(b[tableOff+8+tableEntrySize:], b[tableOff+8:tableOff+8+tableEntrySize])
+		},
+		func(b []byte) { // payload length overflow
+			binary.LittleEndian.PutUint64(b[tableOff+8+16:], ^uint64(0)>>1)
+		},
+	} {
+		mut := bytes.Clone(iv)
+		tweak(mut)
+		fixV2HeaderCRC(mut)
+		f.Add(mut)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := Read(bytes.NewReader(data))
+		snap, err := ReadSnapshot(bytes.NewReader(data))
 		if err != nil {
-			if got != nil {
-				t.Fatal("fail-closed violated: graph returned with error")
+			if snap != nil {
+				t.Fatal("fail-closed violated: snapshot returned with error")
 			}
 			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
 				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
@@ -59,6 +103,7 @@ func FuzzOpen(f *testing.F) {
 			return
 		}
 		// Accepted snapshots must be internally consistent.
+		got := snap.Graph()
 		n := got.NumVertices()
 		for v := 0; v < n; v++ {
 			row, wts := got.Neighbors(uint32(v))
@@ -74,6 +119,33 @@ func FuzzOpen(f *testing.F) {
 				}
 			}
 		}
+		// Accepted index sections must be addressable without panics:
+		// every per-vertex lookup a hot endpoint would do stays in
+		// bounds. (A hostile snapshot must never crash the daemon.)
+		if ix := snap.Index(); ix != nil {
+			if ix.Degrees != nil && len(ix.Degrees) != n {
+				t.Fatalf("degree column len %d for %d vertices", len(ix.Degrees), n)
+			}
+			if ix.Strengths != nil && len(ix.Strengths) != n {
+				t.Fatalf("strength column len %d for %d vertices", len(ix.Strengths), n)
+			}
+			if ix.Clustering != nil && len(ix.Clustering) != n {
+				t.Fatalf("clustering column len %d for %d vertices", len(ix.Clustering), n)
+			}
+			if ix.TopKOff != nil {
+				if len(ix.TopKOff) != n+1 {
+					t.Fatalf("topk offsets len %d for %d vertices", len(ix.TopKOff), n)
+				}
+				for v := 0; v < n; v++ {
+					row := ix.TopKRow(uint32(v))
+					for k := 0; k+1 < len(row); k += 2 {
+						if int(row[k]) >= n {
+							t.Fatalf("topk row %d: neighbor %d out of range", v, row[k])
+						}
+					}
+				}
+			}
+		}
 	})
 }
 
@@ -85,4 +157,13 @@ func fixHeaderCRCOnly(data []byte) {
 		return
 	}
 	binary.LittleEndian.PutUint32(data[36:40], crc32.ChecksumIEEE(data[0:36]))
+}
+
+// fuzz helper: recompute a v2 header's CRC (at [56:60], over [0:56])
+// so deliberate index-table damage reaches the table parser.
+func fixV2HeaderCRC(data []byte) {
+	if len(data) < headerSize {
+		return
+	}
+	binary.LittleEndian.PutUint32(data[56:60], crc32.ChecksumIEEE(data[0:56]))
 }

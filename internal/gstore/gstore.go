@@ -27,6 +27,14 @@
 // load. On big-endian hosts (and on platforms without mmap) Open falls
 // back to a buffered read plus an explicit decode.
 //
+// # Format (version 2)
+//
+// Version 2 keeps the v1 header shape and CSR sections and appends
+// optional precomputed per-vertex index sections behind a CRC-guarded
+// section table — see index.go for the layout and the fail-closed
+// rules. Write still emits v1; WriteIndexed emits v2. Open accepts
+// both, reporting missing index sections as a nil Snapshot.Index.
+//
 // # Fail-closed contract
 //
 // Open never publishes a partial Snapshot: every header field, every
@@ -65,8 +73,16 @@ var (
 // .gsnap snapshots from TSV edge lists.
 const Magic = "GSNAP\x00"
 
-// Version is the current format version written by Write.
-const Version = 1
+// Format versions. Write emits Version1 (CSR only, the original
+// layout); WriteIndexed emits Version2 (CSR plus the precomputed index
+// sections described in index.go). Open accepts both.
+const (
+	Version1 = 1
+	Version2 = 2
+)
+
+// Version is the newest format version this package writes and reads.
+const Version = Version2
 
 // headerSize is the fixed header length in bytes.
 const headerSize = 64
@@ -111,7 +127,7 @@ func Write(w io.Writer, g *graph.Graph) error {
 
 	var hdr [headerSize]byte
 	copy(hdr[0:6], Magic)
-	binary.LittleEndian.PutUint16(hdr[6:8], Version)
+	binary.LittleEndian.PutUint16(hdr[6:8], Version1)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(offsets)-1))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(nbrs)))
 	binary.LittleEndian.PutUint32(hdr[24:28], crcOff.Sum32())
@@ -152,13 +168,19 @@ func Size(g *graph.Graph) int64 {
 // over path — a concurrently reloading netserve never observes a
 // half-written snapshot.
 func WriteFile(path string, g *graph.Graph) error {
+	return writeFileWith(path, func(w io.Writer) error { return Write(w, g) })
+}
+
+// writeFileWith is the shared atomic-publish discipline: write to a
+// temp file in the destination directory, fsync, rename over path.
+func writeFileWith(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := Write(tmp, g); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -224,10 +246,17 @@ type header struct {
 	version                uint16
 	vertices, halfEdges    uint64
 	crcOff, crcNbr, crcWts uint32
+	indexOff               uint64 // v2: section-table offset (0 = no index)
+	indexCRC               uint32 // v2: CRC32 of the section table
 }
 
 // parseHeader validates the fixed header (magic, version, header CRC)
 // and the declared section geometry against the total file size.
+//
+// The two versions differ only in the reserved tail of the 64-byte
+// header: v1 stores the header CRC (over bytes [0:36]) at [36:40]; v2
+// stores the section-table offset at [36:44], the table CRC at
+// [44:48], and the header CRC (over bytes [0:56]) at [56:60].
 func parseHeader(data []byte) (header, error) {
 	var h header
 	if len(data) < headerSize {
@@ -237,11 +266,19 @@ func parseHeader(data []byte) (header, error) {
 		return h, ErrBadMagic
 	}
 	h.version = binary.LittleEndian.Uint16(data[6:8])
-	if h.version != Version {
-		return h, fmt.Errorf("%w: version %d, support %d", ErrVersion, h.version, Version)
-	}
-	if got, want := crc32.ChecksumIEEE(data[0:36]), binary.LittleEndian.Uint32(data[36:40]); got != want {
-		return h, fmt.Errorf("%w: header crc %08x, stored %08x", ErrChecksum, got, want)
+	switch h.version {
+	case Version1:
+		if got, want := crc32.ChecksumIEEE(data[0:36]), binary.LittleEndian.Uint32(data[36:40]); got != want {
+			return h, fmt.Errorf("%w: header crc %08x, stored %08x", ErrChecksum, got, want)
+		}
+	case Version2:
+		if got, want := crc32.ChecksumIEEE(data[0:56]), binary.LittleEndian.Uint32(data[56:60]); got != want {
+			return h, fmt.Errorf("%w: header crc %08x, stored %08x", ErrChecksum, got, want)
+		}
+		h.indexOff = binary.LittleEndian.Uint64(data[36:44])
+		h.indexCRC = binary.LittleEndian.Uint32(data[44:48])
+	default:
+		return h, fmt.Errorf("%w: version %d, support 1..%d", ErrVersion, h.version, Version)
 	}
 	h.vertices = binary.LittleEndian.Uint64(data[8:16])
 	h.halfEdges = binary.LittleEndian.Uint64(data[16:24])
@@ -253,35 +290,43 @@ func parseHeader(data []byte) (header, error) {
 	if h.vertices >= maxCount || h.halfEdges >= maxCount {
 		return h, fmt.Errorf("%w: absurd counts V=%d H=%d", ErrInvalid, h.vertices, h.halfEdges)
 	}
-	need := headerSize + (h.vertices+1)*8 + h.halfEdges*8
-	if uint64(len(data)) != need {
-		if uint64(len(data)) < need {
-			return h, fmt.Errorf("%w: %d bytes, header declares %d", ErrTruncated, len(data), need)
+	csrEnd := headerSize + (h.vertices+1)*8 + h.halfEdges*8
+	if uint64(len(data)) < csrEnd {
+		return h, fmt.Errorf("%w: %d bytes, header declares %d", ErrTruncated, len(data), csrEnd)
+	}
+	if h.indexOff == 0 {
+		// No index sections: the CSR sections must end the file exactly.
+		if uint64(len(data)) != csrEnd {
+			return h, fmt.Errorf("%w: %d trailing bytes after declared sections", ErrInvalid, uint64(len(data))-csrEnd)
 		}
-		return h, fmt.Errorf("%w: %d trailing bytes after declared sections", ErrInvalid, uint64(len(data))-need)
+	} else if h.indexOff != csrEnd {
+		// The section table sits immediately after the (8-aligned) CSR
+		// sections; anything else is structural corruption.
+		return h, fmt.Errorf("%w: section table at %d, CSR ends at %d", ErrInvalid, h.indexOff, csrEnd)
 	}
 	return h, nil
 }
 
 // parse decodes a whole snapshot image. When zeroCopy is true and the
-// host is little-endian, the returned graph's CSR arrays alias data;
-// otherwise they are fresh decoded copies.
-func parse(data []byte, zeroCopy bool) (*graph.Graph, error) {
+// host is little-endian, the returned graph's CSR arrays (and any v2
+// index sections) alias data; otherwise they are fresh decoded copies.
+// The *Index is nil when the snapshot carries no index sections.
+func parse(data []byte, zeroCopy bool) (*graph.Graph, *Index, uint16, error) {
 	h, err := parseHeader(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	offBytes := data[headerSize : headerSize+(h.vertices+1)*8]
 	nbrBytes := data[headerSize+uint64(len(offBytes)) : headerSize+uint64(len(offBytes))+h.halfEdges*4]
-	wtsBytes := data[headerSize+uint64(len(offBytes))+h.halfEdges*4:]
+	wtsBytes := data[headerSize+uint64(len(offBytes))+h.halfEdges*4 : headerSize+uint64(len(offBytes))+h.halfEdges*8]
 	if got := crc32.ChecksumIEEE(offBytes); got != h.crcOff {
-		return nil, fmt.Errorf("%w: offsets section crc %08x, stored %08x", ErrChecksum, got, h.crcOff)
+		return nil, nil, 0, fmt.Errorf("%w: offsets section crc %08x, stored %08x", ErrChecksum, got, h.crcOff)
 	}
 	if got := crc32.ChecksumIEEE(nbrBytes); got != h.crcNbr {
-		return nil, fmt.Errorf("%w: neighbors section crc %08x, stored %08x", ErrChecksum, got, h.crcNbr)
+		return nil, nil, 0, fmt.Errorf("%w: neighbors section crc %08x, stored %08x", ErrChecksum, got, h.crcNbr)
 	}
 	if got := crc32.ChecksumIEEE(wtsBytes); got != h.crcWts {
-		return nil, fmt.Errorf("%w: weights section crc %08x, stored %08x", ErrChecksum, got, h.crcWts)
+		return nil, nil, 0, fmt.Errorf("%w: weights section crc %08x, stored %08x", ErrChecksum, got, h.crcWts)
 	}
 
 	var offsets []int64
@@ -308,9 +353,16 @@ func parse(data []byte, zeroCopy bool) (*graph.Graph, error) {
 	}
 	g, err := graph.NewCSR(offsets, nbrs, weights)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		return nil, nil, 0, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	return g, nil
+	var ix *Index
+	if h.indexOff != 0 {
+		ix, err = parseIndex(data, h, zeroCopy)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return g, ix, h.version, nil
 }
 
 // Read decodes a snapshot from r (buffered fully in memory). For files
@@ -322,23 +374,55 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	}
 	// The backing buffer is private to this call, so aliasing it
 	// zero-copy is safe.
-	return parse(data, true)
+	g, _, _, perr := parse(data, true)
+	return g, perr
+}
+
+// ReadSnapshot decodes a snapshot from r (buffered fully in memory)
+// into a full Snapshot, including any index sections — the in-memory
+// twin of Open, used by tests and tools that already hold the bytes.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g, ix, ver, perr := parse(data, true)
+	if perr != nil {
+		return nil, perr
+	}
+	return &Snapshot{g: g, idx: ix, version: ver, size: int64(len(data))}, nil
 }
 
 // Snapshot is an opened snapshot: an immutable graph plus the resources
 // (mmap region) backing it. Close releases the mapping — the Graph must
 // not be used afterwards when Mapped reports true.
 type Snapshot struct {
-	g      *graph.Graph
-	path   string
-	size   int64
-	mapped bool
-	unmap  func() error
+	g       *graph.Graph
+	idx     *Index
+	version uint16
+	path    string
+	size    int64
+	mapped  bool
+	unmap   func() error
 }
 
 // Graph returns the decoded graph. It is immutable and safe for
 // concurrent readers.
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Index returns the snapshot's precomputed index sections, or nil when
+// the file carries none (every v1 file, and graphs loaded from TSV).
+// Like Graph, it may alias the mmap region — invalid after Close.
+func (s *Snapshot) Index() *Index { return s.idx }
+
+// Version returns the snapshot's format version (Version1 for TSV- or
+// graph-backed snapshots that never touched the binary format).
+func (s *Snapshot) Version() int {
+	if s.version == 0 {
+		return Version1
+	}
+	return int(s.version)
+}
 
 // Path returns the file the snapshot was opened from ("" for
 // synthesized snapshots).
@@ -398,12 +482,12 @@ func open(path string) (*Snapshot, error) {
 	size := fi.Size()
 
 	if data, unmap, merr := mapFile(f, size); merr == nil {
-		g, perr := parse(data, true)
+		g, ix, ver, perr := parse(data, true)
 		if perr != nil {
 			unmap()
 			return nil, perr
 		}
-		return &Snapshot{g: g, path: path, size: size, mapped: true, unmap: unmap}, nil
+		return &Snapshot{g: g, idx: ix, version: ver, path: path, size: size, mapped: true, unmap: unmap}, nil
 	}
 
 	// Fallback: buffered read (platforms without mmap, or mmap failure).
@@ -411,11 +495,11 @@ func open(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, perr := parse(data, true)
+	g, ix, ver, perr := parse(data, true)
 	if perr != nil {
 		return nil, perr
 	}
-	return &Snapshot{g: g, path: path, size: size}, nil
+	return &Snapshot{g: g, idx: ix, version: ver, path: path, size: size}, nil
 }
 
 // LoadGraphFile opens either a .gsnap snapshot or a TSV edge list,

@@ -1,0 +1,149 @@
+// Zero-allocation JSON encoding for the hot endpoints.
+//
+// The hot query paths (/v1/degree, /v1/clustering, /v1/neighbors page
+// one, /v1/stats, /v1/degree-dist and every error body) do not go
+// through encoding/json: responses are appended into pooled []byte
+// buffers with the helpers below, which reproduce encoding/json's
+// exact output byte-for-byte — same string escaping (HTML escaping
+// included), same float formatting — so clients and the v1↔v2
+// equivalence tests cannot tell the difference. Steady state the
+// buffers come from a sync.Pool and every append fits capacity:
+// amortized zero allocations per request.
+
+package netserve
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// respBuf is a pooled response buffer.
+type respBuf struct {
+	b []byte
+}
+
+// bufPool recycles response buffers across requests. Buffers that grew
+// beyond maxPooledBuf (a deep fallback neighbors page, a giant error)
+// are dropped instead of pinning memory in the pool.
+var bufPool = sync.Pool{
+	New: func() any { return &respBuf{b: make([]byte, 0, 4096)} },
+}
+
+const maxPooledBuf = 64 << 10
+
+func getBuf() *respBuf { return bufPool.Get().(*respBuf) }
+
+func putBuf(bp *respBuf, b []byte) {
+	if cap(b) > maxPooledBuf {
+		return
+	}
+	bp.b = b[:0]
+	bufPool.Put(bp)
+}
+
+// appendUint appends v in base 10.
+func appendUint(b []byte, v uint64) []byte { return strconv.AppendUint(b, v, 10) }
+
+// appendInt appends v in base 10.
+func appendInt(b []byte, v int64) []byte { return strconv.AppendInt(b, v, 10) }
+
+// appendBool appends true/false.
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// appendFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip representation, 'f' form except for very small
+// or very large magnitudes, with Go's "e-09" exponent shortened to
+// "e-9". NaN and infinities (which json.Marshal refuses) render as 0 —
+// no handler produces them.
+func appendFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// jsonSafe marks the bytes encoding/json emits verbatim inside a
+// string when HTML escaping is on (its default, which we match):
+// printable ASCII minus `"`, `\`, `<`, `>`, `&`.
+var jsonSafe = [utf8.RuneSelf]bool{}
+
+func init() {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		jsonSafe[c] = true
+	}
+	for _, c := range []byte{'"', '\\', '<', '>', '&'} {
+		jsonSafe[c] = false
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendString appends s as a quoted JSON string, byte-identical to
+// json.Marshal(s): short escapes for \", \\, \n, \r, \t; \u00xx for
+// other control bytes and for <, >, & (HTML escaping); � for
+// invalid UTF-8; \u2028 and \u2029 escaped for JS embedding.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

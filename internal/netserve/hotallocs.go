@@ -1,0 +1,66 @@
+package netserve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// hotProbe is one hot endpoint exercised by HotAllocs, hitting the
+// same encodeFunc the serve fast path dispatches to.
+type hotProbe struct {
+	name   string
+	target string
+	pathID string // {id} wildcard value, "" for none
+	enc    encodeFunc
+}
+
+func hotProbes(n int) []hotProbe {
+	mid := "0"
+	if n > 1 {
+		mid = "1"
+	}
+	return []hotProbe{
+		{"stats", "/v1/stats", "", encodeStats},
+		{"degree", "/v1/degree/" + mid, mid, encodeDegree},
+		{"neighbors", "/v1/neighbors/" + mid + "?limit=32", mid, encodeNeighbors},
+		{"clustering", "/v1/clustering/" + mid, mid, encodeClustering},
+		{"degree_dist", "/v1/degree-dist", "", encodeDegreeDist},
+	}
+}
+
+// HotAllocs measures steady-state heap allocations per response render
+// for every hot endpoint, by running each encodeFunc against the
+// current generation the way the serve fast path does (pooled buffer
+// in, rendered bytes out). The figures land in BENCH_serve.json and
+// back the zero-alloc regression gate; BenchmarkServeHot* report the
+// same numbers through the testing framework.
+func (s *Server) HotAllocs() map[string]float64 {
+	gen := s.acquire()
+	if gen == nil {
+		return nil
+	}
+	defer gen.unref()
+	g := gen.snap.Graph()
+
+	out := make(map[string]float64, 5)
+	for _, p := range hotProbes(g.NumVertices()) {
+		r, err := http.NewRequest(http.MethodGet, p.target, nil)
+		if err != nil {
+			continue
+		}
+		if p.pathID != "" {
+			r.SetPathValue("id", p.pathID)
+		}
+		render := func() {
+			bp := getBuf()
+			b, encErr := p.enc(gen, g, r, bp.b[:0])
+			if encErr == nil {
+				b = append(b, '\n')
+			}
+			putBuf(bp, b)
+		}
+		render() // warm the buffer pool before measuring
+		out[p.name] = testing.AllocsPerRun(200, render)
+	}
+	return out
+}

@@ -13,9 +13,17 @@
 //     leaves the old generation serving.
 //   - a bounded worker semaphore caps concurrent query evaluation;
 //     requests that cannot get a slot within their deadline get 503.
+//   - hot endpoints (/v1/stats, /v1/degree, /v1/clustering,
+//     /v1/degree-dist, and page one of /v1/neighbors) are O(1) reads
+//     off the snapshot's precomputed v2 index sections when present,
+//     rendered through a pooled append-based JSON encoder — amortized
+//     zero allocations per request. v1 snapshots (no index) serve the
+//     same byte-identical responses through live computation, with the
+//     degree histogram and global stats precomputed once per reload.
 //   - identical in-flight expensive queries are coalesced (single
 //     flight) and results land in a byte-budgeted LRU keyed by snapshot
-//     generation, so a reload invalidates the cache wholesale.
+//     generation, so a reload invalidates the cache wholesale — this
+//     path now backs only the expensive endpoints (/v1/ego, /v1/path).
 //   - every endpoint reports request/latency/in-flight/cache-hit series
 //     into the shared telemetry registry (prefix serve_), exposed on
 //     the same -telemetry-addr Prometheus endpoint as the rest of the
@@ -32,6 +40,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,16 +97,99 @@ func (o Options) withDefaults() Options {
 type generation struct {
 	num      uint64
 	snap     *gstore.Snapshot
+	idx      *gstore.Index // nil for v1 snapshots / TSV loads
 	mtime    time.Time
 	loadedAt time.Time
 	refs     atomic.Int64
 	closed   sync.Once
+
+	// Responses that depend only on the snapshot, rendered once at
+	// reload (from the index when present, live otherwise) so /v1/stats
+	// and /v1/degree-dist are memcpys at request time.
+	statsJSON []byte
+	histJSON  []byte
+
+	// Per-generation scratch pools for the live fallbacks: clustering
+	// marker arrays (O(V) each) and BFS path state.
+	markPool sync.Pool
+	pathPool sync.Pool
 }
 
 func (g *generation) unref() {
 	if g.refs.Add(-1) == 0 {
 		g.closed.Do(func() { g.snap.Close() })
 	}
+}
+
+// precompute renders the snapshot-static responses and wires the
+// fallback scratch pools. For a v2 snapshot the histogram and global
+// stats come straight off the index sections; for v1 they are computed
+// live — but exactly once per reload, never per request.
+func (g *generation) precompute() {
+	gr := g.snap.Graph()
+	n := gr.NumVertices()
+	g.markPool.New = func() any {
+		mark := make([]bool, n)
+		return &mark
+	}
+	g.pathPool.New = func() any { return new(graph.PathScratch) }
+
+	var hist []int64
+	if g.idx != nil && g.idx.Histogram != nil {
+		hist = g.idx.Histogram
+	} else {
+		h := gr.DegreeHistogram()
+		hist = make([]int64, len(h))
+		for i, c := range h {
+			hist[i] = int64(c)
+		}
+	}
+	var withEdges, totalWeight, maxDeg uint64
+	if g.idx != nil && g.idx.Stats != nil {
+		st := g.idx.Stats
+		withEdges, totalWeight, maxDeg = st.VerticesWithEdges, st.TotalWeight, st.MaxDegree
+	} else {
+		withEdges = uint64(gr.VerticesWithEdges())
+		totalWeight = gr.TotalWeight()
+		maxDeg = uint64(gr.MaxDegree())
+	}
+
+	// Byte-identical to json.Marshal(StatsResponse{...}).
+	b := append([]byte(nil), `{"vertices":`...)
+	b = appendInt(b, int64(n))
+	b = append(b, `,"vertices_with_edges":`...)
+	b = appendUint(b, withEdges)
+	b = append(b, `,"edges":`...)
+	b = appendInt(b, int64(gr.NumEdges()))
+	b = append(b, `,"total_weight":`...)
+	b = appendUint(b, totalWeight)
+	b = append(b, `,"max_degree":`...)
+	b = appendUint(b, maxDeg)
+	b = append(b, `,"generation":`...)
+	b = appendUint(b, g.num)
+	b = append(b, `,"snapshot_path":`...)
+	b = appendString(b, g.snap.Path())
+	b = append(b, `,"snapshot_bytes":`...)
+	b = appendInt(b, g.snap.SizeBytes())
+	b = append(b, `,"mapped":`...)
+	b = appendBool(b, g.snap.Mapped())
+	b = append(b, `,"loaded_at":`...)
+	b = appendString(b, g.loadedAt.UTC().Format(time.RFC3339Nano))
+	g.statsJSON = append(b, '}')
+
+	// Byte-identical to json.Marshal(DegreeDistResponse{...}).
+	b = append([]byte(nil), `{"vertices":`...)
+	b = appendInt(b, int64(n))
+	b = append(b, `,"max_degree":`...)
+	b = appendInt(b, int64(len(hist)-1))
+	b = append(b, `,"histogram":[`...)
+	for i, c := range hist {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendInt(b, c)
+	}
+	g.histJSON = append(b, ']', '}')
 }
 
 // Server is the query service. Create with New, mount Handler on an
@@ -130,11 +222,19 @@ type Server struct {
 	mSaturated   *telemetry.Counter
 }
 
+// encodeFunc renders a hot endpoint's response directly into b (the
+// appender convention: return the extended slice). It must not retain
+// b, and on error the partial bytes are discarded.
+type encodeFunc func(gen *generation, g *graph.Graph, r *http.Request, b []byte) ([]byte, error)
+
 // endpoint bundles one route's handler with its telemetry series.
+// Exactly one of encode (hot: pooled zero-alloc rendering, no cache)
+// or fn (cold: json.Marshal + LRU + singleflight) is set.
 type endpoint struct {
 	name      string
 	cacheable bool
 	fn        func(g *graph.Graph, gen *generation, r *http.Request) (any, error)
+	encode    encodeFunc
 
 	requests  *telemetry.Counter
 	errors    *telemetry.Counter
@@ -212,9 +312,11 @@ func (s *Server) Reload() error {
 	gen := &generation{
 		num:      s.genSeq.Add(1),
 		snap:     snap,
+		idx:      snap.Index(),
 		mtime:    mtime,
 		loadedAt: time.Now(),
 	}
+	gen.precompute()
 	gen.refs.Store(1) // publisher reference
 	old := s.cur.Swap(gen)
 	s.mGeneration.Set(int64(gen.num))
@@ -366,13 +468,13 @@ func (w *retryAfterWriter) WriteHeader(code int) {
 
 func (s *Server) buildMux() {
 	s.mux = http.NewServeMux()
-	s.route("GET /v1/stats", "stats", true, s.handleStats)
-	s.route("GET /v1/degree/{id}", "degree", false, s.handleDegree)
-	s.route("GET /v1/neighbors/{id}", "neighbors", true, s.handleNeighbors)
+	s.routeHot("GET /v1/stats", "stats", encodeStats)
+	s.routeHot("GET /v1/degree/{id}", "degree", encodeDegree)
+	s.routeHot("GET /v1/neighbors/{id}", "neighbors", encodeNeighbors)
 	s.route("GET /v1/ego/{id}", "ego", true, s.handleEgo)
 	s.route("GET /v1/path", "path", true, s.handlePath)
-	s.route("GET /v1/degree-dist", "degree_dist", true, s.handleDegreeDist)
-	s.route("GET /v1/clustering/{id}", "clustering", true, s.handleClustering)
+	s.routeHot("GET /v1/degree-dist", "degree_dist", encodeDegreeDist)
+	s.routeHot("GET /v1/clustering/{id}", "clustering", encodeClustering)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, nil, notFound("no such endpoint %q", r.URL.Path))
 	})
@@ -380,17 +482,20 @@ func (s *Server) buildMux() {
 
 func (s *Server) route(pattern, name string, cacheable bool,
 	fn func(g *graph.Graph, gen *generation, r *http.Request) (any, error)) {
+	s.mount(pattern, &endpoint{name: name, cacheable: cacheable, fn: fn})
+}
+
+func (s *Server) routeHot(pattern, name string, enc encodeFunc) {
+	s.mount(pattern, &endpoint{name: name, encode: enc})
+}
+
+func (s *Server) mount(pattern string, ep *endpoint) {
 	reg := s.opts.Registry
-	ep := &endpoint{
-		name:      name,
-		cacheable: cacheable,
-		fn:        fn,
-		requests:  reg.Counter("serve_" + name + "_requests_total"),
-		errors:    reg.Counter("serve_" + name + "_errors_total"),
-		latency:   reg.Histogram("serve_" + name + "_seconds"),
-		inflight:  reg.Gauge("serve_" + name + "_inflight"),
-		cacheHits: reg.Counter("serve_" + name + "_cache_hits_total"),
-	}
+	ep.requests = reg.Counter("serve_" + ep.name + "_requests_total")
+	ep.errors = reg.Counter("serve_" + ep.name + "_errors_total")
+	ep.latency = reg.Histogram("serve_" + ep.name + "_seconds")
+	ep.inflight = reg.Gauge("serve_" + ep.name + "_inflight")
+	ep.cacheHits = reg.Counter("serve_" + ep.name + "_cache_hits_total")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.serve(ep, w, r)
 	})
@@ -406,22 +511,27 @@ func (s *Server) serve(ep *endpoint, w http.ResponseWriter, r *http.Request) {
 	sw := s.opts.Registry.Clock()
 	defer func() { sw.Observe(ep.latency) }()
 
-	ctx := r.Context()
-	if s.opts.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
-		defer cancel()
-	}
-
-	// Bounded worker pool: wait for a slot within the deadline.
+	// Bounded worker pool. The common case — a free slot — is a
+	// non-blocking send, so hot requests pay no context allocation;
+	// only a saturated server falls back to the deadline wait.
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.mSaturated.Inc()
-		s.writeError(w, ep, &apiError{code: http.StatusServiceUnavailable, msg: "server saturated"})
-		return
+	default:
+		ctx := r.Context()
+		if s.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+			defer cancel()
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.mSaturated.Inc()
+			s.writeError(w, ep, &apiError{code: http.StatusServiceUnavailable, msg: "server saturated"})
+			return
+		}
 	}
+	defer func() { <-s.sem }()
 
 	gen := s.acquire()
 	if gen == nil {
@@ -430,6 +540,26 @@ func (s *Server) serve(ep *endpoint, w http.ResponseWriter, r *http.Request) {
 	}
 	defer gen.unref()
 	g := gen.snap.Graph()
+
+	// Hot path: render straight into a pooled buffer — no cache, no
+	// singleflight, no json.Marshal. The work per request is O(1) off
+	// the index sections (or a cheap fallback), so coalescing would
+	// cost more than recomputing.
+	if ep.encode != nil {
+		bp := getBuf()
+		b, err := ep.encode(gen, g, r, bp.b[:0])
+		if err != nil {
+			putBuf(bp, b)
+			s.writeError(w, ep, err)
+			return
+		}
+		b = append(b, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
+		putBuf(bp, b)
+		return
+	}
 
 	if !ep.cacheable || s.cache == nil {
 		v, err := ep.fn(g, gen, r)
@@ -486,25 +616,46 @@ func (s *Server) writeJSON(w http.ResponseWriter, ep *endpoint, v any) {
 	writeJSONBytes(w, http.StatusOK, b)
 }
 
+var newline = []byte{'\n'}
+
 func writeJSONBytes(w http.ResponseWriter, code int, b []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	w.Write(b)
-	w.Write([]byte{'\n'})
+	w.Write(newline)
 }
 
+// writeError emits {"error":...,"status":N} through the pooled
+// appender — same key order json.Marshal gave the old map form, no
+// per-error marshal allocations, and never an empty body: a nil or
+// message-less error still produces a generic 500 payload.
 func (s *Server) writeError(w http.ResponseWriter, ep *endpoint, err error) {
 	s.mErrors.Inc()
 	if ep != nil {
 		ep.errors.Inc()
 	}
 	code := http.StatusInternalServerError
-	var ae *apiError
-	if errors.As(err, &ae) {
-		code = ae.code
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+		var ae *apiError
+		if errors.As(err, &ae) {
+			code = ae.code
+		}
 	}
-	b, _ := json.Marshal(map[string]any{"error": err.Error(), "status": code})
-	writeJSONBytes(w, code, b)
+	if msg == "" {
+		msg = "internal server error"
+	}
+	bp := getBuf()
+	b := append(bp.b[:0], `{"error":`...)
+	b = appendString(b, msg)
+	b = append(b, `,"status":`...)
+	b = appendInt(b, int64(code))
+	b = append(b, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+	putBuf(bp, b)
 }
 
 // ---------------------------------------------------------------------------
@@ -526,9 +677,38 @@ func vertexArg(g *graph.Graph, raw, what string) (uint32, error) {
 	return uint32(v), nil
 }
 
+// queryGet returns the first value of key in the request's raw query
+// without materializing a url.Values map (which allocates on every
+// request). Values containing percent- or plus-escapes fall back to
+// the full parser; the hot endpoints take only small integers, so the
+// fallback never triggers on well-formed traffic.
+func queryGet(r *http.Request, key string) string {
+	raw := r.URL.RawQuery
+	for len(raw) > 0 {
+		var kv string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			kv, raw = raw, ""
+		}
+		k, v := kv, ""
+		if j := strings.IndexByte(kv, '='); j >= 0 {
+			k, v = kv[:j], kv[j+1:]
+		}
+		if k != key {
+			continue
+		}
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			return r.URL.Query().Get(key) // escaped: defer to net/url
+		}
+		return v
+	}
+	return ""
+}
+
 // intArg parses an optional bounded integer query parameter.
 func intArg(r *http.Request, name string, def, lo, hi int) (int, error) {
-	raw := r.URL.Query().Get(name)
+	raw := queryGet(r, name)
 	if raw == "" {
 		return def, nil
 	}
@@ -545,7 +725,9 @@ func intArg(r *http.Request, name string, def, lo, hi int) (int, error) {
 // ---------------------------------------------------------------------------
 // Endpoints
 
-// StatsResponse is /v1/stats.
+// StatsResponse is /v1/stats. The served bytes are rendered once per
+// reload (generation.precompute) byte-identically to json.Marshal of
+// this struct; the type remains the schema of record for clients.
 type StatsResponse struct {
 	Vertices          int    `json:"vertices"`
 	VerticesWithEdges int    `json:"vertices_with_edges"`
@@ -559,19 +741,8 @@ type StatsResponse struct {
 	LoadedAt          string `json:"loaded_at"`
 }
 
-func (s *Server) handleStats(g *graph.Graph, gen *generation, _ *http.Request) (any, error) {
-	return StatsResponse{
-		Vertices:          g.NumVertices(),
-		VerticesWithEdges: g.VerticesWithEdges(),
-		Edges:             g.NumEdges(),
-		TotalWeight:       g.TotalWeight(),
-		MaxDegree:         g.MaxDegree(),
-		Generation:        gen.num,
-		SnapshotPath:      gen.snap.Path(),
-		SnapshotBytes:     gen.snap.SizeBytes(),
-		Mapped:            gen.snap.Mapped(),
-		LoadedAt:          gen.loadedAt.UTC().Format(time.RFC3339Nano),
-	}, nil
+func encodeStats(gen *generation, _ *graph.Graph, _ *http.Request, b []byte) ([]byte, error) {
+	return append(b, gen.statsJSON...), nil
 }
 
 // DegreeResponse is /v1/degree/{id}.
@@ -581,12 +752,25 @@ type DegreeResponse struct {
 	Strength uint64 `json:"strength"`
 }
 
-func (s *Server) handleDegree(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+func encodeDegree(gen *generation, g *graph.Graph, r *http.Request, b []byte) ([]byte, error) {
 	v, err := vertexArg(g, r.PathValue("id"), "vertex")
 	if err != nil {
-		return nil, err
+		return b, err
 	}
-	return DegreeResponse{ID: v, Degree: g.Degree(v), Strength: g.Strength(v)}, nil
+	var deg int
+	var str uint64
+	if ix := gen.idx; ix != nil && ix.Degrees != nil && ix.Strengths != nil {
+		deg, str = int(ix.Degrees[v]), ix.Strengths[v] // O(1) section reads
+	} else {
+		deg, str = g.Degree(v), g.Strength(v)
+	}
+	b = append(b, `{"id":`...)
+	b = appendUint(b, uint64(v))
+	b = append(b, `,"degree":`...)
+	b = appendInt(b, int64(deg))
+	b = append(b, `,"strength":`...)
+	b = appendUint(b, str)
+	return append(b, '}'), nil
 }
 
 // Neighbor is one weighted adjacency in /v1/neighbors/{id}.
@@ -605,19 +789,39 @@ type NeighborsResponse struct {
 	Neighbors []Neighbor `json:"neighbors"`
 }
 
-func (s *Server) handleNeighbors(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+func encodeNeighbors(gen *generation, g *graph.Graph, r *http.Request, b []byte) ([]byte, error) {
 	v, err := vertexArg(g, r.PathValue("id"), "vertex")
 	if err != nil {
-		return nil, err
+		return b, err
 	}
 	offset, err := intArg(r, "offset", 0, 0, 1<<31-1)
 	if err != nil {
-		return nil, err
+		return b, err
 	}
 	limit, err := intArg(r, "limit", 50, 1, 1000)
 	if err != nil {
-		return nil, err
+		return b, err
 	}
+	deg := g.Degree(v)
+
+	// Fast path: page one served straight off the baked top-k rows —
+	// already sorted weight-descending, ID-ascending. Usable when the
+	// row can fill the page: either the page fits inside the row, or
+	// the row holds the vertex's entire adjacency (degree ≤ k).
+	if ix := gen.idx; offset == 0 && ix != nil && ix.TopKOff != nil {
+		row := ix.TopKRow(v) // interleaved (id, weight) pairs
+		cnt := len(row) / 2
+		if limit <= cnt || cnt == deg {
+			n := cnt
+			if limit < n {
+				n = limit
+			}
+			return appendNeighborsPage(b, v, deg, 0, row[:2*n]), nil
+		}
+	}
+
+	// Fallback: deep pages, or no top-k section. Allocates (sort of the
+	// full adjacency) — acceptable off the hot path.
 	ids, wts := g.Neighbors(v)
 	all := make([]Neighbor, len(ids))
 	for k := range ids {
@@ -636,9 +840,36 @@ func (s *Server) handleNeighbors(g *graph.Graph, _ *generation, r *http.Request)
 	if len(page) > limit {
 		page = page[:limit]
 	}
-	return NeighborsResponse{
-		ID: v, Degree: len(all), Offset: offset, Returned: len(page), Neighbors: page,
-	}, nil
+	pairs := make([]uint32, 0, 2*len(page))
+	for _, nb := range page {
+		pairs = append(pairs, nb.ID, nb.Weight)
+	}
+	return appendNeighborsPage(b, v, len(all), offset, pairs), nil
+}
+
+// appendNeighborsPage renders a NeighborsResponse byte-identically to
+// json.Marshal from interleaved (id, weight) pairs.
+func appendNeighborsPage(b []byte, v uint32, degree, offset int, pairs []uint32) []byte {
+	b = append(b, `{"id":`...)
+	b = appendUint(b, uint64(v))
+	b = append(b, `,"degree":`...)
+	b = appendInt(b, int64(degree))
+	b = append(b, `,"offset":`...)
+	b = appendInt(b, int64(offset))
+	b = append(b, `,"returned":`...)
+	b = appendInt(b, int64(len(pairs)/2))
+	b = append(b, `,"neighbors":[`...)
+	for k := 0; k+1 < len(pairs); k += 2 {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"id":`...)
+		b = appendUint(b, uint64(pairs[k]))
+		b = append(b, `,"weight":`...)
+		b = appendUint(b, uint64(pairs[k+1]))
+		b = append(b, '}')
+	}
+	return append(b, ']', '}')
 }
 
 // EgoResponse is /v1/ego/{id}: the radius-k ego network (the paper's
@@ -698,16 +929,16 @@ type PathResponse struct {
 	Path     []uint32 `json:"path"`
 }
 
-func (s *Server) handlePath(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
-	from, err := vertexArg(g, r.URL.Query().Get("from"), "from")
+func (s *Server) handlePath(g *graph.Graph, gen *generation, r *http.Request) (any, error) {
+	from, err := vertexArg(g, queryGet(r, "from"), "from")
 	if err != nil {
 		return nil, err
 	}
-	to, err := vertexArg(g, r.URL.Query().Get("to"), "to")
+	to, err := vertexArg(g, queryGet(r, "to"), "to")
 	if err != nil {
 		return nil, err
 	}
-	weighted := r.URL.Query().Get("weighted") == "1"
+	weighted := queryGet(r, "weighted") == "1"
 	resp := PathResponse{From: from, To: to, Weighted: weighted}
 	if weighted {
 		path, cost, ok := g.ShortestPathWeighted(from, to)
@@ -715,7 +946,11 @@ func (s *Server) handlePath(g *graph.Graph, _ *generation, r *http.Request) (any
 			resp.Found, resp.Path, resp.Cost, resp.Hops = true, path, cost, len(path)-1
 		}
 	} else {
-		path, ok := g.ShortestPathBFS(from, to)
+		// Pooled epoch-stamped scratch: repeated BFS queries reuse the
+		// parent/visited arrays instead of reallocating O(V) each time.
+		ps := gen.pathPool.Get().(*graph.PathScratch)
+		path, ok := g.ShortestPathBFSScratch(from, to, ps)
+		gen.pathPool.Put(ps)
 		if ok {
 			resp.Found, resp.Path, resp.Hops = true, path, len(path)-1
 			resp.Cost = float64(len(path) - 1)
@@ -733,13 +968,8 @@ type DegreeDistResponse struct {
 	Histogram []int `json:"histogram"`
 }
 
-func (s *Server) handleDegreeDist(g *graph.Graph, _ *generation, _ *http.Request) (any, error) {
-	hist := g.DegreeHistogram()
-	return DegreeDistResponse{
-		Vertices:  g.NumVertices(),
-		MaxDegree: len(hist) - 1,
-		Histogram: hist,
-	}, nil
+func encodeDegreeDist(gen *generation, _ *graph.Graph, _ *http.Request, b []byte) ([]byte, error) {
+	return append(b, gen.histJSON...), nil
 }
 
 // ClusteringResponse is /v1/clustering/{id}.
@@ -749,10 +979,24 @@ type ClusteringResponse struct {
 	Clustering float64 `json:"clustering"`
 }
 
-func (s *Server) handleClustering(g *graph.Graph, _ *generation, r *http.Request) (any, error) {
+func encodeClustering(gen *generation, g *graph.Graph, r *http.Request, b []byte) ([]byte, error) {
 	v, err := vertexArg(g, r.PathValue("id"), "vertex")
 	if err != nil {
-		return nil, err
+		return b, err
 	}
-	return ClusteringResponse{ID: v, Degree: g.Degree(v), Clustering: g.LocalClustering(v)}, nil
+	var c float64
+	if ix := gen.idx; ix != nil && ix.Clustering != nil {
+		c = ix.Clustering[v] // O(1) section read
+	} else {
+		markp := gen.markPool.Get().(*[]bool)
+		c = g.LocalClusteringScratch(v, *markp)
+		gen.markPool.Put(markp)
+	}
+	b = append(b, `{"id":`...)
+	b = appendUint(b, uint64(v))
+	b = append(b, `,"degree":`...)
+	b = appendInt(b, int64(g.Degree(v)))
+	b = append(b, `,"clustering":`...)
+	b = appendFloat(b, c)
+	return append(b, '}'), nil
 }

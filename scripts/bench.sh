@@ -82,18 +82,21 @@ END {
 
 echo "== wrote $OUT"
 
-# Serving benchmark (DESIGN.md §11): the netserve mixed-query load
+# Serving benchmark (DESIGN.md §11, §13): the netserve mixed-query load
 # generator against an in-process server over a synthetic scale-free
-# network. serve_qps and serve_p99_ms in BENCH_serve.json are the
-# scripted figures of merit. Skip with SERVE=0.
+# network — 1M vertices by default, served from a v2 indexed snapshot.
+# serve_qps and serve_p99_ms in BENCH_serve.json are the scripted
+# figures of merit; hot_allocs_per_op records testing.AllocsPerRun for
+# each hot endpoint's encode path (scripts/check.sh gates both the
+# allocs and p99 regressions). Skip with SERVE=0.
 SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
 if [ "${SERVE:-1}" = "1" ]; then
-	echo "== serve benchmark (selfbench) -> $SERVE_OUT"
+	echo "== serve benchmark (selfbench, 1M vertices) -> $SERVE_OUT"
 	go run ./cmd/netserve -selfbench \
 		-bench-out "$SERVE_OUT" \
 		-bench-duration "${SERVE_DURATION:-5s}" \
 		-bench-concurrency "${SERVE_CONCURRENCY:-16}" \
-		-bench-vertices "${SERVE_VERTICES:-20000}" \
+		-bench-vertices "${SERVE_VERTICES:-1000000}" \
 		-bench-seed 1
 	echo "== wrote $SERVE_OUT"
 fi

@@ -109,9 +109,65 @@ if [ "${SUPSMOKE:-1}" = "1" ]; then
 	rm -rf "$sup_dir"
 fi
 
+# Hot-path allocation guard (DESIGN.md §13): the five hot endpoints'
+# encode paths must stay at zero allocations per request (ceiling 1 to
+# absorb toolchain noise); the full in-process HTTP hop may add the
+# http.Header map write (ceiling 2) and writeError the errors.As
+# escape on top (ceiling 3). 1000 iterations keeps this under a
+# second. Skip with ALLOCGUARD=0.
+if [ "${ALLOCGUARD:-1}" = "1" ]; then
+	echo "== hot-path alloc guard (ServeHot* <= 1 allocs/op)"
+	go test -run '^$' -bench 'BenchmarkServeHot|BenchmarkWriteError' \
+		-benchtime 1000x ./internal/netserve | awk '
+	/^BenchmarkServeHotHTTP/   { if ($(NF-1) > 2) bad = bad ORS "  " $1 ": " $(NF-1) " allocs/op (ceiling 2)"; n++; next }
+	/^BenchmarkWriteError/     { if ($(NF-1) > 3) bad = bad ORS "  " $1 ": " $(NF-1) " allocs/op (ceiling 3)"; n++; next }
+	/^BenchmarkServeHot/       { if ($(NF-1) > 1) bad = bad ORS "  " $1 ": " $(NF-1) " allocs/op (ceiling 1)"; n++ }
+	END {
+		if (n < 7) { print "FAIL: expected 7 alloc benchmarks, saw " n; exit 1 }
+		if (bad != "") { print "FAIL: hot path allocates:" bad; exit 1 }
+		print "hot-path allocations within ceilings (" n " benchmarks)"
+	}'
+fi
+
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== scripts/bench.sh (BENCH=1)"
 	./scripts/bench.sh
+
+	# Serve latency regression gate (DESIGN.md §13): the fresh
+	# BENCH_serve.json may not regress serve_p99_ms by more than 20%
+	# against the committed baseline (git show HEAD:BENCH_serve.json),
+	# with a 2 ms absolute floor so micro-jitter on near-instant p99s
+	# cannot trip the gate. Only applies when a committed baseline with
+	# the same vertex count exists.
+	if git show HEAD:BENCH_serve.json >/dev/null 2>&1; then
+		echo "== serve p99 regression gate (<= 1.20x committed baseline)"
+		git show HEAD:BENCH_serve.json | awk '
+		function num(line) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+		/"serve_p99_ms"/ { base_p99 = num($0) }
+		/"vertices"/     { base_v = num($0) }
+		END { print base_p99, base_v }' >/tmp/serve_base.$$
+		awk '
+		function num(line) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+		/"serve_p99_ms"/ { p99 = num($0) }
+		/"vertices"/     { v = num($0) }
+		END { print p99, v }' BENCH_serve.json >/tmp/serve_new.$$
+		read -r base_p99 base_v </tmp/serve_base.$$
+		read -r new_p99 new_v </tmp/serve_new.$$
+		rm -f /tmp/serve_base.$$ /tmp/serve_new.$$
+		if [ "$base_v" = "$new_v" ]; then
+			awk -v b="$base_p99" -v n="$new_p99" 'BEGIN {
+				printf "serve_p99_ms: baseline %.2f, now %.2f\n", b, n
+				if (n > b * 1.2 && n > b + 2) {
+					printf "FAIL: serve p99 regressed %.0f%% (budget 20%% + 2ms floor)\n", (n / b - 1) * 100
+					exit 1
+				}
+			}'
+		else
+			echo "baseline vertex count $base_v != $new_v; skipping p99 gate"
+		fi
+	else
+		echo "== no committed BENCH_serve.json baseline; skipping p99 gate"
+	fi
 fi
 
 echo "OK"
