@@ -73,6 +73,7 @@ func main() {
 	logdir := flag.String("logdir", "logs", "directory for per-rank event logs")
 	cache := flag.Int("cache", eventlog.DefaultCacheEntries, "logger cache entries before each chunked write")
 	compress := flag.Bool("compress", false, "DEFLATE-compress log chunks")
+	flushEvery := flag.Int("flush-every", 0, "make each rank's log durable every N simulated hours (0 = only when the cache fills); lets netsynth -follow tail a running simulation")
 	resume := flag.Bool("resume", false, "continue a crashed or interrupted run from the logs in -logdir")
 	distHost := flag.String("dist-host", "", "host the TCP coordinator on this address (this process becomes rank 0)")
 	distJoin := flag.String("dist-join", "", "join a TCP coordinator at this address or @file (rank assigned by coordinator unless -dist-rank is set)")
@@ -100,6 +101,7 @@ func main() {
 	p, err := repro.NewPipeline(repro.Config{
 		Persons: *persons, Days: *days, Seed: *seed, Ranks: *ranks,
 		CacheEntries: *cache, Compress: *compress, HourDelay: *hourDelay,
+		FlushEvery: *flushEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -114,7 +116,7 @@ func main() {
 			Host: *distHost, Join: *distJoin,
 			Rank: *distRank, Token: *distToken,
 			AddrFile: *distAddrFile, RoundTimeout: *distRoundTimeout,
-		}, *ranks, *logdir, *resume, *hourDelay, eventlog.Config{
+		}, *ranks, *logdir, *resume, *hourDelay, uint32(*flushEvery), eventlog.Config{
 			CacheEntries: *cache, Compress: *compress,
 		}, *reportPath)
 		return
@@ -229,7 +231,7 @@ func printResumeReport(reports []*abm.ResumeReport) {
 // runDistributed executes one rank of the simulation in this process
 // over the TCP transport, then gathers and prints the combined summary
 // on rank 0.
-func runDistributed(ctx context.Context, p *repro.Pipeline, dist distOptions, ranks int, logdir string, resume bool, hourDelay time.Duration, logCfg eventlog.Config, reportPath string) {
+func runDistributed(ctx context.Context, p *repro.Pipeline, dist distOptions, ranks int, logdir string, resume bool, hourDelay time.Duration, flushEvery uint32, logCfg eventlog.Config, reportPath string) {
 	var node *mpinet.Node
 	var err error
 	if dist.Host != "" {
@@ -269,9 +271,10 @@ func runDistributed(ctx context.Context, p *repro.Pipeline, dist distOptions, ra
 	assign := p.SpatialAssignment(node.Size())
 	cfg := abm.RankConfig{
 		Pop: p.Pop, Gen: p.Gen, Days: p.Days(), Assign: assign,
-		LogPath:   filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
-		Log:       logCfg,
-		HourDelay: hourDelay,
+		LogPath:    filepath.Join(logdir, fmt.Sprintf("rank%04d.h5l", node.Rank())),
+		Log:        logCfg,
+		HourDelay:  hourDelay,
+		FlushEvery: flushEvery,
 	}
 	start := time.Now()
 	var rr abm.RankResult

@@ -29,13 +29,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/eventlog"
 	"repro/internal/graph"
 	"repro/internal/gstore"
 	"repro/internal/mpinet"
@@ -94,6 +98,13 @@ func main() {
 	distToken := flag.Uint64("dist-token", 0, "rank claim token; a restarted process presenting the same token reclaims its slot")
 	distAddrFile := flag.String("dist-addr-file", "", "rank 0: publish the coordinator's bound address to this file (for -dist-join @file)")
 	distRoundTimeout := flag.Duration("dist-round-timeout", 0, "rank 0: declare the slowest rank failed when a collective stalls this long (0 = off)")
+	follow := flag.Bool("follow", false, "tail the logs of a running simulation and publish one snapshot generation per window (requires -snapshot; -t1 0 means open-ended)")
+	windowHours := flag.Uint("window", 24, "streaming window width in simulated hours (with -follow)")
+	horizonHours := flag.Uint("horizon", core.DefaultStreamHorizon, "activity-span horizon in hours: a window closes once every log reaches window-end+horizon (with -follow)")
+	decay := flag.Float64("decay", 1.0, "per-window decay of accumulated collocation weight in [0,1]: 1 = cumulative, 0 = independent windows (with -follow)")
+	pollInterval := flag.Duration("poll", eventlog.DefaultTailPoll, "log tail poll interval (with -follow)")
+	history := flag.Int("history", 0, "retain the last N published generations beside -snapshot as hard links (with -follow)")
+	benchOut := flag.String("bench-out", "", "write streaming bench stats as JSON to this path (with -follow)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the synthesis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the synthesis to this file")
 	showStats := flag.Bool("stats", false, "print the per-stage statistics table after the run")
@@ -165,6 +176,15 @@ func main() {
 	// (signal.NotifyContext restores default handling once canceled).
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancelSignals()
+
+	if *follow {
+		runFollow(ctx, paths, uint32(*t0), uint32(*t1), cfg, followOptions{
+			Window: uint32(*windowHours), Horizon: uint32(*horizonHours),
+			Decay: *decay, Poll: *pollInterval, History: *history,
+			Snapshot: *snapshot, Out: *out, BenchOut: *benchOut,
+		})
+		return
+	}
 
 	if *distHost != "" || *distJoin != "" {
 		runDistributed(ctx, paths, uint32(*t0), uint32(*t1), cfg, distOptions{
@@ -337,6 +357,160 @@ func runDistributed(ctx context.Context, paths []string, t0, t1 uint32, cfg core
 		}
 		fmt.Printf("run report → %s\n", reportPath)
 	}
+}
+
+// followOptions bundles the streaming-mode flags so runFollow's
+// signature stays readable.
+type followOptions struct {
+	Window   uint32
+	Horizon  uint32
+	Decay    float64
+	Poll     time.Duration
+	History  int
+	Snapshot string
+	Out      string
+	BenchOut string
+}
+
+// decayRational converts the -decay fraction into the accumulator's
+// fixed-point rational with a 2^16 denominator. 1.0 maps to the exact
+// cumulative fold (num == den), 0.0 to independent windows.
+func decayRational(d float64) (num, den uint64, err error) {
+	if math.IsNaN(d) || d < 0 || d > 1 {
+		return 0, 0, fmt.Errorf("-decay must be in [0,1], got %v", d)
+	}
+	den = 1 << 16
+	return uint64(math.Round(d * float64(den))), den, nil
+}
+
+// runFollow is the streaming mode: it tails the (possibly still being
+// written, possibly not yet existing) log files of a running
+// simulation, synthesizes one network window at a time, and publishes
+// every window's rolling network as a fresh snapshot generation via
+// atomic rename — the contract netserve's watcher hot-swaps on with
+// zero downtime. The stream ends when the logs are closed with valid
+// footers and the slice is exhausted (or, with -t1 0, when the closed
+// logs run out of activity).
+func runFollow(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Config, opt followOptions) {
+	if opt.Snapshot == "" {
+		fatal(fmt.Errorf("-follow requires -snapshot (the live path generations are published to)"))
+	}
+	num, den, err := decayRational(opt.Decay)
+	if err != nil {
+		fatal(err)
+	}
+	if t1 == 0 {
+		t1 = core.StreamOpenEnd
+	}
+
+	pub := gstore.NewPublisher(opt.Snapshot, gstore.PublisherOptions{History: opt.History})
+	srcs := eventlog.OpenTails(ctx, paths, t0, t1, eventlog.TailOptions{Poll: opt.Poll})
+
+	var publishLat []time.Duration
+	var lastNet *sparse.Tri
+	start := time.Now()
+	st, err := core.Stream(ctx, srcs, core.StreamConfig{
+		T0: t0, T1: t1,
+		WindowHours: opt.Window, HorizonHours: opt.Horizon,
+		DecayNum: num, DecayDen: den,
+		Synth: cfg,
+		OnWindow: func(w core.WindowResult) error {
+			info, perr := pub.Publish(graph.FromTri(w.Net, 0))
+			if perr != nil {
+				return perr
+			}
+			publishLat = append(publishLat, info.Elapsed)
+			lastNet = w.Net
+			fmt.Printf("published generation %d: window [%d,%d) — %d entries, net %d vertices %d edges, %d bytes in %s\n",
+				info.Generation, w.W0, w.W1, w.Stats.Entries,
+				w.Net.Vertices(), w.Net.NNZ(), info.Bytes, info.Elapsed.Round(time.Millisecond))
+			return nil
+		},
+	})
+	if err != nil {
+		exitCanceled(err)
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if lastNet != nil {
+		f, err := os.Create(opt.Out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graph.WriteEdgeList(f, lastNet); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("final network: %d vertices, %d edges, total weight %d → %s\n",
+			lastNet.Vertices(), lastNet.NNZ(), lastNet.TotalWeight(), opt.Out)
+	}
+	fmt.Printf("stream done: %d windows, %d entries (%d late), peak buffered %d, max stop hour %d in %s\n",
+		st.Windows, st.Entries, st.LateEntries, st.PeakBuffered, st.MaxStop,
+		elapsed.Round(time.Millisecond))
+	if opt.BenchOut != "" {
+		writeStreamBench(opt.BenchOut, st, publishLat, elapsed)
+	}
+}
+
+// streamBench is the JSON shape of -bench-out: streaming throughput,
+// exact publish-latency quantiles over this run's publishes, and the
+// process's peak RSS (the accumulator dominates it in follow mode).
+type streamBench struct {
+	Windows        int     `json:"windows"`
+	Entries        uint64  `json:"entries"`
+	LateEntries    uint64  `json:"late_entries"`
+	PeakBuffered   int     `json:"peak_buffered_entries"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	WindowsPerHour float64 `json:"windows_per_hour"`
+	PublishP50Ms   float64 `json:"publish_p50_ms"`
+	PublishP99Ms   float64 `json:"publish_p99_ms"`
+	PeakRSSBytes   int64   `json:"peak_rss_bytes"`
+}
+
+// quantileDur returns the exact q-quantile of a sorted sample.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func writeStreamBench(path string, st *core.StreamStats, lat []time.Duration, elapsed time.Duration) {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b := streamBench{
+		Windows:      st.Windows,
+		Entries:      st.Entries,
+		LateEntries:  st.LateEntries,
+		PeakBuffered: st.PeakBuffered,
+		WallSeconds:  elapsed.Seconds(),
+		PublishP50Ms: float64(quantileDur(lat, 0.50)) / float64(time.Millisecond),
+		PublishP99Ms: float64(quantileDur(lat, 0.99)) / float64(time.Millisecond),
+	}
+	if elapsed > 0 {
+		b.WindowsPerHour = float64(st.Windows) / elapsed.Hours()
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		b.PeakRSSBytes = ru.Maxrss * 1024 // linux reports KiB
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stream bench → %s\n", path)
 }
 
 // writeSnapshot additionally persists the synthesized network as a

@@ -94,6 +94,9 @@ type Config struct {
 	// HourDelay stretches the wall clock for chaos tests; see
 	// RankConfig.HourDelay.
 	HourDelay time.Duration
+	// FlushEvery makes each rank flush its log cache to a durable chunk
+	// every N simulated hours; see RankConfig.FlushEvery.
+	FlushEvery uint32
 }
 
 // Result summarizes a run.
@@ -194,7 +197,7 @@ func run(ctx context.Context, cfg Config, resume bool) (*Result, []*ResumeReport
 			Pop: cfg.Pop, Gen: cfg.Gen, Days: cfg.Days, Assign: assign,
 			LogPath: logPath, Log: cfg.Log, FullStateLog: cfg.FullStateLog,
 			Interact: cfg.Interact, LogExt: cfg.LogExt, Stop: cfg.Stop,
-			HourDelay: cfg.HourDelay,
+			HourDelay: cfg.HourDelay, FlushEvery: cfg.FlushEvery,
 		}
 		var rr RankResult
 		var err error
@@ -271,6 +274,15 @@ type RankConfig struct {
 	// link cut) to reliably land mid-run, so the supervised smoke tests
 	// stretch the wall clock deterministically with it.
 	HourDelay time.Duration
+	// FlushEvery, when positive, flushes the rank's log cache to a
+	// durable chunk every FlushEvery simulated hours (in addition to the
+	// cache-full and close-time flushes). A live consumer tailing the
+	// log (eventlog.OpenTail) then sees entries at a bounded simulated
+	// lag instead of waiting for the cache to fill; the cost is smaller
+	// chunks. Zero keeps the batch behavior: flush only when the cache
+	// fills or the run ends. The logged entries are identical either
+	// way — only the chunk boundaries differ.
+	FlushEvery uint32
 }
 
 // RankResult is one rank's counters.
@@ -641,6 +653,14 @@ func RunRank(ctx context.Context, t mpi.Transport, cfg RankConfig) (rr RankResul
 				if err := logger.Log(e); err != nil {
 					return rr, err
 				}
+			}
+		}
+
+		// Hour-aligned durability for live tailing: everything this hour
+		// logged (entries with Stop <= hour) becomes a readable chunk.
+		if cfg.FlushEvery > 0 && logger != nil && (hour+1)%cfg.FlushEvery == 0 {
+			if err := logger.Flush(); err != nil {
+				return rr, err
 			}
 		}
 	}

@@ -123,6 +123,40 @@ func TestLogIndependentOfRankCount(t *testing.T) {
 	}
 }
 
+// TestFlushEveryLeavesEntriesIdentical: hour-aligned durability
+// flushes change where chunk boundaries fall, never which entries are
+// logged — the invariant that makes `chisim -flush-every` safe to turn
+// on for live tailing.
+func TestFlushEveryLeavesEntriesIdentical(t *testing.T) {
+	pop, gen := testWorld(t, 800)
+	base, err := Run(context.Background(), Config{
+		Pop: pop, Gen: gen, Ranks: 2, Days: 2,
+		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := Run(context.Background(), Config{
+		Pop: pop, Gen: gen, Ranks: 2, Days: 2, FlushEvery: 1,
+		LogDir: t.TempDir(), Log: eventlog.Config{CacheEntries: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.Flushes <= base.Flushes {
+		t.Fatalf("FlushEvery 1 produced %d flushes vs %d without", flushed.Flushes, base.Flushes)
+	}
+	a, b := readAll(t, base.LogPaths), readAll(t, flushed.LogPaths)
+	if len(a) != len(b) {
+		t.Fatalf("distinct entries differ: %d vs %d", len(a), len(b))
+	}
+	for e, n := range a {
+		if b[e] != n {
+			t.Fatalf("entry %+v: count %d without flushes, %d with", e, n, b[e])
+		}
+	}
+}
+
 func TestLogIndependentOfAssignment(t *testing.T) {
 	pop, gen := testWorld(t, 800)
 	random := partition.Random(pop.NumPlaces(), 4)

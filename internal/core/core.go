@@ -918,14 +918,14 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 // example with sparse.MergeTris) equals a single synthesis over the full
 // window.
 //
-// Each log file is read from disk exactly once: the whole-window entry
-// set is kept in memory and re-sliced per time slice, so an N-slice
-// series costs one file pass instead of N. (The series path is
-// inherently in-memory; use SynthesizeFiles per slice under a
-// MemBudgetBytes when the window itself exceeds RAM.)
+// The series is a client of the streaming engine (see stream.go): each
+// log file is read from disk exactly once into accumulator segments,
+// and every slice is one window Advance, with buffered entries evicted
+// as slices close. Windows decay to nothing between slices (decay 0) —
+// each returned network covers its slice alone.
 //
-// Cancellation is observed between slices, between files and within a
-// file's synthesis at work-unit granularity.
+// Cancellation is observed between slices, between batches and within a
+// slice's synthesis at work-unit granularity.
 func SynthesizeSeries(ctx context.Context, paths []string, t0, t1, sliceHours uint32, cfg Config) ([]*sparse.Tri, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -939,47 +939,36 @@ func SynthesizeSeries(ctx context.Context, paths []string, t0, t1, sliceHours ui
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no log files given")
 	}
-	perFile := make([][]eventlog.Entry, len(paths))
+	srcs := make([]eventlog.EntrySource, len(paths))
 	for i, p := range paths {
-		if err := ctxErr(ctx, "series load"); err != nil {
-			return nil, err
-		}
 		src, err := eventlog.OpenSource(p, t0, t1)
 		if err != nil {
+			for _, s := range srcs[:i] {
+				s.Close()
+			}
 			return nil, fmt.Errorf("core: %s: %w", p, err)
 		}
-		entries, err := eventlog.ReadAll(src)
-		src.Close()
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", p, err)
-		}
-		perFile[i] = entries
+		srcs[i] = src
 	}
 	var out []*sparse.Tri
-	var scratch []eventlog.Entry
-	for lo := t0; lo < t1; lo += sliceHours {
-		hi := lo + sliceHours
-		if hi > t1 {
-			hi = t1
-		}
-		// Per-file synthesis then cross-file merge, mirroring
-		// SynthesizeFiles so the outputs are bit-identical to the
-		// one-slice-at-a-time path.
-		tris := make([]*sparse.Tri, len(paths))
-		for i := range perFile {
-			scratch = scratch[:0]
-			for _, e := range perFile[i] {
-				if e.Start < hi && e.Stop > lo {
-					scratch = append(scratch, e)
-				}
-			}
-			tri, _, err := SynthesizeEntries(ctx, scratch, lo, hi, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s: %w", paths[i], err)
-			}
-			tris[i] = tri
-		}
-		out = append(out, sparse.MergeTrisParallel(cfg.workers(), tris...))
+	_, err := Stream(ctx, srcs, StreamConfig{
+		T0:          t0,
+		T1:          t1,
+		WindowHours: sliceHours,
+		// Windows are independent slices, and closed files carry no
+		// ordering guarantee, so decay to nothing between windows and
+		// close windows only at EOF (exact for any entry order).
+		DecayNum:     0,
+		DecayDen:     1,
+		HorizonHours: HorizonEOF,
+		Synth:        cfg,
+		OnWindow: func(w WindowResult) error {
+			out = append(out, w.Window)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -1012,46 +1001,50 @@ func SynthesizeFiles(ctx context.Context, paths []string, t0, t1 uint32, cfg Con
 	return synthesizeFilesInMemory(ctx, paths, t0, t1, cfg)
 }
 
-// synthesizeFilesInMemory is the fast path: each file's slice is
-// materialized, synthesized into raw pair entries, and one radix
-// coalesce at the end replaces the per-file coalesce plus cross-file
-// k-way matrix merge.
+// synthesizeFilesInMemory is the fast path: a one-window stream. Each
+// file's slice is streamed batch-wise into a WindowAccumulator segment
+// and a single Advance over [t0, t1) runs the synthesis — per file,
+// with one radix coalesce across all files, exactly the shape the
+// one-shot batch loop had before it was extracted into the accumulator.
 func synthesizeFilesInMemory(ctx context.Context, paths []string, t0, t1 uint32, cfg Config) (*sparse.Tri, *Stats, error) {
-	agg := &Stats{SliceHours: int(t1 - t0)}
-	all := sparse.GetEntries()
-	for _, p := range paths {
-		stats, err := func() (*Stats, error) {
-			r, err := eventlog.Open(p)
+	acc, err := NewWindowAccumulator(len(paths), 1, 1, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var load time.Duration
+	for i, p := range paths {
+		err := func() error {
+			src, err := eventlog.OpenSource(p, t0, t1)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			defer r.Close()
+			defer src.Close()
 			loadStart := time.Now()
-			entries, err := r.TimeSlice(t0, t1)
-			if err != nil {
-				return nil, err
+			for {
+				batch, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				if err := acc.Ingest(i, batch); err != nil {
+					return err
+				}
 			}
-			load := time.Since(loadStart)
-			var stats *Stats
-			all, stats, err = synthesizeEntriesInto(ctx, all, entries, t0, t1, cfg)
-			if stats != nil {
-				stats.Load += load
-			}
-			return stats, err
+			load += time.Since(loadStart)
+			return nil
 		}()
 		if err != nil {
-			sparse.PutEntries(all)
 			return nil, nil, fmt.Errorf("core: %s: %w", p, err)
 		}
-		agg.add(stats)
 	}
-	// One radix coalesce over every file's raw pair entries replaces the
-	// per-file coalesce plus cross-file k-way matrix merge.
-	start := time.Now()
-	total := sparse.TriFromEntries(all)
-	sparse.PutEntries(all)
-	agg.Reduce += time.Since(start)
-	return total, agg, nil
+	total, stats, err := acc.Advance(ctx, t0, t1)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Load += load
+	return total, stats, nil
 }
 
 // spillCacheEntries sizes the spill writers' in-memory caches. Small:

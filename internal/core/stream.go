@@ -1,0 +1,427 @@
+package core
+
+// Streaming synthesis: the batch pipeline's one-shot Gram/coalesce
+// accumulation, refactored into an incremental consumer.
+//
+// The batch entry points (SynthesizeFiles, SynthesizeEntries) read a
+// closed time slice and emit exactly one network. A live pipeline
+// inverts both assumptions: entries arrive as the simulation emits
+// them, and a new network generation must be published every window of
+// simulated time. This file provides the two pieces:
+//
+//   - Accumulator: the windowed state machine. Ingest buffers entries
+//     per source segment (the per-file dedup domain of the batch path),
+//     Advance closes one time window — synthesizing exactly the batch
+//     pipeline's stages over the buffered entries restricted to that
+//     window, then folding the window network into an exponentially
+//     decaying running network — and Emit returns the current running
+//     network. Decay is deterministic fixed-point arithmetic
+//     (floor(w·num/den) per window), so streamed outputs admit the same
+//     bit-identity oracles as the batch path: decay 1 makes the running
+//     network after window k bit-identical to a batch synthesis of
+//     [t0, w1_k), and decay 0 makes each window bit-identical to an
+//     independent batch synthesis of that window.
+//
+//   - Stream: the driver. It round-robins over a set of EntrySources
+//     (closed files or live eventlog.OpenTail tails), ingests batches,
+//     and closes window [w0, w1) exactly when it is provably complete:
+//     either every source has reported an entry with Stop ≥ w1 +
+//     horizon — sound because event logs are written in nondecreasing
+//     Stop order and no activity spans more than horizon hours — or
+//     every source hit EOF, which is exact regardless of order or
+//     horizon. Entries that can no longer contribute to any future
+//     window (Stop ≤ w1) are evicted as windows close, so a stream's
+//     resident entry set is bounded by the window+horizon span, not the
+//     log size — the whole-file materialization of the old batch path
+//     is gone (SynthesizeFiles and SynthesizeSeries are now thin
+//     clients of this machinery).
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/eventlog"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+var (
+	mStreamWindows  = telemetry.C("stream_windows_total")
+	mStreamLate     = telemetry.C("stream_late_entries_total")
+	mStreamIngested = telemetry.C("stream_ingested_entries_total")
+	mStreamBuffered = telemetry.G("stream_buffered_entries")
+	mWindowSeconds  = telemetry.H("stream_window_seconds")
+)
+
+// An Accumulator consumes log-entry batches incrementally and emits a
+// collocation network per closed time window. Implementations maintain
+// whatever per-segment state the dedup domain requires; the contract
+// every implementation shares:
+//
+//	Ingest(seg, batch)  buffer entries from source segment seg (copied;
+//	                    the batch may be reused by the caller).
+//	Advance(ctx, w0, w1) close window [w0, w1): synthesize the buffered
+//	                    entries restricted to it, fold the result into
+//	                    the running network, release entries that no
+//	                    future window can see, and return the window's
+//	                    own network.
+//	Emit()              the running (decayed) network as of the last
+//	                    Advance. The returned matrix is never mutated by
+//	                    later calls — callers may retain it.
+type Accumulator interface {
+	Ingest(seg int, batch []eventlog.Entry) error
+	Advance(ctx context.Context, w0, w1 uint32) (*sparse.Tri, *Stats, error)
+	Emit() *sparse.Tri
+}
+
+// WindowAccumulator is the standard Accumulator: per-segment entry
+// buffers (segments are the batch pipeline's per-file dedup domains, so
+// streamed windows coalesce exactly like batch runs), windowed
+// synthesis through the same stage 1b–4 kernels as the batch path, and
+// deterministic fixed-point exponential decay of the running network.
+type WindowAccumulator struct {
+	cfg                Config
+	decayNum, decayDen uint64
+	segs               [][]eventlog.Entry
+	net                *sparse.Tri // running decayed network; nil before the first Advance
+	frontier           uint32      // end of the last advanced window
+	late               uint64
+	buffered           int
+}
+
+// NewWindowAccumulator returns a WindowAccumulator over `segments`
+// entry sources. The running network decays by floor(w·decayNum/
+// decayDen) each Advance before the new window is added: num==den keeps
+// the cumulative sum (bit-identical to batch synthesis of the full
+// advanced range), num==0 makes every window independent, and anything
+// in between is an exponential half-life in window units. Weights that
+// decay to zero are dropped from the running network (the pair is
+// forgotten). decayNum > decayDen (amplification) is rejected.
+func NewWindowAccumulator(segments int, decayNum, decayDen uint64, cfg Config) (*WindowAccumulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if segments <= 0 {
+		return nil, fmt.Errorf("core: accumulator needs at least one segment, got %d", segments)
+	}
+	if decayDen == 0 {
+		return nil, fmt.Errorf("core: decay denominator must be positive")
+	}
+	if decayNum > decayDen {
+		return nil, fmt.Errorf("core: decay %d/%d would amplify weights", decayNum, decayDen)
+	}
+	return &WindowAccumulator{
+		cfg:      cfg,
+		decayNum: decayNum,
+		decayDen: decayDen,
+		segs:     make([][]eventlog.Entry, segments),
+	}, nil
+}
+
+// Ingest buffers a batch of entries from segment seg. The batch is
+// copied, honoring the EntrySource contract that batches are only valid
+// until the next Next. Entries starting before the accumulator's
+// frontier arrived too late for already-closed windows; they still
+// contribute to every remaining window they overlap, and are counted in
+// LateEntries (and stream_late_entries_total) because the closed
+// windows missed them.
+func (a *WindowAccumulator) Ingest(seg int, batch []eventlog.Entry) error {
+	if seg < 0 || seg >= len(a.segs) {
+		return fmt.Errorf("core: ingest into segment %d of %d", seg, len(a.segs))
+	}
+	for _, e := range batch {
+		if e.Start < a.frontier {
+			a.late++
+			mStreamLate.Inc()
+		}
+	}
+	a.segs[seg] = append(a.segs[seg], batch...)
+	a.buffered += len(batch)
+	mStreamIngested.Add(int64(len(batch)))
+	mStreamBuffered.Set(int64(a.buffered))
+	return nil
+}
+
+// Advance closes the window [w0, w1): it synthesizes the buffered
+// entries restricted to the window (per segment, coalesced once across
+// segments — the exact shape of the batch per-file loop, so the result
+// is bit-identical to SynthesizeFiles over the same entries and
+// window), folds it into the decayed running network, and evicts
+// entries no future window can overlap. Windows must advance
+// monotonically: w0 ≥ the previous w1.
+func (a *WindowAccumulator) Advance(ctx context.Context, w0, w1 uint32) (*sparse.Tri, *Stats, error) {
+	if w1 <= w0 {
+		return nil, nil, fmt.Errorf("core: empty window [%d,%d)", w0, w1)
+	}
+	if w0 < a.frontier {
+		return nil, nil, fmt.Errorf("core: window [%d,%d) starts before frontier %d", w0, w1, a.frontier)
+	}
+	sw := telemetry.Clock()
+	all := sparse.GetEntries()
+	agg := &Stats{SliceHours: int(w1 - w0)}
+	for seg, entries := range a.segs {
+		var stats *Stats
+		var err error
+		all, stats, err = synthesizeEntriesInto(ctx, all, entries, w0, w1, a.cfg)
+		if err != nil {
+			sparse.PutEntries(all)
+			return nil, nil, fmt.Errorf("core: window [%d,%d) segment %d: %w", w0, w1, seg, err)
+		}
+		agg.add(stats)
+	}
+	win := sparse.TriFromEntries(all)
+	sparse.PutEntries(all)
+
+	// Fold into the running network: decay, then add. The fold is pure —
+	// previously emitted networks are never mutated.
+	switch {
+	case a.net == nil || a.decayNum == 0:
+		a.net = win
+	case a.decayNum == a.decayDen:
+		a.net = sparse.MergeTris(a.net, win)
+	default:
+		a.net = sparse.MergeTris(scaleTri(a.net, a.decayNum, a.decayDen), win)
+	}
+
+	// Evict entries that stopped at or before the new frontier: no
+	// window [w1, ∞) can overlap them. This is the bound that replaces
+	// the batch path's whole-slice materialization.
+	a.frontier = w1
+	a.buffered = 0
+	for seg, entries := range a.segs {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Stop > w1 {
+				kept = append(kept, e)
+			}
+		}
+		a.segs[seg] = kept
+		a.buffered += len(kept)
+	}
+	mStreamBuffered.Set(int64(a.buffered))
+	mStreamWindows.Inc()
+	sw.Observe(mWindowSeconds)
+	return win, agg, nil
+}
+
+// Emit returns the running decayed network as of the last Advance (nil
+// before the first). The matrix is immutable from the accumulator's
+// side; callers may retain or serialize it freely.
+func (a *WindowAccumulator) Emit() *sparse.Tri { return a.net }
+
+// Buffered returns the number of entries currently resident across all
+// segment buffers.
+func (a *WindowAccumulator) Buffered() int { return a.buffered }
+
+// LateEntries returns how many ingested entries started before an
+// already-closed window (see Ingest).
+func (a *WindowAccumulator) LateEntries() uint64 { return a.late }
+
+// scaleTri returns a new Tri with every weight scaled to
+// floor(w·num/den), dropping pairs whose weight reaches zero. The input
+// is not modified.
+func scaleTri(t *sparse.Tri, num, den uint64) *sparse.Tri {
+	out := &sparse.Tri{
+		I: make([]uint32, 0, len(t.I)),
+		J: make([]uint32, 0, len(t.J)),
+		W: make([]uint32, 0, len(t.W)),
+	}
+	for k := range t.I {
+		if w := uint32(uint64(t.W[k]) * num / den); w > 0 {
+			out.I = append(out.I, t.I[k])
+			out.J = append(out.J, t.J[k])
+			out.W = append(out.W, w)
+		}
+	}
+	return out
+}
+
+// DefaultStreamHorizon is the window-close horizon (in hours) used when
+// StreamConfig.HorizonHours is zero. The synthetic-population schedule
+// generator tiles each person's day with activities, so no single
+// activity spans more than 24 hours — an entry overlapping window
+// [w0, w1) therefore has Stop > w0 ≥ w1 − window and certainly
+// Stop > w1 − 24… more usefully: once a source has logged an entry with
+// Stop ≥ w1 + 24, every later entry of that source (logs are
+// nondecreasing in Stop) has Start = Stop − span ≥ w1, so the window is
+// complete.
+const DefaultStreamHorizon = 24
+
+// HorizonEOF disables horizon-based window closing: windows close only
+// when every source reaches EOF. Exact for any entry order (no
+// nondecreasing-Stop assumption), at the cost of buffering each
+// source's full overlap of [T0, T1) before the first window closes.
+const HorizonEOF = ^uint32(0)
+
+// StreamOpenEnd as StreamConfig.T1 means "until every source ends":
+// windows are emitted until the sources' data runs out rather than up
+// to a fixed hour.
+const StreamOpenEnd = ^uint32(0)
+
+// StreamConfig configures a streaming synthesis run.
+type StreamConfig struct {
+	// T0, T1 bound the synthesized range in simulation hours. T1 =
+	// StreamOpenEnd follows the sources until EOF and stops after the
+	// last window containing data; a finite T1 emits every window of
+	// [T0, T1), including trailing empty ones.
+	T0, T1 uint32
+	// WindowHours is the emission cadence: one network per window.
+	WindowHours uint32
+	// HorizonHours bounds the activity span assumed when deciding a
+	// window is complete (see DefaultStreamHorizon); zero selects the
+	// default, HorizonEOF closes windows only at source EOF.
+	HorizonHours uint32
+	// DecayNum/DecayDen set the per-window weight decay of the running
+	// network (see NewWindowAccumulator). Both zero selects 1/1 — the
+	// cumulative network.
+	DecayNum, DecayDen uint64
+	// Synth configures the per-window synthesis.
+	Synth Config
+	// OnWindow is called after each window closes, in window order, with
+	// the window's own network, the running network, and the window's
+	// synthesis stats. Returning an error aborts the stream with that
+	// error. The Window and Net matrices are the callback's to retain.
+	OnWindow func(WindowResult) error
+}
+
+// WindowResult is one closed window of a streaming synthesis.
+type WindowResult struct {
+	// Index is the zero-based window number.
+	Index int
+	// W0, W1 bound the closed window in simulation hours.
+	W0, W1 uint32
+	// Window is the network of this window alone.
+	Window *sparse.Tri
+	// Net is the running decayed network including this window.
+	Net *sparse.Tri
+	// Stats reports the window's synthesis stages.
+	Stats *Stats
+}
+
+// StreamStats summarizes a completed streaming synthesis.
+type StreamStats struct {
+	// Windows is the number of windows emitted.
+	Windows int
+	// Entries is the total number of entries ingested.
+	Entries uint64
+	// LateEntries counts entries that arrived after their window closed
+	// (nonzero only when HorizonHours underestimates the true maximum
+	// activity span).
+	LateEntries uint64
+	// PeakBuffered is the high-water mark of resident buffered entries.
+	PeakBuffered int
+	// MaxStop is the largest Stop hour seen across all sources.
+	MaxStop uint32
+}
+
+// Stream drives a set of entry sources through a WindowAccumulator,
+// invoking cfg.OnWindow once per closed window. Sources may be closed
+// files or live tails (eventlog.OpenTail); Stream closes every source
+// before returning. A window [w0, w1) closes when every source has
+// either reported an entry with Stop ≥ w1 + horizon (sound for
+// nondecreasing-Stop logs, which is how the simulator writes them) or
+// reached EOF. Cancelling ctx aborts between batches — and, because a
+// live tail's Next observes the same ctx, also while blocked waiting
+// for simulation output — with an error wrapping context.Canceled.
+func Stream(ctx context.Context, srcs []eventlog.EntrySource, cfg StreamConfig) (*StreamStats, error) {
+	defer func() {
+		for _, s := range srcs {
+			s.Close()
+		}
+	}()
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("core: no entry sources given")
+	}
+	if cfg.WindowHours == 0 {
+		return nil, fmt.Errorf("core: WindowHours must be positive")
+	}
+	if cfg.T1 <= cfg.T0 {
+		return nil, fmt.Errorf("core: empty stream range [%d,%d)", cfg.T0, cfg.T1)
+	}
+	horizon := cfg.HorizonHours
+	if horizon == 0 {
+		horizon = DefaultStreamHorizon
+	}
+	num, den := cfg.DecayNum, cfg.DecayDen
+	if num == 0 && den == 0 {
+		num, den = 1, 1
+	}
+	acc, err := NewWindowAccumulator(len(srcs), num, den, cfg.Synth)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &StreamStats{}
+	alive := make([]bool, len(srcs))
+	maxStop := make([]uint32, len(srcs))
+	live := len(srcs)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	lo := cfg.T0
+	for lo < cfg.T1 {
+		if live == 0 && cfg.T1 == StreamOpenEnd && st.MaxStop <= lo {
+			break // open-ended stream: data ran out
+		}
+		hi := lo + cfg.WindowHours
+		if hi > cfg.T1 || hi < lo { // clamp, incl. uint32 overflow
+			hi = cfg.T1
+		}
+		closeAt := hi + horizon
+		if closeAt < hi { // saturate
+			closeAt = ^uint32(0)
+		}
+		// Pull every source until it can no longer contribute to
+		// [lo, hi): it has logged past the horizon, or it ended.
+		for si, src := range srcs {
+			for alive[si] && (horizon == HorizonEOF || maxStop[si] < closeAt) {
+				batch, nerr := src.Next()
+				if nerr == io.EOF {
+					alive[si] = false
+					live--
+					break
+				}
+				if nerr != nil {
+					return st, fmt.Errorf("core: stream source %d: %w", si, nerr)
+				}
+				if ierr := acc.Ingest(si, batch); ierr != nil {
+					return st, ierr
+				}
+				st.Entries += uint64(len(batch))
+				for _, e := range batch {
+					if e.Stop > maxStop[si] {
+						maxStop[si] = e.Stop
+					}
+				}
+				if maxStop[si] > st.MaxStop {
+					st.MaxStop = maxStop[si]
+				}
+				if b := acc.Buffered(); b > st.PeakBuffered {
+					st.PeakBuffered = b
+				}
+			}
+		}
+		win, wstats, aerr := acc.Advance(ctx, lo, hi)
+		if aerr != nil {
+			return st, aerr
+		}
+		st.Windows++
+		st.LateEntries = acc.LateEntries()
+		if cfg.OnWindow != nil {
+			if cerr := cfg.OnWindow(WindowResult{
+				Index:  st.Windows - 1,
+				W0:     lo,
+				W1:     hi,
+				Window: win,
+				Net:    acc.Emit(),
+				Stats:  wstats,
+			}); cerr != nil {
+				return st, cerr
+			}
+		}
+		lo = hi
+	}
+	return st, nil
+}

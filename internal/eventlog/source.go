@@ -9,6 +9,7 @@ package eventlog
 // and multi-file runs are streamed one file at a time.
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -37,6 +38,7 @@ const sliceBatch = 8192
 
 // sliceSource streams an in-memory entry slice.
 type sliceSource struct {
+	ctx     context.Context
 	entries []Entry
 	t0, t1  uint32
 	pos     int
@@ -46,14 +48,20 @@ type sliceSource struct {
 
 // SliceSource returns an EntrySource over in-memory entries, yielding
 // only those whose activity interval overlaps [t0, t1). It adapts
-// slice-of-everything callers to streaming consumers.
-func SliceSource(entries []Entry, t0, t1 uint32) EntrySource {
-	return &sliceSource{entries: entries, t0: t0, t1: t1}
+// slice-of-everything callers to streaming consumers. Once ctx is done,
+// Next returns an error wrapping ctx.Err() — the pipeline-wide
+// cancellation contract (wrapped, never bare, so errors.Is works and
+// the message says who was canceled).
+func SliceSource(ctx context.Context, entries []Entry, t0, t1 uint32) EntrySource {
+	return &sliceSource{ctx: ctx, entries: entries, t0: t0, t1: t1}
 }
 
 func (s *sliceSource) Next() ([]Entry, error) {
 	if s.closed {
 		return nil, io.EOF
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("eventlog: slice source: %w", err)
 	}
 	s.buf = s.buf[:0]
 	for s.pos < len(s.entries) {

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"context"
 	"io"
 	"path/filepath"
 	"testing"
@@ -73,7 +74,7 @@ func drain(t *testing.T, src EntrySource) []Entry {
 
 func TestSliceSourceMatchesFilter(t *testing.T) {
 	entries := sourceTestEntries(20000, 100)
-	src := SliceSource(entries, 10, 40)
+	src := SliceSource(context.Background(), entries, 10, 40)
 	got := drain(t, src)
 	if err := src.Close(); err != nil {
 		t.Fatal(err)
@@ -91,7 +92,7 @@ func TestSliceSourceMatchesFilter(t *testing.T) {
 
 func TestSliceSourceBatchesAreBounded(t *testing.T) {
 	entries := sourceTestEntries(50000, 50)
-	src := SliceSource(entries, 0, ^uint32(0))
+	src := SliceSource(context.Background(), entries, 0, ^uint32(0))
 	defer src.Close()
 	batches := 0
 	for {
@@ -172,7 +173,7 @@ func TestOpenFilesSourceMissingFile(t *testing.T) {
 func TestMultiSourceConcatenates(t *testing.T) {
 	a := sourceTestEntries(100, 20)
 	b := sourceTestEntries(50, 20)
-	src := MultiSource(SliceSource(a, 0, 20), SliceSource(b, 0, 20))
+	src := MultiSource(SliceSource(context.Background(), a, 0, 20), SliceSource(context.Background(), b, 0, 20))
 	got := drain(t, src)
 	if err := src.Close(); err != nil {
 		t.Fatal(err)
@@ -184,7 +185,7 @@ func TestMultiSourceConcatenates(t *testing.T) {
 }
 
 func TestReadAllEmptySource(t *testing.T) {
-	got, err := ReadAll(SliceSource(nil, 0, 10))
+	got, err := ReadAll(SliceSource(context.Background(), nil, 0, 10))
 	if err != nil {
 		t.Fatal(err)
 	}

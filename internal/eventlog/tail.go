@@ -1,0 +1,173 @@
+package eventlog
+
+// Live tailing of event logs.
+//
+// A batch pipeline replays closed log files; a streaming pipeline must
+// consume a log *while the simulation is still appending to it*. Tail
+// turns a (possibly not-yet-existing) log path into an EntrySource that
+// blocks in Next until new durable chunks appear, yields them, and
+// returns io.EOF only once the writer has closed the file (valid
+// footer). It reuses the crash-recovery machinery's chunk validation —
+// every yielded chunk passed the same structural/CRC/deflate checks as
+// a salvage scan — and h5.RecoverFrom's byte cursor so each poll costs
+// O(new data), not O(file).
+//
+// Torn tails are safe by construction: the logger appends sequentially
+// to an os.File, so the file size only covers fully-written bytes, and
+// scanChunks refuses any chunk whose declared stride overruns the
+// current size. A chunk mid-write is simply not yielded until its last
+// byte (and CRC trailer, when enabled) is on disk; the next poll picks
+// it up.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"time"
+
+	"repro/internal/h5"
+)
+
+// DefaultTailPoll is the poll interval used when TailOptions.Poll is
+// zero.
+const DefaultTailPoll = 200 * time.Millisecond
+
+// TailOptions configures OpenTail.
+type TailOptions struct {
+	// Poll is the interval between growth checks while the tail is
+	// waiting for the file to appear or to grow. Zero means
+	// DefaultTailPoll.
+	Poll time.Duration
+}
+
+// tailSource tails one growing log file.
+type tailSource struct {
+	ctx    context.Context
+	path   string
+	t0, t1 uint32
+	poll   time.Duration
+
+	pos    int64      // h5 salvage byte cursor (Salvage.End)
+	rd     *h5.Reader // reader over the most recent batch of new chunks
+	rec    int        // record size, learned from the first salvage
+	chunk  int        // next chunk to decode within rd
+	done   bool       // writer closed the file (valid footer)
+	buf    []Entry
+	closed bool
+}
+
+// OpenTail returns an EntrySource that follows the log file at path as
+// it is written, yielding entries whose activity interval overlaps
+// [t0, t1). The file need not exist yet — the source waits for it.
+// Next blocks (polling at opts.Poll) until a new durable chunk is
+// available, the file gains a valid footer (then io.EOF after the last
+// entries), or ctx is done (then an error wrapping ctx.Err()).
+//
+// Entries are yielded in chunk order, i.e. in the nondecreasing-Stop
+// order the simulation logged them — the property window-close logic in
+// the streaming synthesizer depends on.
+func OpenTail(ctx context.Context, path string, t0, t1 uint32, opts TailOptions) EntrySource {
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = DefaultTailPoll
+	}
+	return &tailSource{ctx: ctx, path: path, t0: t0, t1: t1, poll: poll}
+}
+
+func (s *tailSource) Next() ([]Entry, error) {
+	if s.closed {
+		return nil, io.EOF
+	}
+	for {
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("eventlog: tail %s: %w", s.path, err)
+		}
+		// Drain the reader over the chunks the last poll validated.
+		if s.rd != nil {
+			for s.chunk < s.rd.NumChunks() {
+				payload, err := s.rd.ReadChunk(s.chunk)
+				if err != nil {
+					return nil, fmt.Errorf("eventlog: tail %s: %w", s.path, err)
+				}
+				s.chunk++
+				s.buf = s.buf[:0]
+				for off := 0; off < len(payload); off += s.rec {
+					e := decodeEntry(payload[off:])
+					if e.Start < s.t1 && e.Stop > s.t0 {
+						s.buf = append(s.buf, e)
+					}
+				}
+				if len(s.buf) > 0 {
+					return s.buf, nil
+				}
+			}
+			s.rd.Close()
+			s.rd = nil
+		}
+		if s.done {
+			s.closed = true
+			return nil, io.EOF
+		}
+		// Poll for growth past the cursor.
+		sal, err := h5.RecoverFrom(s.path, s.pos)
+		switch {
+		case err == nil:
+			if serr := checkSalvageSchema(sal, nil); serr != nil {
+				return nil, fmt.Errorf("eventlog: tail %s: %w", s.path, serr)
+			}
+			s.done = sal.Complete()
+			if sal.Chunks() > 0 {
+				rd, rerr := sal.Reader()
+				if rerr != nil {
+					return nil, fmt.Errorf("eventlog: tail %s: %w", s.path, rerr)
+				}
+				s.rd, s.chunk = rd, 0
+				s.rec = sal.Schema().RecordSize
+				s.pos = sal.End()
+				continue
+			}
+			s.pos = sal.End()
+			if s.done {
+				continue // footer appeared with no new chunks: EOF
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Not created yet; keep waiting.
+		default:
+			// The header is written in one shot at Create, so a header
+			// that does not parse is an in-flight creation (or a crash
+			// artifact about to be resumed) — transient either way.
+		}
+		select {
+		case <-s.ctx.Done():
+			return nil, fmt.Errorf("eventlog: tail %s: %w", s.path, s.ctx.Err())
+		case <-time.After(s.poll):
+		}
+	}
+}
+
+func (s *tailSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.buf = nil
+	if s.rd != nil {
+		err := s.rd.Close()
+		s.rd = nil
+		return err
+	}
+	return nil
+}
+
+// OpenTails returns one tailing EntrySource per path, all sharing ctx
+// and opts. It is the multi-rank companion of OpenTail: one source per
+// rank log of a running simulation.
+func OpenTails(ctx context.Context, paths []string, t0, t1 uint32, opts TailOptions) []EntrySource {
+	srcs := make([]EntrySource, len(paths))
+	for i, p := range paths {
+		srcs[i] = OpenTail(ctx, p, t0, t1, opts)
+	}
+	return srcs
+}

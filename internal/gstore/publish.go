@@ -1,0 +1,122 @@
+package gstore
+
+// Generation publishing for streaming synthesis.
+//
+// A streaming synthesizer emits a new network every simulated window;
+// netserve watches one snapshot path and hot-swaps generations on
+// mtime change. Publisher is the glue contract between them: every
+// Publish bakes a fully indexed v2 snapshot through the atomic
+// temp+fsync+rename discipline (writeFileWith), so the watcher can
+// never observe a torn file, and every publish lands on a fresh inode,
+// which is what lets the watcher disambiguate back-to-back publishes
+// whose mtimes collide within the filesystem timestamp granularity.
+//
+// Publishing is deterministic end to end: WriteFileIndexed produces
+// worker-count-invariant bytes, so a generation published from a
+// streamed accumulator is byte-identical to a batch `netsynth
+// -snapshot` of the same window — the oracle the streaming smoke test
+// leans on.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+var (
+	mPublishes      = telemetry.C("gstore_publish_total")
+	mPublishSeconds = telemetry.H("gstore_publish_seconds")
+)
+
+// PublisherOptions configures a Publisher.
+type PublisherOptions struct {
+	// Index configures the v2 index sections baked into each generation.
+	Index IndexOptions
+	// History retains the last History generations beside the live path
+	// as hard links named <path>.gen-NNNNNN; older ones are pruned.
+	// Zero keeps no history — each publish replaces the previous file.
+	History int
+}
+
+// Publisher writes successive graph generations to one snapshot path.
+// It is not safe for concurrent use; a streaming pipeline publishes
+// windows in order from one goroutine.
+type Publisher struct {
+	path string
+	opts PublisherOptions
+	gen  int
+}
+
+// PublishInfo reports one completed publish.
+type PublishInfo struct {
+	// Generation is the 1-based publish count of this Publisher.
+	Generation int
+	// Path is the live snapshot path the generation was renamed onto.
+	Path string
+	// Bytes is the size of the published snapshot.
+	Bytes int64
+	// Elapsed is the wall time of the bake + atomic rename.
+	Elapsed time.Duration
+}
+
+// NewPublisher returns a Publisher for the given live snapshot path.
+// The parent directory must exist.
+func NewPublisher(path string, opts PublisherOptions) *Publisher {
+	return &Publisher{path: path, opts: opts}
+}
+
+// Generation returns the number of generations published so far.
+func (p *Publisher) Generation() int { return p.gen }
+
+// Publish bakes g as the next snapshot generation: an indexed v2
+// snapshot is written to a temporary file in the destination directory,
+// fsynced, and renamed over the live path. On return the new generation
+// is durable and visible to any watcher; the previous generation's
+// bytes are either unlinked or, with History > 0, retained as
+// <path>.gen-NNNNNN.
+func (p *Publisher) Publish(g *graph.Graph) (PublishInfo, error) {
+	start := time.Now()
+	if err := WriteFileIndexed(p.path, g, p.opts.Index); err != nil {
+		return PublishInfo{}, fmt.Errorf("gstore: publish %s: %w", p.path, err)
+	}
+	p.gen++
+	info := PublishInfo{Generation: p.gen, Path: p.path}
+	if st, err := os.Stat(p.path); err == nil {
+		info.Bytes = st.Size()
+	}
+	if p.opts.History > 0 {
+		if err := p.retain(); err != nil {
+			return info, err
+		}
+	}
+	info.Elapsed = time.Since(start)
+	mPublishes.Inc()
+	mPublishSeconds.Observe(info.Elapsed)
+	return info, nil
+}
+
+// retain hard-links the just-published generation beside the live path
+// and prunes history beyond opts.History. Hard links share the live
+// file's inode, so retention costs directory entries, not bytes, and
+// pruning can never disturb the live path.
+func (p *Publisher) retain() error {
+	hist := fmt.Sprintf("%s.gen-%06d", p.path, p.gen)
+	if err := os.Link(p.path, hist); err != nil {
+		return fmt.Errorf("gstore: retain generation %d: %w", p.gen, err)
+	}
+	old, err := filepath.Glob(p.path + ".gen-*")
+	if err != nil {
+		return nil // invalid pattern cannot happen with a fixed suffix
+	}
+	sort.Strings(old) // zero-padded names sort chronologically
+	for len(old) > p.opts.History {
+		os.Remove(old[0])
+		old = old[1:]
+	}
+	return nil
+}

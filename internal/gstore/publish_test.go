@@ -1,0 +1,103 @@
+package gstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+func pubGraph(w uint32) *graph.Graph {
+	return graph.FromTri(&sparse.Tri{
+		I: []uint32{0, 1},
+		J: []uint32{1, 2},
+		W: []uint32{w, w + 1},
+	}, 4)
+}
+
+// TestPublisherGenerations: every publish lands deterministic indexed
+// bytes on the live path, on a fresh inode (the property the netserve
+// watcher relies on to disambiguate same-mtime publishes), with a
+// monotonic generation count.
+func TestPublisherGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.gsnap")
+	p := NewPublisher(path, PublisherOptions{})
+	var prev os.FileInfo
+	for i := 1; i <= 3; i++ {
+		info, err := p.Publish(pubGraph(uint32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Generation != i || p.Generation() != i {
+			t.Fatalf("publish %d: generation = %d/%d", i, info.Generation, p.Generation())
+		}
+		if info.Bytes <= 0 {
+			t.Fatalf("publish %d: %d bytes", i, info.Bytes)
+		}
+		ref := filepath.Join(dir, "ref.gsnap")
+		if err := WriteFileIndexed(ref, pubGraph(uint32(i)), IndexOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("publish %d: bytes differ from a direct indexed write", i)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && os.SameFile(prev, fi) {
+			t.Fatalf("publish %d reused the previous inode", i)
+		}
+		prev = fi
+	}
+}
+
+// TestPublisherHistoryRetention: History keeps the last N generations
+// as hard links beside the live path and prunes older ones; the newest
+// link shares the live file's inode and retained generations stay
+// loadable.
+func TestPublisherHistoryRetention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.gsnap")
+	p := NewPublisher(path, PublisherOptions{History: 2})
+	for i := 1; i <= 5; i++ {
+		if _, err := p.Publish(pubGraph(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := filepath.Glob(path + ".gen-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(old)
+	want := []string{path + ".gen-000004", path + ".gen-000005"}
+	if len(old) != len(want) || old[0] != want[0] || old[1] != want[1] {
+		t.Fatalf("history = %v, want %v", old, want)
+	}
+	live, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest, err := os.Stat(want[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(live, newest) {
+		t.Fatal("newest history link does not share the live file's inode")
+	}
+	if _, err := LoadGraphFile(want[0], 0); err != nil {
+		t.Fatalf("retained generation unloadable: %v", err)
+	}
+}

@@ -62,6 +62,12 @@ func (s *Salvage) Records() uint64 {
 // if true, no data was lost and Recover degenerated to a normal open.
 func (s *Salvage) Complete() bool { return s.complete }
 
+// End returns the file offset just past the last intact chunk. It is a
+// durable cursor: passing it to RecoverFrom later re-scans only chunks
+// appended after this Salvage was taken, making repeated tailing of a
+// growing file O(new data) instead of O(file) per poll.
+func (s *Salvage) End() int64 { return s.end }
+
 // TruncatedBytes returns the number of torn tail bytes that will be
 // discarded by Resume (zero for complete files, where only the index and
 // footer follow the last chunk).
@@ -178,6 +184,69 @@ func Recover(path string) (*Salvage, error) {
 
 	// Salvage scan over self-delimiting chunk headers.
 	index, end := scanChunks(f, size, headerEnd, schema, flags)
+	return &Salvage{
+		path:   path,
+		schema: schema,
+		flags:  flags,
+		index:  index,
+		end:    end,
+		size:   size,
+	}, nil
+}
+
+// RecoverFrom is Recover restricted to the chunks at or after file
+// offset pos, which must be a value previously returned by Salvage.End
+// on the same file (or zero / any offset at or before the first chunk,
+// which degenerates to a full Recover). It exists for tailing a file
+// that is still being written: each poll revalidates only the newly
+// appended chunks instead of re-checksumming the whole file.
+//
+// The returned Salvage's index covers only the new chunks, so Chunks
+// and Records count new data and Reader reads just the new suffix.
+// Such a partial Salvage is for reading and cursor advancement only —
+// do not call Resume on it (Resume's index would be missing the chunks
+// before pos).
+func RecoverFrom(path string, pos int64) (*Salvage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+
+	schema, flags, headerEnd, err := readHeader(f, size)
+	if err != nil {
+		return nil, err
+	}
+	if pos < headerEnd {
+		pos = headerEnd
+	}
+
+	// Fast path: intact footer and valid index — keep only the suffix at
+	// or after pos. chunkMeta offsets point at payloads, so the chunk
+	// itself starts chunkHdrSize earlier.
+	if r, err := NewReader(f, size); err == nil {
+		idx := r.index
+		for len(idx) > 0 && int64(idx[0].offset)-chunkHdrSize < pos {
+			idx = idx[1:]
+		}
+		return &Salvage{
+			path:     path,
+			schema:   r.schema,
+			flags:    r.flags,
+			index:    append([]chunkMeta(nil), idx...),
+			end:      endOfChunks(r.index, r.flags, headerEnd),
+			size:     size,
+			complete: true,
+		}, nil
+	}
+
+	// Salvage scan restricted to the suffix starting at pos.
+	index, end := scanChunks(f, size, pos, schema, flags)
 	return &Salvage{
 		path:   path,
 		schema: schema,

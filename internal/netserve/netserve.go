@@ -98,7 +98,7 @@ type generation struct {
 	num      uint64
 	snap     *gstore.Snapshot
 	idx      *gstore.Index // nil for v1 snapshots / TSV loads
-	mtime    time.Time
+	sig      fileSig
 	loadedAt time.Time
 	refs     atomic.Int64
 	closed   sync.Once
@@ -294,16 +294,52 @@ func New(path string, opts Options) (*Server, error) {
 	return s, nil
 }
 
+// fileSig identifies the exact snapshot file a generation was loaded
+// from. ModTime alone is not enough: two generations published
+// back-to-back can land within the filesystem's timestamp granularity
+// and compare mtime-equal, making a watcher that only checks mtime skip
+// the second one forever. Size and file identity (dev+inode via
+// os.SameFile) disambiguate — the atomic-rename publish discipline
+// (gstore.Publisher / writeFileWith) guarantees every generation
+// arrives on a freshly created inode.
+type fileSig struct {
+	fi os.FileInfo // nil when the file could not be statted
+}
+
+func statSig(path string) fileSig {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileSig{}
+	}
+	return fileSig{fi: fi}
+}
+
+// same reports whether b plausibly refers to the same published file:
+// equal mtime, equal size, and same dev+inode.
+func (a fileSig) same(b fileSig) bool {
+	if a.fi == nil || b.fi == nil {
+		return a.fi == nil && b.fi == nil
+	}
+	return a.fi.ModTime().Equal(b.fi.ModTime()) &&
+		a.fi.Size() == b.fi.Size() &&
+		os.SameFile(a.fi, b.fi)
+}
+
 // Reload (re)loads the snapshot file and atomically publishes it as a
-// new generation. On failure the previous generation keeps serving and
-// the error is returned; serve_reload_failures_total counts it.
+// new generation with a monotonic sequence number (genSeq). On failure
+// the previous generation keeps serving and the error is returned;
+// serve_reload_failures_total counts it.
+//
+// The file signature recorded on the generation is taken *before* the
+// load. If a publisher renames a newer generation over the path while
+// the load is in flight, the recorded signature cannot match the file
+// on disk, so the next watch tick reloads again — a reload can be
+// momentarily stale but never sticks: the watcher always converges on
+// the latest published generation.
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	var mtime time.Time
-	if fi, err := os.Stat(s.path); err == nil {
-		mtime = fi.ModTime()
-	}
+	sig := statSig(s.path)
 	snap, err := gstore.LoadGraphFile(s.path, 0)
 	if err != nil {
 		s.mReloadFails.Inc()
@@ -313,7 +349,7 @@ func (s *Server) Reload() error {
 		num:      s.genSeq.Add(1),
 		snap:     snap,
 		idx:      snap.Index(),
-		mtime:    mtime,
+		sig:      sig,
 		loadedAt: time.Now(),
 	}
 	gen.precompute()
@@ -370,7 +406,10 @@ func (s *Server) Generation() uint64 {
 	return 0
 }
 
-// watchLoop polls the snapshot file's mtime and hot-reloads on change.
+// watchLoop polls the snapshot file's signature (mtime, size, identity)
+// and hot-reloads on any change — including a generation published
+// while a previous reload was still draining, whose mtime may collide
+// with the previous one within the filesystem timestamp granularity.
 func (s *Server) watchLoop() {
 	defer close(s.watchDone)
 	t := time.NewTicker(s.opts.WatchInterval)
@@ -381,11 +420,11 @@ func (s *Server) watchLoop() {
 			return
 		case <-t.C:
 			g := s.cur.Load()
-			fi, err := os.Stat(s.path)
-			if err != nil || g == nil {
+			sig := statSig(s.path)
+			if sig.fi == nil || g == nil {
 				continue
 			}
-			if !fi.ModTime().Equal(g.mtime) {
+			if !g.sig.same(sig) {
 				s.Reload() // failure keeps the old generation; counted
 			}
 		}

@@ -587,6 +587,51 @@ func TestWatchLoopReloads(t *testing.T) {
 	}
 }
 
+// TestWatchLoopCatchesSameMtimePublishes is the reload-race regression
+// test: two generations published back-to-back can land with identical
+// mtime (filesystem timestamp granularity) and identical size — only
+// the inode differs, because rename-based publishing always creates a
+// fresh file. A watcher that compares mtime alone skips the second
+// generation forever; the file-signature watcher must pick up both,
+// with a monotonically increasing generation number.
+func TestWatchLoopCatchesSameMtimePublishes(t *testing.T) {
+	s, _, path := newTestServer(t, Options{WatchInterval: 2 * time.Millisecond})
+	fix := time.Now().Add(-time.Minute).Truncate(time.Second)
+
+	// publish mimics gstore.Publisher's atomic rename, pinning the mtime
+	// so back-to-back generations are stat-identical except for inode.
+	publish := func(g *graph.Graph) {
+		t.Helper()
+		tmp := path + ".next"
+		if err := gstore.WriteFile(tmp, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(tmp, fix, fix); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGen := func(min uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Generation() < min {
+			if time.Now().After(deadline) {
+				t.Fatalf("watcher stuck at generation %d, want >= %d", s.Generation(), min)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	publish(testGraph())
+	waitGen(2)
+	// Identical bytes (deterministic write → same size), identical
+	// forced mtime, fresh inode: the historical skip case.
+	publish(testGraph())
+	waitGen(3)
+}
+
 // TestRunLoadSmoke drives the benchmark harness briefly against the
 // test server and sanity-checks its report.
 func TestRunLoadSmoke(t *testing.T) {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -97,7 +98,7 @@ func TestNewIndexFromSourceMatchesFromFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := eventlog.SliceSource(entries, 0, ^uint32(0))
+	src := eventlog.SliceSource(context.Background(), entries, 0, ^uint32(0))
 	defer src.Close()
 	ix2, err := NewIndexFromSource(src)
 	if err != nil {

@@ -65,6 +65,11 @@ type Config struct {
 	// which an injected crash can land mid-run. Zero (the default)
 	// runs at full speed.
 	HourDelay time.Duration
+	// FlushEvery, when positive, makes each simulation rank flush its
+	// event-log cache to a durable chunk every FlushEvery simulated
+	// hours, so a concurrent Stream sees entries at a bounded simulated
+	// lag. Zero keeps the batch behavior (flush on cache-full/close).
+	FlushEvery int
 }
 
 func (c *Config) ranks() int {
@@ -101,6 +106,9 @@ func (c *Config) validate() error {
 	}
 	if c.HourDelay < 0 {
 		return fmt.Errorf("repro: HourDelay must be non-negative, got %v", c.HourDelay)
+	}
+	if c.FlushEvery < 0 {
+		return fmt.Errorf("repro: FlushEvery must be non-negative, got %d", c.FlushEvery)
 	}
 	return nil
 }
@@ -144,13 +152,14 @@ func (p *Pipeline) Simulate(ctx context.Context, logDir string) (*abm.Result, er
 	ctx, sp := telemetry.StartSpan(ctx, "pipeline/simulate")
 	defer sp.End()
 	return abm.Run(ctx, abm.Config{
-		Pop:       p.Pop,
-		Gen:       p.Gen,
-		Ranks:     p.cfg.ranks(),
-		Days:      p.cfg.Days,
-		LogDir:    logDir,
-		Log:       eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
-		HourDelay: p.cfg.HourDelay,
+		Pop:        p.Pop,
+		Gen:        p.Gen,
+		Ranks:      p.cfg.ranks(),
+		Days:       p.cfg.Days,
+		LogDir:     logDir,
+		Log:        eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		HourDelay:  p.cfg.HourDelay,
+		FlushEvery: uint32(p.cfg.FlushEvery),
 	})
 }
 
@@ -160,14 +169,15 @@ func (p *Pipeline) Simulate(ctx context.Context, logDir string) (*abm.Result, er
 // result's StoppedAt reports where the run ended.
 func (p *Pipeline) SimulateUntil(ctx context.Context, logDir string, stop <-chan struct{}) (*abm.Result, error) {
 	return abm.Run(ctx, abm.Config{
-		Pop:       p.Pop,
-		Gen:       p.Gen,
-		Ranks:     p.cfg.ranks(),
-		Days:      p.cfg.Days,
-		LogDir:    logDir,
-		Log:       eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
-		Stop:      stop,
-		HourDelay: p.cfg.HourDelay,
+		Pop:        p.Pop,
+		Gen:        p.Gen,
+		Ranks:      p.cfg.ranks(),
+		Days:       p.cfg.Days,
+		LogDir:     logDir,
+		Log:        eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Stop:       stop,
+		HourDelay:  p.cfg.HourDelay,
+		FlushEvery: uint32(p.cfg.FlushEvery),
 	})
 }
 
@@ -179,14 +189,15 @@ func (p *Pipeline) SimulateUntil(ctx context.Context, logDir string, stop <-chan
 // nil).
 func (p *Pipeline) Resume(ctx context.Context, logDir string, stop <-chan struct{}) (*abm.Result, []*abm.ResumeReport, error) {
 	return abm.Resume(ctx, abm.Config{
-		Pop:       p.Pop,
-		Gen:       p.Gen,
-		Ranks:     p.cfg.ranks(),
-		Days:      p.cfg.Days,
-		LogDir:    logDir,
-		Log:       eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
-		Stop:      stop,
-		HourDelay: p.cfg.HourDelay,
+		Pop:        p.Pop,
+		Gen:        p.Gen,
+		Ranks:      p.cfg.ranks(),
+		Days:       p.cfg.Days,
+		LogDir:     logDir,
+		Log:        eventlog.Config{CacheEntries: p.cfg.CacheEntries, Compress: p.cfg.Compress},
+		Stop:       stop,
+		HourDelay:  p.cfg.HourDelay,
+		FlushEvery: uint32(p.cfg.FlushEvery),
 	})
 }
 
@@ -233,6 +244,67 @@ func (p *Pipeline) Synthesize(ctx context.Context, logPaths []string, t0, t1 uin
 	}
 	sp.AddCount(int64(stats.Entries))
 	return &Network{Tri: tri, Persons: p.Pop.NumPersons(), Stats: stats}, nil
+}
+
+// StreamConfig parameterizes Pipeline.Stream.
+type StreamConfig struct {
+	// T0, T1 bound the streamed range in simulation hours. T1 =
+	// core.StreamOpenEnd (the default when zero) follows the logs until
+	// the simulation closes them.
+	T0, T1 uint32
+	// WindowHours is the cadence at which network generations are
+	// emitted; zero selects 24 (daily generations).
+	WindowHours uint32
+	// HorizonHours bounds the assumed activity span for window closing;
+	// zero selects core.DefaultStreamHorizon.
+	HorizonHours uint32
+	// DecayNum/DecayDen set the per-window weight decay of the rolling
+	// network (see core.NewWindowAccumulator); both zero keeps the
+	// cumulative network.
+	DecayNum, DecayDen uint64
+	// Poll is the log-tail poll interval (zero:
+	// eventlog.DefaultTailPoll).
+	Poll time.Duration
+	// OnWindow receives each closed window, in order. See
+	// core.StreamConfig.OnWindow.
+	OnWindow func(core.WindowResult) error
+}
+
+// Stream follows the per-rank event logs of a running (or already
+// finished) simulation and synthesizes a rolling collocation network,
+// invoking cfg.OnWindow once per closed window — the live counterpart
+// of Synthesize. Run it concurrently with Simulate on the same log
+// paths (set Config.FlushEvery so entries become durable at a bounded
+// simulated lag), or after the fact on closed logs, where the emitted
+// windows are bit-identical to batch syntheses of the same windows.
+// Cancelling ctx aborts the stream, including while blocked waiting for
+// simulation output, with an error wrapping context.Canceled.
+func (p *Pipeline) Stream(ctx context.Context, logPaths []string, cfg StreamConfig) (*core.StreamStats, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "pipeline/stream")
+	defer sp.End()
+	t1 := cfg.T1
+	if t1 == 0 {
+		t1 = core.StreamOpenEnd
+	}
+	window := cfg.WindowHours
+	if window == 0 {
+		window = 24
+	}
+	srcs := eventlog.OpenTails(ctx, logPaths, cfg.T0, t1, eventlog.TailOptions{Poll: cfg.Poll})
+	st, err := core.Stream(ctx, srcs, core.StreamConfig{
+		T0:           cfg.T0,
+		T1:           t1,
+		WindowHours:  window,
+		HorizonHours: cfg.HorizonHours,
+		DecayNum:     cfg.DecayNum,
+		DecayDen:     cfg.DecayDen,
+		Synth:        core.Config{Workers: p.cfg.Workers},
+		OnWindow:     cfg.OnWindow,
+	})
+	if st != nil {
+		sp.AddCount(int64(st.Entries))
+	}
+	return st, err
 }
 
 // Graph returns (and caches) the CSR graph over the full person ID

@@ -2,8 +2,13 @@ package repro
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 	"testing"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/sparse"
 	"repro/internal/synthpop"
 )
 
@@ -44,6 +49,61 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 	if pts := net.DegreeDistribution(); len(pts) == 0 {
 		t.Fatal("empty degree distribution")
+	}
+}
+
+// TestPipelineStreamFollowsLiveSimulation is the in-process version of
+// the streaming smoke: a simulation with hourly durability flushes runs
+// concurrently with a Stream tailing its (initially nonexistent) logs.
+// The stream must emit one network per day-window and its cumulative
+// result must be bit-identical to a batch synthesis of the same range
+// after the fact.
+func TestPipelineStreamFollowsLiveSimulation(t *testing.T) {
+	const ranks, days = 2, 2
+	p, err := NewPipeline(Config{
+		Persons: 600, Days: days, Seed: 11, Ranks: ranks, Workers: 2, FlushEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := make([]string, ranks)
+	for r := range paths {
+		paths[r] = filepath.Join(dir, fmt.Sprintf("rank%04d.h5l", r))
+	}
+
+	simErr := make(chan error, 1)
+	go func() {
+		_, err := p.Simulate(context.Background(), dir)
+		simErr <- err
+	}()
+
+	var last *sparse.Tri
+	st, err := p.Stream(context.Background(), paths, StreamConfig{
+		T0: 0, T1: days * 24, WindowHours: 24, Poll: 2 * time.Millisecond,
+		OnWindow: func(w core.WindowResult) error {
+			last = w.Net
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-simErr; err != nil {
+		t.Fatal(err)
+	}
+	if st.Windows != days {
+		t.Fatalf("streamed %d windows, want %d", st.Windows, days)
+	}
+	if st.LateEntries != 0 {
+		t.Fatalf("%d late entries from simulator-ordered logs", st.LateEntries)
+	}
+	net, err := p.Synthesize(context.Background(), paths, 0, days*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil || !last.Equal(net.Tri) {
+		t.Fatal("live-streamed cumulative network differs from batch synthesis")
 	}
 }
 

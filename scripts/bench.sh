@@ -100,3 +100,23 @@ if [ "${SERVE:-1}" = "1" ]; then
 		-bench-seed 1
 	echo "== wrote $SERVE_OUT"
 fi
+
+# Streaming benchmark (DESIGN.md §14): simulate a week of logs, then
+# drive `netsynth -follow` over them at one window per simulated day.
+# BENCH_stream.json records sustained windows/hour, exact publish
+# latency p50/p99, and the follower's peak RSS (the accumulator's
+# bounded buffering dominates it). Skip with STREAM=0.
+STREAM_OUT="${STREAM_OUT:-BENCH_stream.json}"
+if [ "${STREAM:-1}" = "1" ]; then
+	days="${STREAM_DAYS:-7}"
+	echo "== streaming benchmark (netsynth -follow, $days simulated days) -> $STREAM_OUT"
+	stream_dir=$(mktemp -d)
+	go build -o "$stream_dir/" ./cmd/chisim ./cmd/netsynth
+	"$stream_dir/chisim" -persons "${STREAM_PERSONS:-20000}" -days "$days" \
+		-ranks 4 -seed 2017 -logdir "$stream_dir/logs" >/dev/null
+	"$stream_dir/netsynth" -follow -t0 0 -t1 $((days * 24)) -window 24 \
+		-o "$stream_dir/stream.tsv" -snapshot "$stream_dir/live.gsnap" \
+		-bench-out "$STREAM_OUT" "$stream_dir"/logs/*.h5l >/dev/null
+	rm -rf "$stream_dir"
+	echo "== wrote $STREAM_OUT"
+fi

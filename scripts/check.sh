@@ -109,6 +109,107 @@ if [ "${SUPSMOKE:-1}" = "1" ]; then
 	rm -rf "$sup_dir"
 fi
 
+# Streaming smoke (DESIGN.md §14): a 3-day simulation with hourly
+# durability flushes runs while `netsynth -follow` tails its logs
+# (opened before they exist) and publishes one snapshot generation per
+# simulated day; netserve watches the live path and hot-swaps
+# generations. Requires: >= 2 generations published, netserve's served
+# generation advanced past its boot generation with zero failed
+# requests, and the final streamed snapshot + edge list bit-identical
+# to a batch synthesis of the same window. Skip with STREAMSMOKE=0.
+if [ "${STREAMSMOKE:-1}" = "1" ]; then
+	echo "== streaming smoke (chisim -flush-every | netsynth -follow | netserve hot reload)"
+	str_dir=$(mktemp -d)
+	go build -o "$str_dir/" ./cmd/chisim ./cmd/netsynth ./cmd/netserve
+	mkdir "$str_dir/logs"
+	# The hour delay stretches the simulation so the first window closes
+	# (at simulated hour 48 + horizon slack) well before the run ends,
+	# giving the server time to boot on generation 1 and observe later
+	# generations arrive.
+	"$str_dir/chisim" -persons 1500 -days 3 -ranks 2 -seed 2017 \
+		-logdir "$str_dir/logs" -flush-every 1 -hour-delay 25ms >/dev/null &
+	str_sim_pid=$!
+	"$str_dir/netsynth" -follow -t0 0 -t1 72 -window 24 -poll 50ms \
+		-o "$str_dir/stream.tsv" -snapshot "$str_dir/live.gsnap" \
+		-bench-out "$str_dir/BENCH_stream.json" \
+		"$str_dir/logs/rank0000.h5l" "$str_dir/logs/rank0001.h5l" \
+		>"$str_dir/follow.log" &
+	str_follow_pid=$!
+	i=0
+	while [ ! -f "$str_dir/live.gsnap" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 600 ]; then
+			echo "FAIL: no generation published within 60s"
+			cat "$str_dir/follow.log"
+			kill "$str_sim_pid" "$str_follow_pid" 2>/dev/null || true
+			rm -rf "$str_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	"$str_dir/netserve" -snapshot "$str_dir/live.gsnap" -addr 127.0.0.1:0 \
+		-addr-file "$str_dir/addr" -watch 25ms &
+	str_serve_pid=$!
+	i=0
+	while [ ! -s "$str_dir/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "FAIL: netserve never bound its port"
+			kill "$str_sim_pid" "$str_follow_pid" "$str_serve_pid" 2>/dev/null || true
+			rm -rf "$str_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	str_addr=$(cat "$str_dir/addr")
+	# First query: the boot generation must serve (a failed -get exits
+	# nonzero and aborts via set -e).
+	"$str_dir/netserve" -get "http://$str_addr/v1/stats" >/dev/null
+	wait "$str_follow_pid"
+	wait "$str_sim_pid"
+	gens=$(grep -c '^published generation' "$str_dir/follow.log")
+	if [ "$gens" -lt 2 ]; then
+		echo "FAIL: only $gens generation(s) published, want >= 2"
+		cat "$str_dir/follow.log"
+		kill "$str_serve_pid" 2>/dev/null || true
+		rm -rf "$str_dir"
+		exit 1
+	fi
+	# The watcher must hot-swap to a later generation than it booted on.
+	i=0
+	while :; do
+		served=$("$str_dir/netserve" -get "http://$str_addr/v1/stats" |
+			sed -n 's/.*"generation":\([0-9]*\).*/\1/p')
+		[ "${served:-0}" -ge 2 ] && break
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "FAIL: netserve stuck at generation ${served:-?} after $gens publishes"
+			kill "$str_serve_pid" 2>/dev/null || true
+			rm -rf "$str_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	kill -TERM "$str_serve_pid"
+	wait "$str_serve_pid" # graceful drain must exit 0
+	echo "-- batch oracle (same window, one shot)"
+	"$str_dir/netsynth" -t0 0 -t1 72 -o "$str_dir/batch.tsv" \
+		-snapshot "$str_dir/batch.gsnap" "$str_dir"/logs/*.h5l >/dev/null
+	live_hash=$(cksum "$str_dir/live.gsnap" | cut -d' ' -f1-2)
+	batch_hash=$(cksum "$str_dir/batch.gsnap" | cut -d' ' -f1-2)
+	tsv_live=$(cksum "$str_dir/stream.tsv" | cut -d' ' -f1-2)
+	tsv_batch=$(cksum "$str_dir/batch.tsv" | cut -d' ' -f1-2)
+	if [ "$live_hash" != "$batch_hash" ] || [ "$tsv_live" != "$tsv_batch" ]; then
+		echo "FAIL: streamed output diverged from batch synthesis"
+		echo "  snapshot:  $live_hash vs $batch_hash"
+		echo "  edge list: $tsv_live vs $tsv_batch"
+		rm -rf "$str_dir"
+		exit 1
+	fi
+	echo "streamed $gens generations; final snapshot bit-identical to batch (served gen $served)"
+	rm -rf "$str_dir"
+fi
+
 # Hot-path allocation guard (DESIGN.md §13): the five hot endpoints'
 # encode paths must stay at zero allocations per request (ceiling 1 to
 # absorb toolchain noise); the full in-process HTTP hop may add the
