@@ -82,10 +82,12 @@ func main() {
 	distAddrFile := flag.String("dist-addr-file", "", "rank 0: publish the coordinator's bound address to this file (for -dist-join @file)")
 	distRoundTimeout := flag.Duration("dist-round-timeout", 0, "rank 0: declare the slowest rank failed when a collective stalls this long (0 = off)")
 	hourDelay := flag.Duration("hour-delay", 0, "sleep this long per simulated hour (chaos/testing aid)")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address and enable telemetry")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /snapshot, /debug/vars and /debug/pprof on this address and enable telemetry")
+	telemetryAddrFile := flag.String("telemetry-addr-file", "", "publish the telemetry server's bound address to this file (for a supervisor's scraper)")
 	reportPath := flag.String("report", "", "write a JSON run report to this path (render it with `netstat report`)")
 	flag.Parse()
 
+	telemetry.InstallFlightRecorder("chisim", os.Stderr)
 	if *telemetryAddr != "" {
 		srv, err := telemetry.Default.Serve(*telemetryAddr)
 		if err != nil {
@@ -93,6 +95,11 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+		if *telemetryAddrFile != "" {
+			if err := supervise.WriteAddrFile(*telemetryAddrFile, srv.Addr()); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *reportPath != "" {
 		telemetry.SetEnabled(true)

@@ -67,7 +67,10 @@ func main() {
 	killAfter := flag.Duration("kill-after", 2*time.Second, "chaos: delay between the victim starting and the kill")
 	killPhase := flag.String("kill-phase", "sim", "chaos: phase to kill in (sim or synth)")
 	benchPath := flag.String("bench", "", "write a JSON scale record (agent-steps/sec, walls, peak RSS per rank) to this path")
-	reportPath := flag.String("report", "", "write a JSON run report with the supervision section to this path (render with `netstat report`)")
+	reportPath := flag.String("report", "", "write a JSON run report with the supervision section to this path (render with `netstat report` / `netstat trace`)")
+	observeAddr := flag.String("observe-addr", "", "serve the cluster observability plane on this address: merged per-rank-labeled /metrics and a /cluster JSON summary")
+	observeAddrFile := flag.String("observe-addr-file", "", "write the observe plane's bound address to this file (for :0 ephemeral ports)")
+	scrapeInterval := flag.Duration("scrape-interval", time.Second, "how often the observe plane scrapes each rank's telemetry /snapshot")
 	flag.Parse()
 
 	if *ranks < 1 {
@@ -101,6 +104,20 @@ func main() {
 		telemetry.SetEnabled(true)
 	}
 
+	// The observe plane: one scrape target for the whole run. Each
+	// supervised rank gets a telemetry server plus an address file; the
+	// observer merges their /snapshot scrapes into labeled /metrics and
+	// a /cluster summary.
+	var obs *observer
+	if *observeAddr != "" {
+		telemetry.SetEnabled(true)
+		obs = newObserver(*workdir, *ranks, *scrapeInterval)
+		if err := obs.start(*observeAddr, *observeAddrFile); err != nil {
+			fatal(err)
+		}
+		defer obs.close()
+	}
+
 	// First SIGINT/SIGTERM propagates to the children as a cooperative
 	// drain (they exit ExitCanceled); a second one kills netlaunch.
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -120,14 +137,20 @@ func main() {
 	var simWall time.Duration
 
 	if !*skipSim {
+		if obs != nil {
+			obs.setPhase("sim")
+		}
 		simStart := time.Now()
 		simRes, err := runSimPhase(ctx, simBin, logsDir, *workdir, simArgs{
 			Persons: *persons, Days: *days, Seed: *seed, Ranks: *ranks,
 			HourDelay: *hourDelay, RoundTimeout: *roundTimeout,
-		}, pol, chaos)
+		}, pol, chaos, obs)
 		simWall = time.Since(simStart)
 		if simRes != nil {
 			supervision = append(supervision, simRes.Report())
+			if obs != nil {
+				obs.addSupervision(simRes.Report())
+			}
 		}
 		if err != nil {
 			exitPhase("simulation", err)
@@ -142,17 +165,37 @@ func main() {
 	}
 	sort.Strings(paths)
 
+	if obs != nil {
+		obs.setPhase("synth")
+	}
+	// Rank 0 of the synthesis writes its run report — per-rank
+	// busy/comm/idle walls, the cluster trace id, and every rank's span
+	// trees — which netlaunch folds into its own report and /cluster
+	// summary after the phase.
+	synthReportPath := ""
+	if obs != nil || *reportPath != "" {
+		synthReportPath = filepath.Join(*workdir, "synth-report.json")
+		os.Remove(synthReportPath)
+	}
 	synthStart := time.Now()
 	synthRes, err := runSynthPhase(ctx, synthBin, *workdir, paths, synthArgs{
 		T0: uint32(*t0), T1: uint32(*t1), Ranks: *ranks, Seed: *seed,
 		Out: *out, Snapshot: *snapshot, RoundTimeout: *roundTimeout,
-	}, pol, chaos)
+		ReportPath: synthReportPath,
+	}, pol, chaos, obs)
 	synthWall := time.Since(synthStart)
 	if synthRes != nil {
 		supervision = append(supervision, synthRes.Report())
+		if obs != nil {
+			obs.addSupervision(synthRes.Report())
+		}
+	}
+	synthRep := readSynthReport(synthReportPath)
+	if obs != nil && synthRep != nil {
+		obs.setSynthReport(synthRep)
 	}
 	if err != nil {
-		writeArtifacts(*benchPath, *reportPath, supervision, benchInputs{
+		writeArtifacts(*benchPath, *reportPath, supervision, synthRep, benchInputs{
 			Persons: *persons, Days: *days, Ranks: *ranks,
 			SimWall: simWall, SynthWall: synthWall, SkippedSim: *skipSim,
 		})
@@ -162,10 +205,26 @@ func main() {
 		synthWall.Round(time.Millisecond), synthRes.Restarts(), synthRes.DegradedRanks())
 	fmt.Printf("netlaunch: network → %s (snapshot %s)\n", *out, *snapshot)
 
-	writeArtifacts(*benchPath, *reportPath, supervision, benchInputs{
+	writeArtifacts(*benchPath, *reportPath, supervision, synthRep, benchInputs{
 		Persons: *persons, Days: *days, Ranks: *ranks,
 		SimWall: simWall, SynthWall: synthWall, SkippedSim: *skipSim,
 	})
+	if obs != nil {
+		obs.setPhase("done")
+	}
+}
+
+// readSynthReport loads rank 0's synthesis run report, nil when the
+// phase did not produce one (no -report/-observe-addr, or rank 0 died).
+func readSynthReport(path string) *telemetry.Report {
+	if path == "" {
+		return nil
+	}
+	rep, err := telemetry.ReadReportFile(path)
+	if err != nil {
+		return nil
+	}
+	return rep
 }
 
 // simArgs/synthArgs carry the per-phase parameters into the spec
@@ -183,6 +242,9 @@ type synthArgs struct {
 	Seed          uint64
 	Out, Snapshot string
 	RoundTimeout  time.Duration
+	// ReportPath, when set, makes rank 0 write its run report (rank
+	// walls, trace id, span trees) there for netlaunch to fold in.
+	ReportPath string
 }
 
 // claimToken derives a stable per-rank claim token from the run seed so
@@ -194,7 +256,7 @@ func claimToken(seed uint64, rank int) uint64 {
 // runSimPhase supervises the simulation as a gang: any rank dying
 // triggers a full relaunch with -resume, which replays every log to the
 // canonical state.
-func runSimPhase(ctx context.Context, bin, logsDir, workdir string, a simArgs, pol supervise.Policy, chaos *chaosKiller) (*supervise.Result, error) {
+func runSimPhase(ctx context.Context, bin, logsDir, workdir string, a simArgs, pol supervise.Policy, chaos *chaosKiller, obs *observer) (*supervise.Result, error) {
 	addrFile := filepath.Join(workdir, "sim.addr")
 	build := func(attempt int) []supervise.Spec {
 		// A stale address file would point relaunched workers at the
@@ -216,6 +278,11 @@ func runSimPhase(ctx context.Context, bin, logsDir, workdir string, a simArgs, p
 		specs := make([]supervise.Spec, a.Ranks)
 		for r := 0; r < a.Ranks; r++ {
 			args := append([]string(nil), common...)
+			if obs != nil {
+				args = append(args,
+					"-telemetry-addr", "127.0.0.1:0",
+					"-telemetry-addr-file", obs.telemetryAddrFile(r))
+			}
 			if r == 0 {
 				args = append(args,
 					"-dist-host", "127.0.0.1:0",
@@ -245,7 +312,7 @@ func runSimPhase(ctx context.Context, bin, logsDir, workdir string, a simArgs, p
 // runSynthPhase supervises the synthesis with per-rank restarts: a dead
 // worker reclaims its slot via its claim token, or — once its budget is
 // spent — stays dead while the survivors re-stripe its files.
-func runSynthPhase(ctx context.Context, bin, workdir string, paths []string, a synthArgs, pol supervise.Policy, chaos *chaosKiller) (*supervise.Result, error) {
+func runSynthPhase(ctx context.Context, bin, workdir string, paths []string, a synthArgs, pol supervise.Policy, chaos *chaosKiller, obs *observer) (*supervise.Result, error) {
 	addrFile := filepath.Join(workdir, "synth.addr")
 	os.Remove(addrFile)
 	common := []string{
@@ -255,6 +322,11 @@ func runSynthPhase(ctx context.Context, bin, workdir string, paths []string, a s
 	specs := make([]supervise.Spec, a.Ranks)
 	for r := 0; r < a.Ranks; r++ {
 		args := append([]string(nil), common...)
+		if obs != nil {
+			args = append(args,
+				"-telemetry-addr", "127.0.0.1:0",
+				"-telemetry-addr-file", obs.telemetryAddrFile(r))
+		}
 		if r == 0 {
 			args = append(args,
 				"-dist-host", "127.0.0.1:0",
@@ -264,6 +336,9 @@ func runSynthPhase(ctx context.Context, bin, workdir string, paths []string, a s
 				"-snapshot", a.Snapshot)
 			if a.RoundTimeout > 0 {
 				args = append(args, "-dist-round-timeout", a.RoundTimeout.String())
+			}
+			if a.ReportPath != "" {
+				args = append(args, "-report", a.ReportPath)
 			}
 		} else {
 			args = append(args,
@@ -319,10 +394,11 @@ type benchInputs struct {
 // benchRecord is the machine-readable scale record (-bench): the
 // first-class numbers ROADMAP tracks for the scaling story.
 type benchRecord struct {
-	CreatedUnixNs int64 `json:"created_unix_ns"`
-	Persons       int   `json:"persons"`
-	Days          int   `json:"days"`
-	Ranks         int   `json:"ranks"`
+	Meta          telemetry.BenchMeta `json:"meta"`
+	CreatedUnixNs int64               `json:"created_unix_ns"`
+	Persons       int                 `json:"persons"`
+	Days          int                 `json:"days"`
+	Ranks         int                 `json:"ranks"`
 	// SimWallNs is the supervised simulation phase wall (0 when the
 	// phase was skipped).
 	SimWallNs int64 `json:"sim_wall_ns"`
@@ -339,9 +415,14 @@ type benchRecord struct {
 // writeArtifacts writes the -bench and -report outputs (either may be
 // disabled); called on both success and synthesis failure so a chaos
 // run that degrades still leaves its record.
-func writeArtifacts(benchPath, reportPath string, supervision []telemetry.SupervisionReport, in benchInputs) {
+func writeArtifacts(benchPath, reportPath string, supervision []telemetry.SupervisionReport, synthRep *telemetry.Report, in benchInputs) {
 	if benchPath != "" {
 		rec := benchRecord{
+			Meta: telemetry.NewBenchMeta("netlaunch", map[string]string{
+				"persons": fmt.Sprint(in.Persons),
+				"days":    fmt.Sprint(in.Days),
+				"ranks":   fmt.Sprint(in.Ranks),
+			}),
 			CreatedUnixNs: time.Now().UnixNano(),
 			Persons:       in.Persons,
 			Days:          in.Days,
@@ -367,6 +448,15 @@ func writeArtifacts(benchPath, reportPath string, supervision []telemetry.Superv
 	if reportPath != "" {
 		rep := telemetry.Default.Report("netlaunch")
 		rep.Supervision = supervision
+		if synthRep != nil {
+			// Fold the rank-0 synthesis report in so one file carries the
+			// whole run: netlaunch's own metrics plus the distributed
+			// trace (rank walls, trace id, cross-rank spans).
+			rep.TraceID = synthRep.TraceID
+			rep.Ranks = synthRep.Ranks
+			rep.Spans = append(rep.Spans, synthRep.Spans...)
+			rep.Stages = append(rep.Stages, synthRep.Stages...)
+		}
 		if err := rep.WriteFile(reportPath); err != nil {
 			fmt.Fprintf(os.Stderr, "netlaunch: writing report: %v\n", err)
 		} else {

@@ -60,7 +60,9 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 32<<20, "result cache budget in bytes (negative disables)")
 	reqTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
 	watch := flag.Duration("watch", 2*time.Second, "snapshot mtime poll interval for hot reload (0 disables)")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address and enable telemetry")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /snapshot, /debug/vars and /debug/pprof on this address and enable telemetry")
+	accessLog := flag.String("access-log", "", "append one structured JSON line per request to this file ('-' = stderr; empty disables)")
+	slowMs := flag.Int("slow-ms", 500, "flag access-log requests at or above this duration with \"slow\":true")
 
 	convert := flag.String("convert", "", "convert this TSV edge list (or snapshot) to an indexed -snapshot and exit")
 	reindex := flag.String("reindex", "", "rewrite this snapshot in place as v2 with baked index sections and exit")
@@ -85,16 +87,34 @@ func main() {
 		runSelfbench(*snapshot, *benchOut, *benchDur, *benchConc, *benchVertices, *benchSeed,
 			*workers, *cacheBytes, *reqTimeout, *telemetryAddr)
 	default:
-		runServe(*snapshot, *addr, *addrFile, *workers, *cacheBytes, *reqTimeout, *watch, *telemetryAddr)
+		runServe(*snapshot, *addr, *addrFile, *workers, *cacheBytes, *reqTimeout, *watch,
+			*telemetryAddr, *accessLog, time.Duration(*slowMs)*time.Millisecond)
 	}
+}
+
+// openAccessLog resolves the -access-log flag: empty disables, "-"
+// logs to stderr, anything else appends to that file.
+func openAccessLog(path string) io.Writer {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return os.Stderr
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	return f
 }
 
 // runServe is the daemon mode.
 func runServe(snapshot, addr, addrFile string, workers int, cacheBytes int64,
-	reqTimeout, watch time.Duration, telemetryAddr string) {
+	reqTimeout, watch time.Duration, telemetryAddr, accessLog string, slowThreshold time.Duration) {
 	if snapshot == "" {
 		fatal(fmt.Errorf("no -snapshot given; usage: netserve -snapshot net.gsnap -addr :8355"))
 	}
+	telemetry.InstallFlightRecorder("netserve", os.Stderr)
 	if telemetryAddr != "" {
 		tsrv, err := telemetry.Default.Serve(telemetryAddr)
 		if err != nil {
@@ -110,6 +130,8 @@ func runServe(snapshot, addr, addrFile string, workers int, cacheBytes int64,
 		CacheBytes:     cacheBytes,
 		RequestTimeout: reqTimeout,
 		WatchInterval:  watch,
+		AccessLog:      openAccessLog(accessLog),
+		SlowThreshold:  slowThreshold,
 	})
 	if err != nil {
 		fatal(err)
@@ -307,6 +329,13 @@ func runSelfbench(snapshot, out string, dur time.Duration, conc, vertices int, s
 		res.P50Ms, res.P95Ms, res.P99Ms, res.MaxMs)
 	res.HotAllocsPerOp = srv.HotAllocs()
 	fmt.Printf("hot allocs/op: %v\n", res.HotAllocsPerOp)
+	res.Meta = telemetry.NewBenchMeta("netserve -selfbench", map[string]string{
+		"snapshot":    snapshot,
+		"duration":    dur.String(),
+		"concurrency": fmt.Sprint(conc),
+		"vertices":    fmt.Sprint(vertices),
+		"seed":        fmt.Sprint(seed),
+	})
 	if out != "" {
 		if err := res.WriteFile(out); err != nil {
 			fatal(err)

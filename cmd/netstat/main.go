@@ -18,6 +18,12 @@
 // and netsynth with -report as per-stage / per-rank timing tables:
 //
 //	netstat report run.json
+//
+// The trace subcommand renders the same report's cross-rank span dump
+// as one trace tree — the coordinator's root span with every rank's
+// remote spans grafted under it:
+//
+//	netstat trace run.json
 package main
 
 import (
@@ -33,6 +39,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		runReport(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 
@@ -135,6 +145,31 @@ func runReport(args []string) {
 		fatal(err)
 	}
 	if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// runTrace implements `netstat trace run.json`: it reads a run report
+// carrying per-rank span dumps (written by a traced distributed
+// netsynth run, directly or via netlaunch) and renders the distributed
+// trace tree with per-rank annotations.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: netstat trace run.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: netstat trace run.json"))
+	}
+	rep, err := telemetry.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.RenderTrace(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -108,10 +108,12 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the synthesis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the synthesis to this file")
 	showStats := flag.Bool("stats", false, "print the per-stage statistics table after the run")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address and enable telemetry")
-	reportPath := flag.String("report", "", "write a JSON run report to this path (render it with `netstat report`)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /snapshot, /debug/vars and /debug/pprof on this address and enable telemetry")
+	telemetryAddrFile := flag.String("telemetry-addr-file", "", "publish the telemetry server's bound address to this file (for a supervisor's scraper)")
+	reportPath := flag.String("report", "", "write a JSON run report to this path (render it with `netstat report` or `netstat trace`)")
 	flag.Parse()
 
+	telemetry.InstallFlightRecorder("netsynth", os.Stderr)
 	if *telemetryAddr != "" {
 		srv, err := telemetry.Default.Serve(*telemetryAddr)
 		if err != nil {
@@ -119,6 +121,11 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+		if *telemetryAddrFile != "" {
+			if err := supervise.WriteAddrFile(*telemetryAddrFile, srv.Addr()); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *reportPath != "" {
 		telemetry.SetEnabled(true)
@@ -415,7 +422,10 @@ func runFollow(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Conf
 		DecayNum: num, DecayDen: den,
 		Synth: cfg,
 		OnWindow: func(w core.WindowResult) error {
-			info, perr := pub.Publish(graph.FromTri(w.Net, 0))
+			info, perr := pub.PublishWithMeta(graph.FromTri(w.Net, 0), gstore.PublishMeta{
+				WindowClosedAt: w.ClosedAt,
+				LastEventHour:  w.W1,
+			})
 			if perr != nil {
 				return perr
 			}
@@ -451,7 +461,13 @@ func runFollow(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Conf
 		st.Windows, st.Entries, st.LateEntries, st.PeakBuffered, st.MaxStop,
 		elapsed.Round(time.Millisecond))
 	if opt.BenchOut != "" {
-		writeStreamBench(opt.BenchOut, st, publishLat, elapsed)
+		writeStreamBench(opt.BenchOut, st, publishLat, elapsed, map[string]string{
+			"window":  strconv.FormatUint(uint64(opt.Window), 10),
+			"horizon": strconv.FormatUint(uint64(opt.Horizon), 10),
+			"decay":   strconv.FormatFloat(opt.Decay, 'g', -1, 64),
+			"t0":      strconv.FormatUint(uint64(t0), 10),
+			"t1":      strconv.FormatUint(uint64(t1), 10),
+		})
 	}
 }
 
@@ -459,6 +475,9 @@ func runFollow(ctx context.Context, paths []string, t0, t1 uint32, cfg core.Conf
 // exact publish-latency quantiles over this run's publishes, and the
 // process's peak RSS (the accumulator dominates it in follow mode).
 type streamBench struct {
+	// Meta is the shared BENCH_*.json provenance stamp.
+	Meta telemetry.BenchMeta `json:"meta"`
+
 	Windows        int     `json:"windows"`
 	Entries        uint64  `json:"entries"`
 	LateEntries    uint64  `json:"late_entries"`
@@ -485,9 +504,10 @@ func quantileDur(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func writeStreamBench(path string, st *core.StreamStats, lat []time.Duration, elapsed time.Duration) {
+func writeStreamBench(path string, st *core.StreamStats, lat []time.Duration, elapsed time.Duration, config map[string]string) {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	b := streamBench{
+		Meta:         telemetry.NewBenchMeta("netsynth -follow", config),
 		Windows:      st.Windows,
 		Entries:      st.Entries,
 		LateEntries:  st.LateEntries,

@@ -772,6 +772,18 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 	if retries == 0 {
 		retries = size
 	}
+	// Rank 0 roots the distributed trace and advertises its span context
+	// on the transport, which piggybacks it on every collective reply;
+	// worker ranks stamp their local span trees with the learned context
+	// and ship them home inside their rank reports, so the whole cluster
+	// round renders as one tree under this span.
+	var rootSpan *telemetry.Span
+	if t.Rank() == 0 {
+		ctx, rootSpan = telemetry.StartSpan(ctx, "synth/distributed")
+		if tc, ok := t.(mpi.TraceCarrier); ok {
+			tc.SetTraceContext(rootSpan.TraceID(), rootSpan.SpanID())
+		}
+	}
 	dead := make([]bool, size)
 	// A rank that rejoined a running cluster (supervised restart) learns
 	// the already-dead membership from its join handshake; seeding from
@@ -812,25 +824,34 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 		for i := slot; i < len(paths); i += len(alive) {
 			mine = append(mine, paths[i])
 		}
+		// One span per attempt. On rank 0 it nests under the root span
+		// through ctx; on workers it becomes a local root whose report is
+		// stitched into the cluster trace by the coordinator.
+		attemptCtx, attemptSpan := telemetry.StartSpan(ctx, "synth/rank")
+		attemptSpan.SetRank(t.Rank())
 		partial := sparse.NewAccum().Tri()
 		var stats *Stats
 		if len(mine) > 0 {
 			var err error
-			partial, stats, err = SynthesizeFiles(ctx, mine, t0, t1, cfg)
+			partial, stats, err = SynthesizeFiles(attemptCtx, mine, t0, t1, cfg)
 			if err != nil {
+				attemptSpan.End()
 				return nil, nil, err
 			}
 		}
 		blob, err := partial.MarshalBinary()
 		if err != nil {
+			attemptSpan.End()
 			return nil, nil, err
 		}
 		mGatherBytes.Add(int64(len(blob)))
+		attemptSpan.AddBytes(int64(len(blob)))
 		gStart := time.Now()
-		gathered, err := t.Gather(ctx, blob)
+		gathered, err := t.Gather(attemptCtx, blob)
 		gWall := time.Since(gStart)
 		comm += gWall
 		mCommSeconds.Observe(gWall)
+		attemptSpan.End()
 		if err != nil {
 			if rr, ok := mpi.AsRankRevived(err); ok && rr.Rank > 0 && rr.Rank < size {
 				// A supervised restart reclaimed a dead slot mid-round:
@@ -867,6 +888,20 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 		local := stats.RankReport(t.Rank(), time.Since(rankStart), comm)
 		local.FaultsInjected = telemetry.C("fault_injected_total").Value()
 		local.FaultsRecovered = telemetry.C("fault_recovered_total").Value()
+		if t.Rank() != 0 && attemptSpan.SpanID() != 0 {
+			// The result gather's reply delivered the coordinator's trace
+			// context; stamp it onto the local span tree and ship the tree
+			// with the rank report. Rank 0's tree is already rooted locally.
+			rep := attemptSpan.Report()
+			rep.Rank = t.Rank()
+			if tc, ok := t.(mpi.TraceCarrier); ok {
+				tid, sid := tc.TraceContext()
+				rep.TraceID = telemetry.FormatID(tid)
+				rep.ParentID = telemetry.FormatID(sid)
+				local.TraceID = rep.TraceID
+			}
+			local.Spans = []telemetry.SpanReport{rep}
+		}
 		var repBlob []byte
 		if b, err := telemetry.EncodeRank(local); err == nil {
 			repBlob = b
@@ -895,17 +930,25 @@ func SynthesizeDistributedReport(ctx context.Context, t mpi.Transport, paths []s
 		total := sparse.MergeTris(tris...)
 		mMergeSeconds.Observe(time.Since(mStart))
 
+		// End the root span before snapshotting so the coordinator's tree
+		// is retained and the worker trees can graft under it.
+		rootSpan.End()
 		var report *telemetry.Report
 		if repErr == nil {
 			report = telemetry.Default.Report("synthesize-distributed")
 			report.Stages = stats.StageReports()
+			report.TraceID = telemetry.FormatID(rootSpan.TraceID())
+			var remote []telemetry.SpanReport
 			for _, r := range alive {
 				rr, err := telemetry.DecodeRank(repGathered[r])
 				if err != nil {
 					continue // a rank's report is best-effort
 				}
+				remote = append(remote, rr.Spans...)
+				rr.Spans = nil // the trees live in report.Spans, stitched
 				report.Ranks = append(report.Ranks, rr)
 			}
+			report.AttachRemoteSpans(telemetry.FormatID(rootSpan.SpanID()), remote)
 		}
 		return total, report, nil
 	}

@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/eventlog"
 	"repro/internal/sparse"
@@ -297,6 +298,11 @@ type WindowResult struct {
 	Net *sparse.Tri
 	// Stats reports the window's synthesis stages.
 	Stats *Stats
+	// ClosedAt is the wall-clock instant the window closed (every
+	// source had contributed past the horizon or ended), before the
+	// window's synthesis ran. Publishers use it to measure end-to-end
+	// close → durable freshness.
+	ClosedAt time.Time
 }
 
 // StreamStats summarizes a completed streaming synthesis.
@@ -403,6 +409,7 @@ func Stream(ctx context.Context, srcs []eventlog.EntrySource, cfg StreamConfig) 
 				}
 			}
 		}
+		closedAt := time.Now()
 		win, wstats, aerr := acc.Advance(ctx, lo, hi)
 		if aerr != nil {
 			return st, aerr
@@ -411,12 +418,13 @@ func Stream(ctx context.Context, srcs []eventlog.EntrySource, cfg StreamConfig) 
 		st.LateEntries = acc.LateEntries()
 		if cfg.OnWindow != nil {
 			if cerr := cfg.OnWindow(WindowResult{
-				Index:  st.Windows - 1,
-				W0:     lo,
-				W1:     hi,
-				Window: win,
-				Net:    acc.Emit(),
-				Stats:  wstats,
+				Index:    st.Windows - 1,
+				W0:       lo,
+				W1:       hi,
+				Window:   win,
+				Net:      acc.Emit(),
+				Stats:    wstats,
+				ClosedAt: closedAt,
 			}); cerr != nil {
 				return st, cerr
 			}

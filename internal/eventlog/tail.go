@@ -28,11 +28,20 @@ import (
 	"time"
 
 	"repro/internal/h5"
+	"repro/internal/telemetry"
 )
 
 // DefaultTailPoll is the poll interval used when TailOptions.Poll is
 // zero.
 const DefaultTailPoll = 200 * time.Millisecond
+
+// mTailStalenessMs is the time since the polling tail last observed new
+// durable bytes — the front end of the end-to-end freshness chain (log
+// staleness → window close → publish → serve). Tails sharing a registry
+// overwrite each other at poll cadence, so the gauge reads as "how
+// stale is what the follower is currently waiting on": near the flush
+// cadence when healthy, climbing monotonically when the writer stalls.
+var mTailStalenessMs = telemetry.G("eventlog_tail_staleness_ms")
 
 // TailOptions configures OpenTail.
 type TailOptions struct {
@@ -49,13 +58,14 @@ type tailSource struct {
 	t0, t1 uint32
 	poll   time.Duration
 
-	pos    int64      // h5 salvage byte cursor (Salvage.End)
-	rd     *h5.Reader // reader over the most recent batch of new chunks
-	rec    int        // record size, learned from the first salvage
-	chunk  int        // next chunk to decode within rd
-	done   bool       // writer closed the file (valid footer)
-	buf    []Entry
-	closed bool
+	pos        int64      // h5 salvage byte cursor (Salvage.End)
+	rd         *h5.Reader // reader over the most recent batch of new chunks
+	rec        int        // record size, learned from the first salvage
+	chunk      int        // next chunk to decode within rd
+	done       bool       // writer closed the file (valid footer)
+	buf        []Entry
+	closed     bool
+	lastGrowth time.Time // when the cursor last advanced (staleness gauge)
 }
 
 // OpenTail returns an EntrySource that follows the log file at path as
@@ -111,7 +121,14 @@ func (s *tailSource) Next() ([]Entry, error) {
 			return nil, io.EOF
 		}
 		// Poll for growth past the cursor.
+		if s.lastGrowth.IsZero() {
+			s.lastGrowth = time.Now()
+		}
 		sal, err := h5.RecoverFrom(s.path, s.pos)
+		if err == nil && sal.End() > s.pos {
+			s.lastGrowth = time.Now()
+		}
+		mTailStalenessMs.Set(time.Since(s.lastGrowth).Milliseconds())
 		switch {
 		case err == nil:
 			if serr := checkSalvageSchema(sal, nil); serr != nil {

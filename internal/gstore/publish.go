@@ -18,6 +18,7 @@ package gstore
 // leans on.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,6 +32,11 @@ import (
 var (
 	mPublishes      = telemetry.C("gstore_publish_total")
 	mPublishSeconds = telemetry.H("gstore_publish_seconds")
+	// mFreshnessSeconds is the end-to-end window-close → publish-durable
+	// lag: how far behind the simulation's clock each generation became
+	// visible. It complements gstore_publish_seconds (the bake alone) by
+	// including accumulation and queueing upstream of the bake.
+	mFreshnessSeconds = telemetry.H("gstore_freshness_seconds")
 )
 
 // PublisherOptions configures a Publisher.
@@ -73,6 +79,45 @@ func NewPublisher(path string, opts PublisherOptions) *Publisher {
 // Generation returns the number of generations published so far.
 func (p *Publisher) Generation() int { return p.gen }
 
+// PublishMeta is the freshness context a streaming synthesizer knows
+// about the generation it is publishing. The zero value means
+// "unknown" and publishes no sidecar.
+type PublishMeta struct {
+	// WindowClosedAt is the wall-clock instant the source window closed
+	// (all of its events were in hand). Zero when unknown.
+	WindowClosedAt time.Time
+	// LastEventHour is the exclusive upper simulated hour the generation
+	// covers — "the network is current through hour H".
+	LastEventHour uint32
+}
+
+// SnapshotMeta is the sidecar document Publish writes next to the live
+// snapshot (MetaPath) so a serving process can report generation
+// freshness without the snapshot format itself carrying wall-clock
+// state (which would break the streamed-vs-batch bit-identity oracle).
+type SnapshotMeta struct {
+	Generation         int    `json:"generation"`
+	LastEventHour      uint32 `json:"last_event_hour"`
+	WindowClosedUnixNs int64  `json:"window_closed_unix_ns,omitempty"`
+	PublishedUnixNs    int64  `json:"published_unix_ns"`
+}
+
+// MetaPath returns the sidecar path for a snapshot path.
+func MetaPath(path string) string { return path + ".meta" }
+
+// ReadSnapshotMeta reads a sidecar written by PublishWithMeta.
+func ReadSnapshotMeta(path string) (SnapshotMeta, error) {
+	blob, err := os.ReadFile(MetaPath(path))
+	if err != nil {
+		return SnapshotMeta{}, err
+	}
+	var m SnapshotMeta
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return SnapshotMeta{}, fmt.Errorf("gstore: meta %s: %w", MetaPath(path), err)
+	}
+	return m, nil
+}
+
 // Publish bakes g as the next snapshot generation: an indexed v2
 // snapshot is written to a temporary file in the destination directory,
 // fsynced, and renamed over the live path. On return the new generation
@@ -80,7 +125,32 @@ func (p *Publisher) Generation() int { return p.gen }
 // bytes are either unlinked or, with History > 0, retained as
 // <path>.gen-NNNNNN.
 func (p *Publisher) Publish(g *graph.Graph) (PublishInfo, error) {
+	return p.PublishWithMeta(g, PublishMeta{})
+}
+
+// PublishWithMeta is Publish plus freshness accounting: the sidecar
+// meta document is refreshed before the snapshot rename (so a watcher
+// that observes the new generation always finds meta at least as new),
+// and the window-close → durable lag is observed into
+// gstore_freshness_seconds when WindowClosedAt is known.
+func (p *Publisher) PublishWithMeta(g *graph.Graph, meta PublishMeta) (PublishInfo, error) {
 	start := time.Now()
+	if meta != (PublishMeta{}) {
+		m := SnapshotMeta{
+			Generation:      p.gen + 1,
+			LastEventHour:   meta.LastEventHour,
+			PublishedUnixNs: start.UnixNano(),
+		}
+		if !meta.WindowClosedAt.IsZero() {
+			m.WindowClosedUnixNs = meta.WindowClosedAt.UnixNano()
+		}
+		if blob, err := json.Marshal(m); err == nil {
+			tmp := MetaPath(p.path) + ".tmp"
+			if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err == nil {
+				os.Rename(tmp, MetaPath(p.path)) // best-effort: meta loss ≠ publish failure
+			}
+		}
+	}
 	if err := WriteFileIndexed(p.path, g, p.opts.Index); err != nil {
 		return PublishInfo{}, fmt.Errorf("gstore: publish %s: %w", p.path, err)
 	}
@@ -97,6 +167,9 @@ func (p *Publisher) Publish(g *graph.Graph) (PublishInfo, error) {
 	info.Elapsed = time.Since(start)
 	mPublishes.Inc()
 	mPublishSeconds.Observe(info.Elapsed)
+	if !meta.WindowClosedAt.IsZero() {
+		mFreshnessSeconds.Observe(time.Since(meta.WindowClosedAt))
+	}
 	return info, nil
 }
 

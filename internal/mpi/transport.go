@@ -44,6 +44,25 @@ type Transport interface {
 	Gather(ctx context.Context, blob []byte) ([][]byte, error)
 }
 
+// TraceCarrier is an optional Transport extension for cross-process
+// trace propagation: a transport that implements it piggybacks the set
+// trace context (trace id + parent span id) on every collective it
+// initiates, and records the last nonzero context it observes on
+// replies. Rank 0 sets the context from its root span; worker ranks
+// read it back after their first collective and hand it to
+// telemetry.ContextWithRemoteParent, so a distributed run stitches into
+// one trace tree with no extra communication rounds. The in-process
+// Comm does not implement it — in-process spans already nest through
+// context.Context.
+type TraceCarrier interface {
+	// SetTraceContext sets the (traceID, spanID) pair stamped on
+	// outgoing collectives. Zero traceID clears it.
+	SetTraceContext(traceID, spanID uint64)
+	// TraceContext returns the current pair: what was Set locally, or
+	// the last nonzero pair observed from the wire.
+	TraceContext() (traceID, spanID uint64)
+}
+
 // CtxErr wraps a context's error for return from a collective or a
 // pipeline stage. It returns nil when the context is still live, so it
 // can be used as a plain guard:

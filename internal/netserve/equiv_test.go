@@ -137,7 +137,9 @@ func TestV1V2EndpointEquivalence(t *testing.T) {
 	}
 
 	// Stats: compare everything except the fields tied to the file
-	// identity (path, size) and load instant.
+	// identity (path, size), the load instant, and the snapshot format
+	// itself (v1 and v2 legitimately differ in version, index sections,
+	// and request-time age).
 	_, s1 := fetchBody(t, servers[0].URL+"/v1/stats")
 	_, s2 := fetchBody(t, servers[1].URL+"/v1/stats")
 	var m1, m2 map[string]any
@@ -147,7 +149,10 @@ func TestV1V2EndpointEquivalence(t *testing.T) {
 	if err := json.Unmarshal([]byte(s2), &m2); err != nil {
 		t.Fatal(err)
 	}
-	for _, volatile := range []string{"snapshot_path", "snapshot_bytes", "loaded_at"} {
+	for _, volatile := range []string{
+		"snapshot_path", "snapshot_bytes", "loaded_at",
+		"snapshot_version", "index_sections", "published_at", "last_event_hour", "age_s",
+	} {
 		delete(m1, volatile)
 		delete(m2, volatile)
 	}

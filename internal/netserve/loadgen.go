@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // BenchConfig drives the mixed-query load generator behind
@@ -30,6 +31,11 @@ type BenchConfig struct {
 // BENCH_serve.json by scripts/bench.sh. The serve_qps / serve_p99_ms
 // keys are the scripted figures of merit.
 type BenchResult struct {
+	// Meta is the shared provenance stamp (telemetry.NewBenchMeta):
+	// producing tool, toolchain, GOMAXPROCS, config echo. The driver
+	// (cmd/netserve -selfbench) fills it before WriteFile.
+	Meta telemetry.BenchMeta `json:"meta"`
+
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
 	Concurrency int     `json:"concurrency"`

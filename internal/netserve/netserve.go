@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -69,6 +70,16 @@ type Options struct {
 	// MaxEgoMembers caps the member list returned by /v1/ego
 	// (default 10000).
 	MaxEgoMembers int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed request: timestamp, method, path, query, endpoint,
+	// status, duration, and a "slow":true flag past SlowThreshold.
+	// Nil (the default) disables access logging with zero per-request
+	// overhead — the hot path never touches the logger.
+	AccessLog io.Writer
+	// SlowThreshold is the duration at or beyond which an access-log
+	// line is flagged slow (default 500ms). Only meaningful with a
+	// non-nil AccessLog.
+	SlowThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +98,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxEgoMembers <= 0 {
 		o.MaxEgoMembers = 10000
 	}
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = 500 * time.Millisecond
+	}
 	return o
 }
 
@@ -103,9 +117,17 @@ type generation struct {
 	refs     atomic.Int64
 	closed   sync.Once
 
+	// Freshness context from the publisher's meta sidecar
+	// (gstore.ReadSnapshotMeta), zero when the snapshot was published
+	// without one (batch netsynth, TSV loads).
+	publishedAt   time.Time
+	lastEventHour uint32
+
 	// Responses that depend only on the snapshot, rendered once at
 	// reload (from the index when present, live otherwise) so /v1/stats
-	// and /v1/degree-dist are memcpys at request time.
+	// and /v1/degree-dist are memcpys at request time. statsJSON is the
+	// static prefix WITHOUT the closing brace — encodeStats appends the
+	// per-request age_s field and closes the object.
 	statsJSON []byte
 	histJSON  []byte
 
@@ -154,7 +176,9 @@ func (g *generation) precompute() {
 		maxDeg = uint64(gr.MaxDegree())
 	}
 
-	// Byte-identical to json.Marshal(StatsResponse{...}).
+	// Byte-identical to json.Marshal(StatsResponse{...}) modulo the
+	// closing brace: the buffer stops after the last static field so
+	// encodeStats can append the live age_s and close the object.
 	b := append([]byte(nil), `{"vertices":`...)
 	b = appendInt(b, int64(n))
 	b = append(b, `,"vertices_with_edges":`...)
@@ -175,7 +199,27 @@ func (g *generation) precompute() {
 	b = appendBool(b, g.snap.Mapped())
 	b = append(b, `,"loaded_at":`...)
 	b = appendString(b, g.loadedAt.UTC().Format(time.RFC3339Nano))
-	g.statsJSON = append(b, '}')
+	b = append(b, `,"snapshot_version":`...)
+	b = appendInt(b, int64(g.snap.Version()))
+	b = append(b, `,"index_sections":[`...)
+	if g.idx != nil {
+		for i, sec := range g.idx.Sections() {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendString(b, sec)
+		}
+	}
+	b = append(b, ']')
+	if !g.publishedAt.IsZero() {
+		b = append(b, `,"published_at":`...)
+		b = appendString(b, g.publishedAt.UTC().Format(time.RFC3339Nano))
+	}
+	if g.lastEventHour != 0 {
+		b = append(b, `,"last_event_hour":`...)
+		b = appendUint(b, uint64(g.lastEventHour))
+	}
+	g.statsJSON = b
 
 	// Byte-identical to json.Marshal(DegreeDistResponse{...}).
 	b = append([]byte(nil), `{"vertices":`...)
@@ -206,6 +250,7 @@ type Server struct {
 	cache  *lruCache
 	flight flightGroup
 	mux    *http.ServeMux
+	logMu  sync.Mutex // serializes AccessLog writes
 
 	stopWatch chan struct{}
 	watchDone chan struct{}
@@ -351,6 +396,15 @@ func (s *Server) Reload() error {
 		idx:      snap.Index(),
 		sig:      sig,
 		loadedAt: time.Now(),
+	}
+	// The publisher's freshness sidecar is written before the snapshot
+	// rename, so a watcher that saw the new generation always finds meta
+	// at least as new. Absence (batch snapshots, TSV) is not an error.
+	if m, merr := gstore.ReadSnapshotMeta(s.path); merr == nil {
+		if m.PublishedUnixNs != 0 {
+			gen.publishedAt = time.Unix(0, m.PublishedUnixNs)
+		}
+		gen.lastEventHour = m.LastEventHour
 	}
 	gen.precompute()
 	gen.refs.Store(1) // publisher reference
@@ -550,6 +604,15 @@ func (s *Server) serve(ep *endpoint, w http.ResponseWriter, r *http.Request) {
 	sw := s.opts.Registry.Clock()
 	defer func() { sw.Observe(ep.latency) }()
 
+	// Opt-in access log: wrap the writer to capture the committed
+	// status. The nil-AccessLog hot path skips all of this.
+	if s.opts.AccessLog != nil {
+		lw := &statusWriter{ResponseWriter: w}
+		w = lw
+		start := time.Now()
+		defer func() { s.logAccess(ep, r, lw.status(), time.Since(start)) }()
+	}
+
 	// Bounded worker pool. The common case — a free slot — is a
 	// non-blocking send, so hot requests pay no context allocation;
 	// only a saturated server falls back to the deadline wait.
@@ -638,6 +701,60 @@ func (s *Server) serve(ep *endpoint, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSONBytes(w, http.StatusOK, b)
+}
+
+// statusWriter records the first committed status code so the access
+// log can report it; an implicit 200 (Write before WriteHeader) reads
+// back as http.StatusOK.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// logAccess emits one structured JSON line per completed request. The
+// line is rendered through the same pinned appenders as the response
+// encoders and written under a mutex so concurrent requests never
+// interleave bytes. Requests at or beyond SlowThreshold carry
+// "slow":true — the grep handle for slow-query triage.
+func (s *Server) logAccess(ep *endpoint, r *http.Request, status int, d time.Duration) {
+	b := make([]byte, 0, 256)
+	b = append(b, `{"ts":`...)
+	b = appendString(b, time.Now().UTC().Format(time.RFC3339Nano))
+	b = append(b, `,"method":`...)
+	b = appendString(b, r.Method)
+	b = append(b, `,"path":`...)
+	b = appendString(b, r.URL.Path)
+	if r.URL.RawQuery != "" {
+		b = append(b, `,"query":`...)
+		b = appendString(b, r.URL.RawQuery)
+	}
+	b = append(b, `,"endpoint":`...)
+	b = appendString(b, ep.name)
+	b = append(b, `,"status":`...)
+	b = appendInt(b, int64(status))
+	b = append(b, `,"dur_ms":`...)
+	b = appendFloat(b, float64(d)/float64(time.Millisecond))
+	if d >= s.opts.SlowThreshold {
+		b = append(b, `,"slow":true`...)
+	}
+	b = append(b, '}', '\n')
+	s.logMu.Lock()
+	s.opts.AccessLog.Write(b)
+	s.logMu.Unlock()
 }
 
 // cacheKey canonicalizes a request: endpoint, generation, path, and
@@ -768,20 +885,38 @@ func intArg(r *http.Request, name string, def, lo, hi int) (int, error) {
 // reload (generation.precompute) byte-identically to json.Marshal of
 // this struct; the type remains the schema of record for clients.
 type StatsResponse struct {
-	Vertices          int    `json:"vertices"`
-	VerticesWithEdges int    `json:"vertices_with_edges"`
-	Edges             int    `json:"edges"`
-	TotalWeight       uint64 `json:"total_weight"`
-	MaxDegree         int    `json:"max_degree"`
-	Generation        uint64 `json:"generation"`
-	SnapshotPath      string `json:"snapshot_path"`
-	SnapshotBytes     int64  `json:"snapshot_bytes"`
-	Mapped            bool   `json:"mapped"`
-	LoadedAt          string `json:"loaded_at"`
+	Vertices          int      `json:"vertices"`
+	VerticesWithEdges int      `json:"vertices_with_edges"`
+	Edges             int      `json:"edges"`
+	TotalWeight       uint64   `json:"total_weight"`
+	MaxDegree         int      `json:"max_degree"`
+	Generation        uint64   `json:"generation"`
+	SnapshotPath      string   `json:"snapshot_path"`
+	SnapshotBytes     int64    `json:"snapshot_bytes"`
+	Mapped            bool     `json:"mapped"`
+	LoadedAt          string   `json:"loaded_at"`
+	SnapshotVersion   int      `json:"snapshot_version"`
+	IndexSections     []string `json:"index_sections"`
+	PublishedAt       string   `json:"published_at,omitempty"`
+	LastEventHour     uint32   `json:"last_event_hour,omitempty"`
+	// AgeS is the generation's age at response time: seconds since the
+	// publisher's sidecar publish instant when one exists, else since
+	// this process loaded the snapshot. The one dynamic stats field —
+	// appended per request onto the precomputed prefix.
+	AgeS float64 `json:"age_s,omitempty"`
 }
 
 func encodeStats(gen *generation, _ *graph.Graph, _ *http.Request, b []byte) ([]byte, error) {
-	return append(b, gen.statsJSON...), nil
+	b = append(b, gen.statsJSON...)
+	base := gen.publishedAt
+	if base.IsZero() {
+		base = gen.loadedAt
+	}
+	if age := time.Since(base).Seconds(); age != 0 {
+		b = append(b, `,"age_s":`...)
+		b = appendFloat(b, age)
+	}
+	return append(b, '}'), nil
 }
 
 // DegreeResponse is /v1/degree/{id}.

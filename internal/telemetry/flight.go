@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// This file implements the SIGQUIT flight recorder: a signal handler
+// that dumps the registry's current state — the full Prometheus
+// exposition plus every retained root span tree — to a writer
+// (stderr), without terminating the process. A wedged distributed run
+// becomes diagnosable with `kill -QUIT <pid>` per rank: the operator
+// sees which stage each rank is stuck in and what it had counted so
+// far, where the Go runtime's default SIGQUIT reaction would have
+// destroyed the process to print goroutines.
+
+// flightOnce guards signal.Notify registration per process; repeated
+// installs (tests, both phases of a command) just swap the sink.
+var (
+	flightOnce sync.Once
+	flightMu   sync.Mutex
+	flightReg  *Registry
+	flightTool string
+	flightW    io.Writer
+)
+
+// InstallFlightRecorder wires the registry to the process's SIGQUIT
+// handler on the Default registry.
+func InstallFlightRecorder(tool string, w io.Writer) {
+	Default.InstallFlightRecorder(tool, w)
+}
+
+// InstallFlightRecorder arranges for SIGQUIT to dump this registry's
+// metrics snapshot and retained root span trees to w, tagged with the
+// tool name. The process keeps running afterwards. Installing again
+// replaces the registry/tool/writer; the signal handler itself is
+// registered once per process.
+func (r *Registry) InstallFlightRecorder(tool string, w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
+	flightMu.Lock()
+	flightReg, flightTool, flightW = r, tool, w
+	flightMu.Unlock()
+	flightOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGQUIT)
+		go func() {
+			for range ch {
+				flightMu.Lock()
+				reg, name, sink := flightReg, flightTool, flightW
+				flightMu.Unlock()
+				DumpFlightRecord(sink, reg, name)
+			}
+		}()
+	})
+}
+
+// DumpFlightRecord writes one flight-recorder frame: a header, the
+// Prometheus exposition of the registry, and the retained root span
+// trees rendered the way `netstat trace` renders them. It is the
+// SIGQUIT payload but is also callable directly (tests, crash paths).
+func DumpFlightRecord(w io.Writer, r *Registry, tool string) {
+	fmt.Fprintf(w, "\n==== flight record: %s pid=%d %s ====\n",
+		tool, os.Getpid(), time.Now().UTC().Format(time.RFC3339Nano))
+	if !r.Enabled() {
+		fmt.Fprintln(w, "(telemetry disabled; enable with -telemetry-addr or -report)")
+	}
+	if err := r.WritePrometheus(w); err != nil {
+		fmt.Fprintf(w, "flight record: metrics: %v\n", err)
+	}
+	roots := r.RootSpans()
+	if len(roots) > 0 {
+		fmt.Fprintf(w, "---- %d retained span tree(s) ----\n", len(roots))
+		for _, sp := range roots {
+			renderSpanTree(w, sp, "", 0)
+		}
+	}
+	fmt.Fprintf(w, "==== end flight record ====\n")
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
@@ -13,6 +14,8 @@ import (
 // -telemetry-addr. It serves
 //
 //	/metrics      Prometheus text exposition of the registry
+//	/snapshot     the registry Snapshot as JSON (exact bucket counts —
+//	              what cmd/netlaunch scrapes to build its merged view)
 //	/debug/vars   expvar JSON (the registry snapshot under "telemetry")
 //	/debug/pprof  the standard net/http/pprof profiles
 //
@@ -48,6 +51,10 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

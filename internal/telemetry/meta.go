@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// BenchMetaSchema versions the shared BENCH_*.json metadata block; bump
+// it when the block's shape changes.
+const BenchMetaSchema = 1
+
+// BenchMeta is the provenance stamp every BENCH_*.json writer embeds
+// under "meta": which tool produced the file, with what configuration,
+// on which toolchain. Benchmark files without it are bare numbers that
+// cannot be compared across machines or commits.
+type BenchMeta struct {
+	Schema        int               `json:"schema"`
+	Tool          string            `json:"tool"`
+	GoVersion     string            `json:"go_version"`
+	GOMAXPROCS    int               `json:"gomaxprocs"`
+	NumCPU        int               `json:"num_cpu"`
+	CreatedUnixNs int64             `json:"created_unix_ns"`
+	Config        map[string]string `json:"config,omitempty"`
+}
+
+// NewBenchMeta stamps a metadata block for tool with the given config
+// echo (flag name → value as given).
+func NewBenchMeta(tool string, config map[string]string) BenchMeta {
+	return BenchMeta{
+		Schema:        BenchMetaSchema,
+		Tool:          tool,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		CreatedUnixNs: time.Now().UnixNano(),
+		Config:        config,
+	}
+}

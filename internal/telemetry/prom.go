@@ -3,7 +3,9 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders every registered series in the Prometheus
@@ -14,43 +16,185 @@ import (
 // in seconds, matching the *_seconds naming scheme.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
+	return WriteSnapshotPrometheus(w, snap, nil)
+}
+
+// Label is one exposition label. Labels are kept as an ordered slice
+// (not a map) so rendered output is deterministic.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// escapeLabelValue applies the Prometheus text-format label-value
+// escaping: backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders `a="x",b="y"` (no braces) or "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		// Not %q: Go quoting would re-escape the backslashes that
+		// escapeLabelValue just produced (and escape characters the
+		// Prometheus text format passes through verbatim).
+		parts[i] = l.Name + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// labelSuffix renders the full `{...}` sample suffix, or "".
+func labelSuffix(labels []Label) string {
+	body := renderLabels(labels)
+	if body == "" {
+		return ""
+	}
+	return "{" + body + "}"
+}
+
+// WriteSnapshotPrometheus renders one snapshot with the given labels
+// attached to every sample — the single-process exposition is the
+// nil-labels case, and netlaunch uses rank labels to distinguish
+// processes on its merged endpoint.
+func WriteSnapshotPrometheus(w io.Writer, snap Snapshot, labels []Label) error {
+	ls := labelSuffix(labels)
 	for _, name := range sortedKeys(snap.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, ls, snap.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(snap.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, snap.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", name, name, ls, snap.Gauges[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
-		if err := writePromHistogram(w, name, snap.Histograms[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		if err := writePromHistogram(w, name, snap.Histograms[name], labels); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
+// LabeledSnapshot pairs one process's snapshot with the labels that
+// identify it on a merged exposition (typically rank="N").
+type LabeledSnapshot struct {
+	Labels []Label
+	Snap   Snapshot
+}
+
+// WriteClusterPrometheus renders several labeled snapshots as one valid
+// exposition: each metric name gets a single # TYPE line followed by
+// one labeled sample (or labeled bucket set) per snapshot that carries
+// the series. Snapshot order is preserved per series, so scrapers see
+// ranks in rank order when the caller sorts its inputs.
+func WriteClusterPrometheus(w io.Writer, snaps []LabeledSnapshot) error {
+	type kind struct {
+		typ string // "counter", "gauge", "histogram"
+	}
+	kinds := map[string]kind{}
+	for _, s := range snaps {
+		for name := range s.Snap.Counters {
+			kinds[name] = kind{"counter"}
+		}
+		for name := range s.Snap.Gauges {
+			kinds[name] = kind{"gauge"}
+		}
+		for name := range s.Snap.Histograms {
+			kinds[name] = kind{"histogram"}
+		}
+	}
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		k := kinds[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, k.typ); err != nil {
+			return err
+		}
+		for _, s := range snaps {
+			switch k.typ {
+			case "counter":
+				v, ok := s.Snap.Counters[name]
+				if !ok {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labelSuffix(s.Labels), v); err != nil {
+					return err
+				}
+			case "gauge":
+				v, ok := s.Snap.Gauges[name]
+				if !ok {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labelSuffix(s.Labels), v); err != nil {
+					return err
+				}
+			case "histogram":
+				h, ok := s.Snap.Histograms[name]
+				if !ok {
+					continue
+				}
+				if err := writePromHistogram(w, name, h, s.Labels); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram's cumulative buckets, sum and
+// count, with labels (plus le) on every sample. The # TYPE line is the
+// caller's responsibility so merged expositions can share it.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot, labels []Label) error {
+	base := renderLabels(labels)
+	sep := ""
+	if base != "" {
+		sep = ","
 	}
 	var cum int64
 	for i := 0; i < NumBuckets && i < len(h.BucketCounts); i++ {
 		cum += h.BucketCounts[i]
 		le := formatSeconds(BucketBound(i))
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, base, sep, le, cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, base, sep, h.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatSeconds(h.SumNs)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelSuffix(labels), formatSeconds(h.SumNs)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelSuffix(labels), h.Count)
 	return err
 }
 

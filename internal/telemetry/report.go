@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 )
@@ -43,6 +44,13 @@ type RankReport struct {
 
 	FaultsInjected  int64 `json:"faults_injected,omitempty"`
 	FaultsRecovered int64 `json:"faults_recovered,omitempty"`
+
+	// TraceID is the cluster trace this rank participated in (FormatID
+	// hex), and Spans are the rank's completed local span subtrees for
+	// that trace — shipped over the same best-effort report gather and
+	// grafted under the coordinator's root span.
+	TraceID string       `json:"trace_id,omitempty"`
+	Spans   []SpanReport `json:"spans,omitempty"`
 }
 
 // EncodeRank serializes a RankReport for a transport gather.
@@ -127,6 +135,9 @@ type Report struct {
 	Metrics Snapshot `json:"metrics"`
 	// Spans are the retained completed root span trees.
 	Spans []SpanReport `json:"spans,omitempty"`
+	// TraceID names the distributed trace this report's span trees
+	// stitch into, when the run produced one (FormatID hex).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Report builds a run report from the registry's current state.
@@ -276,6 +287,118 @@ func (rep *Report) Render(w io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// AttachRemoteSpans grafts kids (span subtrees shipped from other
+// processes) under the retained root span whose span id matches
+// rootSpanID. If no retained root matches, a synthetic root is
+// appended so the spans are never dropped.
+func (rep *Report) AttachRemoteSpans(rootSpanID string, kids []SpanReport) {
+	if len(kids) == 0 {
+		return
+	}
+	for i := range rep.Spans {
+		if rep.Spans[i].SpanID == rootSpanID {
+			rep.Spans[i].Children = append(rep.Spans[i].Children, kids...)
+			return
+		}
+	}
+	rep.Spans = append(rep.Spans, SpanReport{
+		Name:     "remote",
+		SpanID:   rootSpanID,
+		Children: kids,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Trace rendering (`netstat trace`, flight recorder)
+
+// renderSpanTree writes one span subtree as an indented tree. Child
+// ranks inherit the parent's unless the report carries its own — a
+// grafted remote subtree announces its rank once at its root.
+func renderSpanTree(w io.Writer, sp SpanReport, indent string, parentRank int) {
+	rank := sp.Rank
+	if rank == 0 && parentRank != 0 {
+		rank = parentRank
+	}
+	fmt.Fprintf(w, "%s%s  %s", indent, sp.Name, fmtNs(sp.WallNs))
+	if rank != parentRank || indent == "" {
+		fmt.Fprintf(w, "  [rank %d]", rank)
+	}
+	if sp.Bytes > 0 {
+		fmt.Fprintf(w, "  %d B", sp.Bytes)
+	}
+	if sp.Count > 0 {
+		fmt.Fprintf(w, "  n=%d", sp.Count)
+	}
+	fmt.Fprintln(w)
+	for _, c := range sp.Children {
+		renderSpanTree(w, c, indent+"  ", rank)
+	}
+}
+
+// collectRanks folds the distinct ranks of a span subtree into set.
+func collectRanks(sp SpanReport, inherited int, set map[int]bool) {
+	rank := sp.Rank
+	if rank == 0 && inherited != 0 {
+		rank = inherited
+	}
+	set[rank] = true
+	for _, c := range sp.Children {
+		collectRanks(c, rank, set)
+	}
+}
+
+// RenderTrace writes the report's distributed trace view: every
+// retained root span tree that belongs to rep.TraceID (all of them
+// when the report predates tracing), with per-rank annotations and a
+// summary line counting spans and distinct ranks — the `netstat trace`
+// output.
+func (rep *Report) RenderTrace(w io.Writer) error {
+	trees := rep.Spans
+	if rep.TraceID != "" {
+		trees = nil
+		for _, sp := range rep.Spans {
+			if sp.TraceID == rep.TraceID || sp.TraceID == "" {
+				trees = append(trees, sp)
+			}
+		}
+	}
+	if len(trees) == 0 {
+		fmt.Fprintln(w, "no span trees in report")
+		return nil
+	}
+	if rep.TraceID != "" {
+		fmt.Fprintf(w, "trace %s (%s)\n", rep.TraceID, rep.Command)
+	} else {
+		fmt.Fprintf(w, "trace (%s, untraced report)\n", rep.Command)
+	}
+	ranks := map[int]bool{}
+	spans := 0
+	var count func(sp SpanReport)
+	count = func(sp SpanReport) {
+		spans++
+		for _, c := range sp.Children {
+			count(c)
+		}
+	}
+	for _, sp := range trees {
+		renderSpanTree(w, sp, "", 0)
+		collectRanks(sp, 0, ranks)
+		count(sp)
+	}
+	rankList := make([]int, 0, len(ranks))
+	for r := range ranks {
+		rankList = append(rankList, r)
+	}
+	sort.Ints(rankList)
+	parts := make([]string, len(rankList))
+	for i, r := range rankList {
+		parts[i] = fmt.Sprintf("%d", r)
+	}
+	fmt.Fprintf(w, "%d span(s) across %d rank(s): %s\n",
+		spans, len(rankList), strings.Join(parts, ","))
 	return nil
 }
 

@@ -66,7 +66,7 @@ func TestRankReportEncodeDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("rank report round-trip: got %+v, want %+v", out, in)
 	}
 	if _, err := DecodeRank([]byte("not json")); err == nil {

@@ -31,8 +31,13 @@ go test -run '^$' -bench 'BenchmarkGramKernel$|BenchmarkMerge$|BenchmarkCoalesce
 
 # Reduce the raw benchmark lines to JSON: average repeated counts per
 # benchmark name and keep custom metrics (unit -> value). awk only — no
-# external deps.
-awk '
+# external deps. The leading "meta" block mirrors telemetry.BenchMeta
+# (schema 1) so this file carries the same provenance stamp as the
+# BENCH_*.json files written by the Go tools.
+GO_VERSION=$(go env GOVERSION)
+NCPU="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+NOW_NS=$(date +%s)000000000
+awk -v goversion="$GO_VERSION" -v ncpu="$NCPU" -v nowns="$NOW_NS" -v count="$COUNT" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
@@ -51,6 +56,8 @@ awk '
 }
 END {
 	printf "{\n"
+	printf "  \"meta\": {\"schema\": 1, \"tool\": \"bench.sh\", \"go_version\": \"%s\", \"gomaxprocs\": %d, \"num_cpu\": %d, \"created_unix_ns\": %s, \"config\": {\"count\": \"%s\"}},\n",
+		goversion, ncpu, ncpu, nowns, count
 	first = 1
 	for (name in seen) {
 		if (!first) printf ",\n"

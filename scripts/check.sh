@@ -109,6 +109,83 @@ if [ "${SUPSMOKE:-1}" = "1" ]; then
 	rm -rf "$sup_dir"
 fi
 
+# Observability smoke (DESIGN.md §15): a supervised 4-rank run with the
+# observe plane on. While the run is live, the merged /metrics must
+# carry every rank's series under its rank="N" label (plus the
+# launcher's own registry); afterwards, `netstat trace` on the run
+# report must render one distributed trace tree with spans from the
+# coordinator and at least two worker ranks. The telemetry overhead
+# budget (<= 1.05x) is enforced by the GUARD stage above. Skip with
+# OBSERVE=0.
+if [ "${OBSERVE:-1}" = "1" ]; then
+	echo "== observability smoke (netlaunch observe plane; merged /metrics + cluster trace)"
+	obs_dir=$(mktemp -d)
+	go build -o "$obs_dir/" ./cmd/chisim ./cmd/netsynth ./cmd/netlaunch \
+		./cmd/netserve ./cmd/netstat
+	# The hour delay stretches the simulation so every rank is scraped at
+	# least once while the run is live.
+	"$obs_dir/netlaunch" -persons 2000 -days 2 -ranks 4 \
+		-workdir "$obs_dir/run" -hour-delay 50ms \
+		-observe-addr 127.0.0.1:0 -observe-addr-file "$obs_dir/observe.addr" \
+		-scrape-interval 100ms -report "$obs_dir/report.json" \
+		>"$obs_dir/launch.log" &
+	obs_pid=$!
+	i=0
+	while [ ! -s "$obs_dir/observe.addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "FAIL: observe plane never bound its port"
+			cat "$obs_dir/launch.log"
+			kill "$obs_pid" 2>/dev/null || true
+			rm -rf "$obs_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	obs_addr=$(cat "$obs_dir/observe.addr")
+	# Poll the merged exposition until every rank label has appeared (the
+	# ranks bind their telemetry servers as they start; a rank label is
+	# sticky once scraped because the observer keeps last-good snapshots).
+	i=0
+	while :; do
+		labels=$("$obs_dir/netserve" -get "http://$obs_addr/metrics" 2>/dev/null |
+			grep -o 'rank="[0-9]*"' | sort -u | grep -c . || true)
+		[ "${labels:-0}" -ge 4 ] && break
+		if ! kill -0 "$obs_pid" 2>/dev/null; then
+			echo "FAIL: netlaunch exited before /metrics showed all 4 rank labels (saw $labels)"
+			cat "$obs_dir/launch.log"
+			rm -rf "$obs_dir"
+			exit 1
+		fi
+		i=$((i + 1))
+		if [ "$i" -gt 300 ]; then
+			echo "FAIL: /metrics never showed all 4 rank labels (saw $labels)"
+			cat "$obs_dir/launch.log"
+			kill "$obs_pid" 2>/dev/null || true
+			rm -rf "$obs_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	# The /cluster summary must be serving JSON with per-rank rows.
+	"$obs_dir/netserve" -get "http://$obs_addr/cluster" | grep -q '"phase"'
+	wait "$obs_pid" # the supervised run itself must exit 0
+	echo "merged /metrics carried all 4 rank labels while the run was live"
+	# The run report must render as one trace tree spanning the
+	# coordinator plus at least two worker ranks.
+	"$obs_dir/netstat" trace "$obs_dir/report.json" >"$obs_dir/trace.txt"
+	spanranks=$("$obs_dir/netstat" trace "$obs_dir/report.json" |
+		sed -n 's/.*across \([0-9]*\) rank(s).*/\1/p')
+	if [ "${spanranks:-0}" -lt 3 ]; then
+		echo "FAIL: cluster trace covers ${spanranks:-0} rank(s), want >= 3"
+		cat "$obs_dir/trace.txt"
+		rm -rf "$obs_dir"
+		exit 1
+	fi
+	echo "cluster trace spans $spanranks ranks (coordinator + workers)"
+	rm -rf "$obs_dir"
+fi
+
 # Streaming smoke (DESIGN.md §14): a 3-day simulation with hourly
 # durability flushes runs while `netsynth -follow` tails its logs
 # (opened before they exist) and publishes one snapshot generation per
