@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +68,8 @@ func main() {
 	convert := flag.String("convert", "", "convert this TSV edge list (or snapshot) to an indexed -snapshot and exit")
 	reindex := flag.String("reindex", "", "rewrite this snapshot in place as v2 with baked index sections and exit")
 	get := flag.String("get", "", "fetch this URL, print the body, and exit (curl-free smoke tests)")
+	post := flag.String("post", "", "POST -body to this URL, print the body, and exit (curl-free smoke tests)")
+	postBody := flag.String("body", "", "request body file for -post ('-' = stdin)")
 
 	selfbench := flag.Bool("selfbench", false, "run the mixed-query load generator against an in-process server and exit")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: write the JSON report here")
@@ -79,6 +82,8 @@ func main() {
 	switch {
 	case *get != "":
 		runGet(*get)
+	case *post != "":
+		runPost(*post, *postBody)
 	case *convert != "":
 		runConvert(*convert, *snapshot)
 	case *reindex != "":
@@ -256,6 +261,38 @@ func runGet(url string) {
 	os.Stdout.Write(body)
 	if resp.StatusCode != http.StatusOK {
 		fatal(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+}
+
+// runPost is the POST counterpart of runGet: body from a file (or
+// stdin with "-"), response to stdout, non-200 is fatal.
+func runPost(url, bodyPath string) {
+	var body io.Reader = strings.NewReader("")
+	switch bodyPath {
+	case "":
+	case "-":
+		body = os.Stdin
+	default:
+		f, err := os.Open(bodyPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		body = f
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+	resp, err := client.Post(url, "application/json", body)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(out)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("POST %s: %s", url, resp.Status))
 	}
 }
 

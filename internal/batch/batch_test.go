@@ -316,3 +316,66 @@ func TestSimulateCanceled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestMakespanAndWaitEdgeCases: empty result sets, empty (non-nil)
+// filters, and filters matching nothing — the scenario engine feeds
+// these helpers arbitrary id subsets.
+func TestMakespanAndWaitEdgeCases(t *testing.T) {
+	res := []Result{
+		{Job: Job{ID: 1, Submit: 0}, Start: 2, Finish: 10},
+		{Job: Job{ID: 2, Submit: 1}, Start: 5, Finish: 20},
+	}
+	if Makespan(nil, nil) != 0 {
+		t.Fatal("makespan of no results should be 0")
+	}
+	// A non-nil empty filter means "none of them", not "all of them".
+	if Makespan(res, map[int]bool{}) != 0 {
+		t.Fatal("empty filter should select nothing")
+	}
+	if WaitTime(res, map[int]bool{}) != 0 {
+		t.Fatal("empty-filter wait should be 0")
+	}
+	// Filter naming only absent ids.
+	if Makespan(res, map[int]bool{99: true}) != 0 || WaitTime(res, map[int]bool{99: true}) != 0 {
+		t.Fatal("filter matching nothing should yield 0")
+	}
+	// A filter entry explicitly set false is excluded too.
+	if Makespan(res, map[int]bool{1: false, 2: true}) != 20 {
+		t.Fatal("false filter entries must not match")
+	}
+}
+
+// countdownCtx cancels after its Err method has been consulted n times,
+// letting the test abort Simulate partway through the event loop rather
+// than before it starts.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestSimulateCanceledMidGrid: cancellation between events aborts with
+// context.Canceled and reports how far the simulated clock got.
+func TestSimulateCanceledMidGrid(t *testing.T) {
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Procs: 2, Duration: float64(i%7 + 1), Submit: float64(i)}
+	}
+	ctx := &countdownCtx{Context: context.Background(), remaining: 10}
+	_, err := Simulate(ctx, 4, jobs, Backfill)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same workload with an honest context completes.
+	res, err := Simulate(context.Background(), 4, jobs, Backfill)
+	if err != nil || len(res) != len(jobs) {
+		t.Fatalf("uncancelled run failed: %v", err)
+	}
+}

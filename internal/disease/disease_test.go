@@ -274,6 +274,52 @@ func TestSpreadOnGraphDuplicateSeeds(t *testing.T) {
 	}
 }
 
+// TestSpreadOnGraphDuplicateSeedsStochastic is the regression test for
+// the duplicate-seed bug: a repeated id used to enter the active list
+// twice, double-decrementing daysLeft (early recovery) and drawing
+// twice per neighbor (shifted rng stream). A duplicated seed list must
+// behave exactly like the deduplicated one under stochastic spread.
+func TestSpreadOnGraphDuplicateSeedsStochastic(t *testing.T) {
+	var edges [][3]uint32
+	const n = 80
+	src := rng.New(5)
+	for i := uint32(1); i < n; i++ {
+		edges = append(edges, [3]uint32{uint32(src.Intn(int(i))), i, uint32(src.Intn(30) + 1)})
+	}
+	g := graphFromEdges(edges, n)
+	cfg := GraphSpreadConfig{Beta: 0.05, InfectiousDays: 3, Steps: 25, Seed: 17}
+	want := SpreadOnGraph(g, cfg, []uint32{0})
+	got := SpreadOnGraph(g, cfg, []uint32{0, 0})
+	if got.TotalInfected != want.TotalInfected || got.PeakStep != want.PeakStep {
+		t.Fatalf("duplicate seeds changed the epidemic: %+v vs %+v", got, want)
+	}
+	for i := range want.NewPerStep {
+		if got.NewPerStep[i] != want.NewPerStep[i] {
+			t.Fatalf("curves diverge at step %d:\n[0,0] %v\n[0]   %v", i, got.NewPerStep, want.NewPerStep)
+		}
+	}
+}
+
+// BenchmarkSpreadOnGraph exercises the hot transmission loop; the
+// per-weight probability cache turned its math.Pow into a slice read.
+func BenchmarkSpreadOnGraph(b *testing.B) {
+	var edges [][3]uint32
+	const n = 5000
+	src := rng.New(9)
+	for i := uint32(1); i < n; i++ {
+		for k := 0; k < 4; k++ {
+			edges = append(edges, [3]uint32{uint32(src.Intn(int(i))), i, uint32(src.Intn(500) + 1)})
+		}
+	}
+	g := graphFromEdges(edges, n)
+	cfg := GraphSpreadConfig{Beta: 0.002, InfectiousDays: 4, Steps: 50, Seed: 23}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpreadOnGraph(g, cfg, []uint32{0, 1, 2})
+	}
+}
+
 func TestSpreadHigherOnDenserGraph(t *testing.T) {
 	src := rng.New(31)
 	// Sparse: ring. Dense: ring + many chords.

@@ -50,7 +50,11 @@ func SpreadOnGraph(g *graph.Graph, cfg GraphSpreadConfig, seeds []uint32) GraphS
 	state := make([]uint8, g.NumVertices())
 	daysLeft := make([]int, g.NumVertices())
 	res := GraphSpreadResult{NewPerStep: make([]int, cfg.Steps)}
+	var active []uint32
 	for _, s := range seeds {
+		// The state check also dedupes: a repeated seed id is already
+		// infectious on its second appearance, so it joins the active
+		// list exactly once and its daysLeft clock ticks once per step.
 		if state[s] == susceptible {
 			state[s] = infectious
 			daysLeft[s] = cfg.InfectiousDays
@@ -58,11 +62,26 @@ func SpreadOnGraph(g *graph.Graph, cfg GraphSpreadConfig, seeds []uint32) GraphS
 			if cfg.Steps > 0 {
 				res.NewPerStep[0]++
 			}
+			active = append(active, s)
 		}
 	}
-	var active []uint32
-	for _, s := range seeds {
-		active = append(active, s)
+	// probFor caches 1-(1-Beta)^w per weight: collocation weights are
+	// small integers, so the inner loop's math.Pow becomes a slice read.
+	// Each entry is computed with the exact expression the loop used, so
+	// results are bit-identical.
+	oneMinusBeta := 1 - cfg.Beta
+	probs := []float64{0}
+	probFor := func(w uint32) float64 {
+		if w >= 1<<22 {
+			return 1 - math.Pow(oneMinusBeta, float64(w))
+		}
+		for int(w) >= len(probs) {
+			probs = append(probs, math.NaN())
+		}
+		if math.IsNaN(probs[w]) {
+			probs[w] = 1 - math.Pow(oneMinusBeta, float64(w))
+		}
+		return probs[w]
 	}
 	for step := 1; step < cfg.Steps; step++ {
 		var newlyInfected []uint32
@@ -72,8 +91,7 @@ func SpreadOnGraph(g *graph.Graph, cfg GraphSpreadConfig, seeds []uint32) GraphS
 				if state[u] != susceptible {
 					continue
 				}
-				p := 1 - math.Pow(1-cfg.Beta, float64(wts[k]))
-				if src.Bool(p) {
+				if src.Bool(probFor(wts[k])) {
 					state[u] = infectious
 					daysLeft[u] = cfg.InfectiousDays
 					newlyInfected = append(newlyInfected, u)

@@ -2,9 +2,35 @@ package graph
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/rng"
 )
+
+// TopDegree returns the k highest-degree vertices, degree-descending
+// with ascending-id tie-break, so hub selection is deterministic. k is
+// clamped to the vertex count; k <= 0 returns nil.
+func (g *Graph) TopDegree(k int) []uint32 {
+	n := g.NumVertices()
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	ids := make([]uint32, n)
+	for v := range ids {
+		ids[v] = uint32(v)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k:k]
+}
 
 // GlobalTransitivity returns 3 × triangles / connected triples — the
 // whole-graph clustering ratio (distinct from the mean of local

@@ -174,3 +174,25 @@ func TestWriteGraphMLNilIDs(t *testing.T) {
 		t.Fatal("nil origIDs should use vertex indices")
 	}
 }
+
+func TestTopDegree(t *testing.T) {
+	// Degrees: 0→3 (star hub), 1→2, 2→2, 3→1, 4 isolated.
+	g := FromTri(buildTri([][3]uint32{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {1, 2, 1}}), 5)
+	if got := g.TopDegree(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TopDegree(1) = %v, want [0]", got)
+	}
+	// Vertices 1 and 2 tie at degree 2; ascending-id break keeps 1 first.
+	if got := g.TopDegree(3); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("TopDegree(3) = %v, want [0 1 2]", got)
+	}
+	// k beyond n clamps; isolated vertices come last.
+	if got := g.TopDegree(99); len(got) != 5 || got[4] != 4 {
+		t.Fatalf("TopDegree(99) = %v", got)
+	}
+	if got := g.TopDegree(0); got != nil {
+		t.Fatalf("TopDegree(0) = %v, want nil", got)
+	}
+	if got := g.TopDegree(-3); got != nil {
+		t.Fatalf("TopDegree(-3) = %v, want nil", got)
+	}
+}

@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/gstore"
+	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
 
@@ -80,6 +81,13 @@ type Options struct {
 	// line is flagged slow (default 500ms). Only meaningful with a
 	// non-nil AccessLog.
 	SlowThreshold time.Duration
+	// ScenarioSlots bounds concurrent replications inside a running
+	// scenario (default Workers). Scenario runs themselves execute one
+	// at a time.
+	ScenarioSlots int
+	// ScenarioStoreCap bounds the in-memory scenario job store
+	// (default scenario.DefaultStoreCap).
+	ScenarioStoreCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +108,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlowThreshold <= 0 {
 		o.SlowThreshold = 500 * time.Millisecond
+	}
+	if o.ScenarioSlots <= 0 {
+		o.ScenarioSlots = o.Workers
+	}
+	if o.ScenarioStoreCap <= 0 {
+		o.ScenarioStoreCap = scenario.DefaultStoreCap
 	}
 	return o
 }
@@ -255,6 +269,15 @@ type Server struct {
 	stopWatch chan struct{}
 	watchDone chan struct{}
 
+	// Scenario job execution: bounded store, one-at-a-time execution
+	// semaphore, and a context + waitgroup so Close can drain running
+	// jobs (each of which pins its submission-time generation).
+	scenStore  *scenario.Store
+	scenSem    chan struct{}
+	scenCtx    context.Context
+	scenCancel context.CancelFunc
+	scenWG     sync.WaitGroup
+
 	// Global series.
 	mRequests    *telemetry.Counter
 	mErrors      *telemetry.Counter
@@ -327,6 +350,9 @@ func New(path string, opts Options) (*Server, error) {
 	}
 	s.cache = newLRUCache(opts.CacheBytes,
 		reg.Counter("serve_cache_evictions_total"), reg.Gauge("serve_cache_bytes"))
+	s.scenStore = scenario.NewStore(opts.ScenarioStoreCap)
+	s.scenSem = make(chan struct{}, 1)
+	s.scenCtx, s.scenCancel = context.WithCancel(context.Background())
 	if err := s.Reload(); err != nil {
 		return nil, err
 	}
@@ -485,14 +511,19 @@ func (s *Server) watchLoop() {
 	}
 }
 
-// Close stops the watcher and releases the current generation. It does
-// not touch any http.Server mounted on Handler — drain that first
-// (http.Server.Shutdown), then Close.
+// Close stops the watcher, cancels and drains any running scenario
+// jobs (each releases its pinned generation), and releases the current
+// generation. It does not touch any http.Server mounted on Handler —
+// drain that first (http.Server.Shutdown), then Close.
 func (s *Server) Close() error {
 	if s.stopWatch != nil {
 		close(s.stopWatch)
 		<-s.watchDone
 		s.stopWatch = nil
+	}
+	if s.scenCancel != nil {
+		s.scenCancel()
+		s.scenWG.Wait()
 	}
 	if g := s.cur.Swap(nil); g != nil {
 		g.unref()
@@ -566,6 +597,8 @@ func (s *Server) buildMux() {
 	s.routeHot("GET /v1/neighbors/{id}", "neighbors", encodeNeighbors)
 	s.route("GET /v1/ego/{id}", "ego", true, s.handleEgo)
 	s.route("GET /v1/path", "path", true, s.handlePath)
+	s.route("POST /v1/scenario", "scenario_submit", false, s.handleScenarioSubmit)
+	s.route("GET /v1/scenario/{id}", "scenario_get", false, s.handleScenarioGet)
 	s.routeHot("GET /v1/degree-dist", "degree_dist", encodeDegreeDist)
 	s.routeHot("GET /v1/clustering/{id}", "clustering", encodeClustering)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,89 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+// maxScenarioBody bounds a scenario submission body; a Spec is a few
+// hundred bytes of JSON, so 1 MiB is generous while still refusing
+// abuse before parsing.
+const maxScenarioBody = 1 << 20
+
+// ScenarioSubmitResponse is POST /v1/scenario: the job id to poll plus
+// the snapshot generation the run is pinned to.
+type ScenarioSubmitResponse struct {
+	ID         string          `json:"id"`
+	Status     scenario.Status `json:"status"`
+	Generation uint64          `json:"generation"`
+}
+
+// handleScenarioSubmit accepts a scenario.Spec, validates it fail-closed
+// against the current graph, registers a job, and runs it in the
+// background — against the generation that was current at submission.
+// The generation is explicitly pinned (one extra reference) for the
+// job's lifetime, so a snapshot hot-reload mid-run swaps the serving
+// pointer but cannot unmap the graph under the running scenario.
+func (s *Server) handleScenarioSubmit(g *graph.Graph, gen *generation, r *http.Request) (any, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBody+1))
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	if len(body) > maxScenarioBody {
+		return nil, badRequest("scenario spec exceeds %d bytes", maxScenarioBody)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var spec scenario.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, badRequest("parsing scenario spec: %v", err)
+	}
+	if err := spec.Validate(g); err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	id, err := s.scenStore.Add(gen.num)
+	if err != nil {
+		return nil, &apiError{code: http.StatusServiceUnavailable, msg: err.Error()}
+	}
+
+	// Pin the generation beyond this request: the background job holds
+	// its own reference, released only when the run finishes.
+	gen.refs.Add(1)
+	s.scenWG.Add(1)
+	go func() {
+		defer s.scenWG.Done()
+		defer gen.unref()
+		// One scenario executes at a time; queued submissions stay
+		// pending. Shutdown drains the queue by failing pending jobs.
+		select {
+		case s.scenSem <- struct{}{}:
+			defer func() { <-s.scenSem }()
+		case <-s.scenCtx.Done():
+			s.scenStore.Finish(id, nil, s.scenCtx.Err())
+			return
+		}
+		s.scenStore.SetRunning(id)
+		res, runErr := scenario.Run(s.scenCtx, gen.snap.Graph(), spec,
+			scenario.Config{Slots: s.opts.ScenarioSlots})
+		s.scenStore.Finish(id, res, runErr)
+	}()
+	return ScenarioSubmitResponse{ID: id, Status: scenario.StatusPending, Generation: gen.num}, nil
+}
+
+// handleScenarioGet polls a submitted job: pending/running carry no
+// result yet; done carries the full scenario.Result including the
+// deterministic outcome digest; failed carries the error.
+func (s *Server) handleScenarioGet(_ *graph.Graph, _ *generation, r *http.Request) (any, error) {
+	id := r.PathValue("id")
+	ji, ok := s.scenStore.Get(id)
+	if !ok {
+		return nil, notFound("no scenario job %q (unknown or evicted)", id)
+	}
+	return ji, nil
+}

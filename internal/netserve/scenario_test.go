@@ -1,0 +1,299 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/gennet"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+// postJSON posts body to url and decodes the response, returning the
+// status code.
+func postJSON(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollScenario polls GET /v1/scenario/{id} until the job reaches a
+// terminal state.
+func pollScenario(t *testing.T, base, id string) scenario.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var ji scenario.JobInfo
+		if code := getJSON(t, base+"/v1/scenario/"+id, &ji); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if ji.Status == scenario.StatusDone || ji.Status == scenario.StatusFailed {
+			return ji
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("scenario did not finish in time")
+	return scenario.JobInfo{}
+}
+
+func testSpec() scenario.Spec {
+	return scenario.Spec{
+		Process:        scenario.ProcessSIR,
+		Steps:          20,
+		Seed:           7,
+		Replications:   3,
+		Beta:           []float64{0.2, 0.5},
+		InfectiousDays: []int{2},
+		Seeds:          scenario.Seeds{Policy: scenario.SeedTopDegree, Count: 2},
+	}
+}
+
+func TestScenarioSubmitValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	var errResp struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/scenario", []byte("{nope"), &errResp); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", code)
+	}
+	// Unknown fields are a client bug, not silently ignored knobs.
+	if code := postJSON(t, ts.URL+"/v1/scenario", []byte(`{"process":"sir","stepz":9}`), &errResp); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", code)
+	}
+	bad := testSpec()
+	bad.Beta = []float64{2}
+	b, _ := json.Marshal(bad)
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d", code)
+	}
+	if errResp.Error == "" {
+		t.Fatal("validation error carried no message")
+	}
+	var raw json.RawMessage
+	if code := getJSON(t, ts.URL+"/v1/scenario/s-999999", &raw); code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", code)
+	}
+}
+
+// TestScenarioHTTPDeterministic: two HTTP submissions of the same Spec
+// return the same digest, and that digest equals a direct in-process
+// scenario.Run over the same graph — HTTP vs CLI execution cannot
+// drift.
+func TestScenarioHTTPDeterministic(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	spec := testSpec()
+	b, _ := json.Marshal(spec)
+
+	var sub ScenarioSubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &sub); code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	if sub.ID == "" || sub.Generation != 1 {
+		t.Fatalf("submit response %+v", sub)
+	}
+	first := pollScenario(t, ts.URL, sub.ID)
+	if first.Status != scenario.StatusDone || first.Result == nil {
+		t.Fatalf("job did not finish: %+v", first)
+	}
+
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &sub); code != http.StatusOK {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	second := pollScenario(t, ts.URL, sub.ID)
+	if second.Result == nil || second.Result.Digest != first.Result.Digest {
+		t.Fatalf("digests drift across submissions: %+v vs %+v", second.Result, first.Result)
+	}
+
+	direct, err := scenario.Run(context.Background(), testGraph(), spec, scenario.Config{Slots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Digest != first.Result.Digest {
+		t.Fatalf("HTTP digest %s != direct digest %s", first.Result.Digest, direct.Digest)
+	}
+}
+
+// TestScenarioSurvivesHotReload is the acceptance test for generation
+// pinning: a scenario submitted against generation 1 keeps computing on
+// that snapshot while a hot reload publishes generation 2. Without the
+// pin the reload would drain and munmap the old snapshot mid-run —
+// under -race/mmap that is a crash, and the vertex count in the result
+// would come from the wrong graph.
+func TestScenarioSurvivesHotReload(t *testing.T) {
+	reg := telemetry.New()
+	dir := t.TempDir()
+	tri, err := gennet.BarabasiAlbert(2000, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := graph.FromTri(tri, 2000)
+	path := writeTestSnapshot(t, dir, big)
+	s, err := New(path, Options{Registry: reg, ScenarioSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := newHTTPServer(t, s)
+
+	// Diffusion never burns out, so the job runs all steps — long
+	// enough to overlap the reload deterministically.
+	spec := scenario.Spec{
+		Process:      scenario.ProcessDiffusion,
+		Steps:        3000,
+		Seed:         5,
+		Replications: 8,
+		Beta:         []float64{0.4},
+		Seeds:        scenario.Seeds{Policy: scenario.SeedRandom, Count: 3},
+	}
+	b, _ := json.Marshal(spec)
+	var sub ScenarioSubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &sub); code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	// Publish a different graph (different vertex count) over the same
+	// path and hot-reload while the job runs.
+	path2 := writeTestSnapshot(t, dir, testGraph())
+	if path2 != path {
+		t.Fatalf("snapshot path moved: %s vs %s", path2, path)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation(); got != 2 {
+		t.Fatalf("generation after reload = %d", got)
+	}
+
+	ji := pollScenario(t, ts.URL, sub.ID)
+	if ji.Status != scenario.StatusDone || ji.Result == nil {
+		t.Fatalf("job failed across reload: %+v", ji)
+	}
+	if ji.Generation != 1 {
+		t.Fatalf("job generation = %d, want 1", ji.Generation)
+	}
+	// The run computed on the pinned generation-1 graph, not the
+	// 6-vertex generation-2 snapshot now serving.
+	if ji.Result.Outcome.Vertices != 2000 {
+		t.Fatalf("scenario ran on %d vertices, want the pinned 2000", ji.Result.Outcome.Vertices)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Vertices != 6 || stats.Generation != 2 {
+		t.Fatalf("serving path not on generation 2: %+v", stats)
+	}
+}
+
+// TestScenarioStoreFull: with a cap of 1 and a live job occupying it,
+// a second submission is refused with 503 rather than queued unbounded.
+func TestScenarioStoreFull(t *testing.T) {
+	reg := telemetry.New()
+	dir := t.TempDir()
+	tri, err := gennet.BarabasiAlbert(1500, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTestSnapshot(t, dir, graph.FromTri(tri, 1500))
+	s, err := New(path, Options{Registry: reg, ScenarioStoreCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := newHTTPServer(t, s)
+
+	long := scenario.Spec{
+		Process:      scenario.ProcessDiffusion,
+		Steps:        3000,
+		Seed:         5,
+		Replications: 8,
+		Beta:         []float64{0.4},
+		Seeds:        scenario.Seeds{Policy: scenario.SeedRandom, Count: 3},
+	}
+	b, _ := json.Marshal(long)
+	var sub ScenarioSubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &sub); code != http.StatusOK {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("second submit: status %d, want 503", code)
+	}
+	// The first job still completes and its slot becomes evictable.
+	ji := pollScenario(t, ts.URL, sub.ID)
+	if ji.Status != scenario.StatusDone {
+		t.Fatalf("first job: %+v", ji)
+	}
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &sub); code != http.StatusOK {
+		t.Fatalf("post-eviction submit: status %d", code)
+	}
+}
+
+// TestScenarioCloseCancelsRunning: Close during a long scenario cancels
+// it promptly instead of blocking shutdown on thousands of steps.
+func TestScenarioCloseCancelsRunning(t *testing.T) {
+	reg := telemetry.New()
+	dir := t.TempDir()
+	tri, err := gennet.BarabasiAlbert(1500, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTestSnapshot(t, dir, graph.FromTri(tri, 1500))
+	s, err := New(path, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+
+	long := scenario.Spec{
+		Process:      scenario.ProcessDiffusion,
+		Steps:        scenario.MaxSteps,
+		Seed:         5,
+		Replications: 64,
+		Beta:         []float64{0.4},
+		Seeds:        scenario.Seeds{Policy: scenario.SeedRandom, Count: 3},
+	}
+	b, _ := json.Marshal(long)
+	var sub ScenarioSubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/scenario", b, &sub); code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Close blocked on a running scenario")
+	}
+}
+
+// newHTTPServer mounts an already-constructed Server on an httptest
+// listener (newTestServer always builds its own fixture snapshot).
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

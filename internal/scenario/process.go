@@ -1,0 +1,315 @@
+package scenario
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Rep is the outcome of one replication: the per-step new-event curve
+// (infections for sir/seir, adoptions for diffusion), the total ever
+// affected including seeds, the peak step, and how many steps actually
+// executed (epidemics that burn out stop early).
+type Rep struct {
+	NewPerStep []int
+	Total      int
+	PeakStep   int
+	StepsRun   int
+}
+
+// Process runs one replication of a spreading process over a view.
+// Implementations must be deterministic functions of (view, immune,
+// seeds, src, steps): the runner keys src per (seed, sweep point,
+// replication), which is what makes whole sweeps worker-count
+// invariant. stop is polled once per step (nil = never stop); a
+// stopped replication returns a truncated Rep the runner discards, so
+// cancellation latency is one step rather than one whole job.
+type Process interface {
+	Name() string
+	Run(v *View, immune []bool, seeds []uint32, src *rng.Source, steps int, stop func() bool) Rep
+}
+
+// process instantiates the Spec's process at one sweep point.
+func (s Spec) process(p Point) Process {
+	switch s.Process {
+	case ProcessSEIR:
+		return SEIR{Beta: p.Beta, IncubationDays: p.IncubationDays, InfectiousDays: p.InfectiousDays}
+	case ProcessDiffusion:
+		return Diffusion{Beta: p.Beta}
+	default:
+		return SIR{Beta: p.Beta, InfectiousDays: p.InfectiousDays}
+	}
+}
+
+// probTable caches the per-contact transmission probability
+// 1-(1-beta)^w per distinct (damped) edge weight. Collocation weights
+// are small integers, so the cache turns the inner-loop math.Pow into
+// a slice read; each entry is computed with the exact expression the
+// naive loop would use, so outputs stay bit-identical.
+type probTable struct {
+	oneMinusBeta float64
+	p            []float64
+}
+
+// tableCap bounds the cache; pathological weights above it fall back
+// to direct computation instead of growing an absurd slice.
+const tableCap = 1 << 22
+
+func newProbTable(beta float64) probTable {
+	return probTable{oneMinusBeta: 1 - beta, p: []float64{0}} // weight 0 → probability 0
+}
+
+func (t *probTable) prob(w uint32) float64 {
+	if w >= tableCap {
+		return 1 - math.Pow(t.oneMinusBeta, float64(w))
+	}
+	for int(w) >= len(t.p) {
+		t.p = append(t.p, math.NaN())
+	}
+	if math.IsNaN(t.p[w]) {
+		t.p[w] = 1 - math.Pow(t.oneMinusBeta, float64(w))
+	}
+	return t.p[w]
+}
+
+// Compartment codes shared by the processes. Closed and vaccinated
+// vertices are pre-assigned removed so no transmission branch ever
+// needs to consult the masks again.
+const (
+	cSusceptible = 0
+	cExposed     = 1
+	cActive      = 2 // infectious / adopter
+	cRemoved     = 3 // recovered, vaccinated, or closed
+)
+
+// initState builds the compartment array with the intervention's
+// closures and the replication's vaccination pre-assignment folded in.
+func initState(v *View, immune []bool) []uint8 {
+	state := make([]uint8, v.NumVertices())
+	if immune != nil {
+		for i, im := range immune {
+			if im {
+				state[i] = cRemoved
+			}
+		}
+	}
+	if v.closed != nil {
+		for i, c := range v.closed {
+			if c {
+				state[i] = cRemoved
+			}
+		}
+	}
+	return state
+}
+
+func finishRep(res *Rep) {
+	for step, n := range res.NewPerStep {
+		if n > res.NewPerStep[res.PeakStep] {
+			res.PeakStep = step
+		}
+	}
+}
+
+// SIR is the discrete-time SIR process generalizing
+// disease.SpreadOnGraph to intervention views: each step, every
+// infectious vertex transmits to each susceptible neighbor
+// independently with probability 1-(1-Beta)^w (w already dampened by
+// the view), then recovers after InfectiousDays. With a bare view and
+// no immunity it is draw-for-draw identical to disease.SpreadOnGraph —
+// a parity test pins the two together.
+type SIR struct {
+	Beta           float64
+	InfectiousDays int
+}
+
+func (SIR) Name() string { return ProcessSIR }
+
+func (p SIR) Run(v *View, immune []bool, seeds []uint32, src *rng.Source, steps int, stop func() bool) Rep {
+	state := initState(v, immune)
+	daysLeft := make([]int, len(state))
+	res := Rep{NewPerStep: make([]int, steps), StepsRun: 1}
+	var active []uint32
+	for _, s := range seeds {
+		if state[s] != cSusceptible {
+			continue // duplicate seed, vaccinated, or closed
+		}
+		state[s] = cActive
+		daysLeft[s] = p.InfectiousDays
+		res.Total++
+		res.NewPerStep[0]++
+		active = append(active, s)
+	}
+	pt := newProbTable(p.Beta)
+	for step := 1; step < steps && len(active) > 0; step++ {
+		if stop != nil && stop() {
+			break
+		}
+		res.StepsRun++
+		var newly []uint32
+		for _, u := range active {
+			row, wts := v.Neighbors(u)
+			for k, nb := range row {
+				if state[nb] != cSusceptible {
+					continue
+				}
+				if src.Bool(pt.prob(v.Weight(wts[k]))) {
+					state[nb] = cActive
+					daysLeft[nb] = p.InfectiousDays
+					newly = append(newly, nb)
+				}
+			}
+		}
+		res.NewPerStep[step] = len(newly)
+		res.Total += len(newly)
+		kept := active[:0]
+		for _, u := range active {
+			daysLeft[u]--
+			if daysLeft[u] > 0 {
+				kept = append(kept, u)
+			} else {
+				state[u] = cRemoved
+			}
+		}
+		active = append(kept, newly...)
+	}
+	finishRep(&res)
+	return res
+}
+
+// SEIR adds an incubation compartment: new infections sit exposed for
+// IncubationDays before becoming infectious. Seeds start infectious
+// (index cases). IncubationDays of 0 degenerates to SIR.
+type SEIR struct {
+	Beta           float64
+	IncubationDays int
+	InfectiousDays int
+}
+
+func (SEIR) Name() string { return ProcessSEIR }
+
+func (p SEIR) Run(v *View, immune []bool, seeds []uint32, src *rng.Source, steps int, stop func() bool) Rep {
+	state := initState(v, immune)
+	clock := make([]int, len(state))
+	res := Rep{NewPerStep: make([]int, steps), StepsRun: 1}
+	var active, incubating []uint32
+	for _, s := range seeds {
+		if state[s] != cSusceptible {
+			continue
+		}
+		state[s] = cActive
+		clock[s] = p.InfectiousDays
+		res.Total++
+		res.NewPerStep[0]++
+		active = append(active, s)
+	}
+	pt := newProbTable(p.Beta)
+	for step := 1; step < steps && len(active)+len(incubating) > 0; step++ {
+		if stop != nil && stop() {
+			break
+		}
+		res.StepsRun++
+		// Transmission from the infectious set.
+		var exposed, promoted []uint32
+		for _, u := range active {
+			row, wts := v.Neighbors(u)
+			for k, nb := range row {
+				if state[nb] != cSusceptible {
+					continue
+				}
+				if !src.Bool(pt.prob(v.Weight(wts[k]))) {
+					continue
+				}
+				res.Total++
+				res.NewPerStep[step]++
+				if p.IncubationDays == 0 {
+					state[nb] = cActive
+					clock[nb] = p.InfectiousDays
+					promoted = append(promoted, nb)
+				} else {
+					state[nb] = cExposed
+					clock[nb] = p.IncubationDays
+					exposed = append(exposed, nb)
+				}
+			}
+		}
+		// E → I progression (this step's exposures start their clock
+		// next step, matching the SIR recovery convention).
+		keptInc := incubating[:0]
+		for _, u := range incubating {
+			clock[u]--
+			if clock[u] <= 0 {
+				state[u] = cActive
+				clock[u] = p.InfectiousDays
+				promoted = append(promoted, u)
+			} else {
+				keptInc = append(keptInc, u)
+			}
+		}
+		incubating = append(keptInc, exposed...)
+		// I → R progression.
+		keptAct := active[:0]
+		for _, u := range active {
+			clock[u]--
+			if clock[u] > 0 {
+				keptAct = append(keptAct, u)
+			} else {
+				state[u] = cRemoved
+			}
+		}
+		active = append(keptAct, promoted...)
+	}
+	finishRep(&res)
+	return res
+}
+
+// Diffusion is the innovation-diffusion kernel (the can_diffuse /
+// diffuse! exemplar): adopters never revert, and each step every
+// adopter-nonadopter edge diffuses independently with probability
+// 1-(1-Beta)^w — the weighted generalization of the exemplar's flat
+// per-tie coin flip.
+type Diffusion struct {
+	Beta float64
+}
+
+func (Diffusion) Name() string { return ProcessDiffusion }
+
+func (p Diffusion) Run(v *View, immune []bool, seeds []uint32, src *rng.Source, steps int, stop func() bool) Rep {
+	state := initState(v, immune)
+	res := Rep{NewPerStep: make([]int, steps), StepsRun: 1}
+	var adopters []uint32
+	for _, s := range seeds {
+		if state[s] != cSusceptible {
+			continue
+		}
+		state[s] = cActive
+		res.Total++
+		res.NewPerStep[0]++
+		adopters = append(adopters, s)
+	}
+	pt := newProbTable(p.Beta)
+	for step := 1; step < steps && len(adopters) > 0; step++ {
+		if stop != nil && stop() {
+			break
+		}
+		res.StepsRun++
+		var newly []uint32
+		for _, u := range adopters {
+			row, wts := v.Neighbors(u)
+			for k, nb := range row {
+				if state[nb] != cSusceptible {
+					continue
+				}
+				if src.Bool(pt.prob(v.Weight(wts[k]))) {
+					state[nb] = cActive
+					newly = append(newly, nb)
+				}
+			}
+		}
+		res.NewPerStep[step] = len(newly)
+		res.Total += len(newly)
+		adopters = append(adopters, newly...)
+	}
+	finishRep(&res)
+	return res
+}

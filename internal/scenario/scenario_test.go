@@ -1,0 +1,423 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/disease"
+	"repro/internal/gennet"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// baGraph builds a small scale-free weighted test network.
+func baGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	tri, err := gennet.BarabasiAlbert(n, 3, rng.New(7))
+	if err != nil {
+		t.Fatalf("barabasi-albert: %v", err)
+	}
+	src := rng.New(8)
+	for k := range tri.W {
+		tri.W[k] = uint32(src.Intn(200) + 1)
+	}
+	return graph.FromTri(tri, n)
+}
+
+func graphFromEdges(edges [][3]uint32, n int) *graph.Graph {
+	acc := sparse.NewAccum()
+	for _, e := range edges {
+		acc.Add(e[0], e[1], e[2])
+	}
+	return graph.FromTri(acc.Tri(), n)
+}
+
+func validSpec() Spec {
+	return Spec{
+		Process:        ProcessSIR,
+		Steps:          30,
+		Seed:           42,
+		Replications:   4,
+		Beta:           []float64{0.02, 0.05},
+		InfectiousDays: []int{2, 4},
+		Seeds:          Seeds{Policy: SeedTopDegree, Count: 3},
+	}
+}
+
+func TestValidateFailClosed(t *testing.T) {
+	g := baGraph(t, 50)
+	if err := validSpec().Validate(g); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unknown process", func(s *Spec) { s.Process = "sis" }},
+		{"zero steps", func(s *Spec) { s.Steps = 0 }},
+		{"steps over cap", func(s *Spec) { s.Steps = MaxSteps + 1 }},
+		{"negative replications", func(s *Spec) { s.Replications = -1 }},
+		{"replications over cap", func(s *Spec) { s.Replications = MaxReplications + 1 }},
+		{"empty beta", func(s *Spec) { s.Beta = nil }},
+		{"beta out of range", func(s *Spec) { s.Beta = []float64{1.5} }},
+		{"negative beta", func(s *Spec) { s.Beta = []float64{-0.1} }},
+		{"sir without infectious_days", func(s *Spec) { s.InfectiousDays = nil }},
+		{"sir with incubation_days", func(s *Spec) { s.IncubationDays = []int{2} }},
+		{"zero infectious_days", func(s *Spec) { s.InfectiousDays = []int{0} }},
+		{"grid over job cap", func(s *Spec) {
+			s.Beta = make([]float64, 100)
+			s.InfectiousDays = make([]int, 100)
+			for i := range s.InfectiousDays {
+				s.InfectiousDays[i] = 1
+			}
+			s.Replications = 10
+		}},
+		{"axis over value cap", func(s *Spec) { s.Beta = make([]float64, MaxSweepValues+1) }},
+		{"unknown seed policy", func(s *Spec) { s.Seeds = Seeds{Policy: "hubs", Count: 1} }},
+		{"zero seed count", func(s *Spec) { s.Seeds = Seeds{Policy: SeedRandom} }},
+		{"ids with non-explicit policy", func(s *Spec) { s.Seeds = Seeds{Policy: SeedRandom, Count: 1, IDs: []uint32{1}} }},
+		{"explicit without ids", func(s *Spec) { s.Seeds = Seeds{Policy: SeedExplicit} }},
+		{"explicit count mismatch", func(s *Spec) { s.Seeds = Seeds{Policy: SeedExplicit, Count: 3, IDs: []uint32{1, 2}} }},
+		{"duplicate explicit seed", func(s *Spec) { s.Seeds = Seeds{Policy: SeedExplicit, IDs: []uint32{1, 1}} }},
+		{"seed outside graph", func(s *Spec) { s.Seeds = Seeds{Policy: SeedExplicit, IDs: []uint32{99}} }},
+		{"seed count over vertices", func(s *Spec) { s.Seeds = Seeds{Policy: SeedRandom, Count: 51} }},
+		{"negative close_top_degree", func(s *Spec) { s.Intervention = &Intervention{CloseTopDegree: -1} }},
+		{"vaccinate_fraction one", func(s *Spec) { s.Intervention = &Intervention{VaccinateFraction: 1} }},
+		{"dampen zero denominator", func(s *Spec) { s.Intervention = &Intervention{Dampen: &Dampen{Num: 1, Den: 0}} }},
+		{"dampen amplifies", func(s *Spec) { s.Intervention = &Intervention{Dampen: &Dampen{Num: 3, Den: 2}} }},
+		{"close vertex outside graph", func(s *Spec) { s.Intervention = &Intervention{Close: []uint32{99}} }},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mutate(&s)
+		if err := s.Validate(g); err == nil {
+			t.Errorf("%s: validated but should fail", tc.name)
+		}
+	}
+	// seir/diffusion axis rules.
+	s := validSpec()
+	s.Process = ProcessSEIR
+	if err := s.Validate(g); err == nil {
+		t.Error("seir without incubation_days validated")
+	}
+	s.IncubationDays = []int{0, 2}
+	if err := s.Validate(g); err != nil {
+		t.Errorf("valid seir rejected: %v", err)
+	}
+	d := Spec{Process: ProcessDiffusion, Steps: 10, Beta: []float64{0.1},
+		Seeds: Seeds{Policy: SeedRandom, Count: 2}}
+	if err := d.Validate(g); err != nil {
+		t.Errorf("valid diffusion rejected: %v", err)
+	}
+	d.InfectiousDays = []int{3}
+	if err := d.Validate(g); err == nil {
+		t.Error("diffusion with infectious_days validated")
+	}
+}
+
+func TestGridOrderAndJobIndexing(t *testing.T) {
+	s := Spec{Beta: []float64{0.1, 0.2}, InfectiousDays: []int{1, 2}, IncubationDays: []int{0, 3}}
+	got := s.Grid()
+	want := []Point{
+		{0.1, 1, 0}, {0.1, 1, 3}, {0.1, 2, 0}, {0.1, 2, 3},
+		{0.2, 1, 0}, {0.2, 1, 3}, {0.2, 2, 0}, {0.2, 2, 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grid order = %v", got)
+	}
+	if s.gridSize() != len(want) {
+		t.Fatalf("gridSize = %d want %d", s.gridSize(), len(want))
+	}
+}
+
+// TestRunSlotsInvariant is the core determinism acceptance test: the
+// same Spec must yield a byte-identical Outcome at any worker count.
+func TestRunSlotsInvariant(t *testing.T) {
+	g := baGraph(t, 400)
+	spec := validSpec()
+	spec.Intervention = &Intervention{CloseTopDegree: 5, VaccinateFraction: 0.1, Dampen: &Dampen{Num: 3, Den: 4}}
+	spec.Seeds = Seeds{Policy: SeedRandom, Count: 4}
+
+	r1, err := Run(context.Background(), g, spec, Config{Slots: 1})
+	if err != nil {
+		t.Fatalf("slots=1: %v", err)
+	}
+	r8, err := Run(context.Background(), g, spec, Config{Slots: 8})
+	if err != nil {
+		t.Fatalf("slots=8: %v", err)
+	}
+	if r1.Digest != r8.Digest {
+		t.Fatalf("digest differs across slots: %s vs %s", r1.Digest, r8.Digest)
+	}
+	if !reflect.DeepEqual(r1.Outcome, r8.Outcome) {
+		t.Fatal("outcomes differ across slots")
+	}
+	if r1.Jobs != 2*2*4 {
+		t.Fatalf("jobs = %d want 16", r1.Jobs)
+	}
+	if r1.Queue.Slots != 1 || r8.Queue.Slots != 8 {
+		t.Fatalf("queue model slots = %d / %d", r1.Queue.Slots, r8.Queue.Slots)
+	}
+	if r1.Queue.MakespanUnits < r8.Queue.MakespanUnits {
+		t.Fatalf("queue model: 1-slot makespan %v < 8-slot %v",
+			r1.Queue.MakespanUnits, r8.Queue.MakespanUnits)
+	}
+}
+
+// TestSIRParityWithSpreadOnGraph pins the scenario SIR process
+// draw-for-draw to disease.SpreadOnGraph: same graph, same rng seed,
+// identical curves.
+func TestSIRParityWithSpreadOnGraph(t *testing.T) {
+	g := baGraph(t, 300)
+	cfg := disease.GraphSpreadConfig{Beta: 0.03, InfectiousDays: 3, Steps: 40, Seed: 42}
+	seeds := []uint32{0, 5, 9}
+	ref := disease.SpreadOnGraph(g, cfg, seeds)
+
+	proc := SIR{Beta: cfg.Beta, InfectiousDays: cfg.InfectiousDays}
+	got := proc.Run(NewView(g, nil), nil, seeds, rng.New(cfg.Seed), cfg.Steps, nil)
+
+	if !reflect.DeepEqual(got.NewPerStep, ref.NewPerStep) {
+		t.Fatalf("curves diverge:\nscenario %v\ndisease  %v", got.NewPerStep, ref.NewPerStep)
+	}
+	if got.Total != ref.TotalInfected || got.PeakStep != ref.PeakStep {
+		t.Fatalf("total/peak = %d/%d want %d/%d", got.Total, got.PeakStep, ref.TotalInfected, ref.PeakStep)
+	}
+}
+
+// TestSEIRZeroIncubationMatchesSIR: with incubation 0, SEIR degenerates
+// to SIR exactly — same draws, same curve.
+func TestSEIRZeroIncubationMatchesSIR(t *testing.T) {
+	g := baGraph(t, 200)
+	seeds := []uint32{1, 7}
+	sir := SIR{Beta: 0.04, InfectiousDays: 3}.Run(NewView(g, nil), nil, seeds, rng.New(9), 30, nil)
+	seir := SEIR{Beta: 0.04, IncubationDays: 0, InfectiousDays: 3}.Run(NewView(g, nil), nil, seeds, rng.New(9), 30, nil)
+	if !reflect.DeepEqual(sir.NewPerStep, seir.NewPerStep) || sir.Total != seir.Total {
+		t.Fatalf("seir(inc=0) != sir:\n%v\n%v", seir.NewPerStep, sir.NewPerStep)
+	}
+}
+
+// TestSEIRIncubationDelaysSpread: on a chain with certain transmission,
+// incubation k makes the front advance every k+1 steps.
+func TestSEIRIncubationDelaysSpread(t *testing.T) {
+	g := graphFromEdges([][3]uint32{{0, 1, 100000}, {1, 2, 100000}, {2, 3, 100000}}, 4)
+	rep := SEIR{Beta: 0.9, IncubationDays: 2, InfectiousDays: 9}.Run(NewView(g, nil), nil, []uint32{0}, rng.New(1), 12, nil)
+	if rep.Total != 4 {
+		t.Fatalf("total = %d want 4 (curve %v)", rep.Total, rep.NewPerStep)
+	}
+	// 0 infectious at step 0; exposes 1 at step 1; 1 infectious at step
+	// 3, exposes 2 at step 4; 2 exposes 3 at step 7.
+	want := []int{1, 1, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0}
+	if !reflect.DeepEqual(rep.NewPerStep, want) {
+		t.Fatalf("curve = %v want %v", rep.NewPerStep, want)
+	}
+}
+
+// TestDiffusionAdoptersPersist: adopters never revert, so on a path
+// with certain diffusion everyone adopts, and the process keeps
+// running all steps (no burn-out).
+func TestDiffusionAdoptersPersist(t *testing.T) {
+	g := graphFromEdges([][3]uint32{{0, 1, 100000}, {1, 2, 100000}}, 3)
+	rep := Diffusion{Beta: 0.9}.Run(NewView(g, nil), nil, []uint32{0}, rng.New(1), 20, nil)
+	if rep.Total != 3 {
+		t.Fatalf("total = %d want 3", rep.Total)
+	}
+	if rep.StepsRun != 20 {
+		t.Fatalf("diffusion stopped at %d of 20 steps", rep.StepsRun)
+	}
+}
+
+func attackMean(t *testing.T, g *graph.Graph, spec Spec) float64 {
+	t.Helper()
+	res, err := Run(context.Background(), g, spec, Config{Slots: 4})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Outcome.Points[0].AttackRate.Mean
+}
+
+// TestInterventionsReduceAttack checks each intervention lever cuts the
+// attack rate of an otherwise-identical epidemic.
+func TestInterventionsReduceAttack(t *testing.T) {
+	g := baGraph(t, 500)
+	base := Spec{
+		Process: ProcessSIR, Steps: 60, Seed: 11, Replications: 8,
+		Beta: []float64{0.01}, InfectiousDays: []int{4},
+		Seeds: Seeds{Policy: SeedRandom, Count: 3},
+	}
+	baseline := attackMean(t, g, base)
+	if baseline < 0.2 {
+		t.Fatalf("baseline epidemic too small to test interventions: %v", baseline)
+	}
+	for _, tc := range []struct {
+		name string
+		iv   Intervention
+	}{
+		{"closure", Intervention{CloseTopDegree: 25}},
+		{"vaccination", Intervention{VaccinateFraction: 0.5}},
+		{"dampening", Intervention{Dampen: &Dampen{Num: 1, Den: 8}}},
+	} {
+		s := base
+		iv := tc.iv
+		s.Intervention = &iv
+		if got := attackMean(t, g, s); got >= baseline {
+			t.Errorf("%s: attack %v not below baseline %v", tc.name, got, baseline)
+		}
+	}
+	// Full closure of every seed's world: closing all vertices yields a
+	// zero epidemic rather than an error.
+	s := base
+	s.Intervention = &Intervention{CloseTopDegree: 500}
+	if got := attackMean(t, g, s); got != 0 {
+		t.Errorf("all-closed attack = %v want 0", got)
+	}
+}
+
+func TestSeedPolicies(t *testing.T) {
+	g := baGraph(t, 120)
+	// top-degree matches graph.TopDegree.
+	want := g.TopDegree(4)
+	spec := Spec{Process: ProcessDiffusion, Steps: 2, Seed: 3, Beta: []float64{0},
+		Seeds: Seeds{Policy: SeedTopDegree, Count: 4}}
+	res, err := Run(context.Background(), g, spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Points[0].TotalMean != float64(len(want)) {
+		t.Fatalf("top-degree seeded %v vertices, want %d", res.Outcome.Points[0].TotalMean, len(want))
+	}
+	// random: distinct, in-range, reproducible.
+	a := pickDistinct(rng.New(key(3, tagSeeds, 0, 0)), 120, 10)
+	b := pickDistinct(rng.New(key(3, tagSeeds, 0, 0)), 120, 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pickDistinct not reproducible")
+	}
+	seen := map[uint32]bool{}
+	for _, v := range a {
+		if seen[v] || v >= 120 {
+			t.Fatalf("bad random seed set %v", a)
+		}
+		seen[v] = true
+	}
+	// dense pick: Fisher-Yates path still distinct and complete.
+	dense := pickDistinct(rng.New(1), 10, 9)
+	dseen := map[uint32]bool{}
+	for _, v := range dense {
+		if dseen[v] || v >= 10 {
+			t.Fatalf("bad dense pick %v", dense)
+		}
+		dseen[v] = true
+	}
+	// community: count distinct seeds from the largest communities.
+	cs := communitySeeds(g, 3, 6)
+	if len(cs) != 6 {
+		t.Fatalf("community seeds = %v", cs)
+	}
+	cseen := map[uint32]bool{}
+	for _, v := range cs {
+		if cseen[v] {
+			t.Fatalf("community seeds repeat: %v", cs)
+		}
+		cseen[v] = true
+	}
+	if !reflect.DeepEqual(cs, communitySeeds(g, 3, 6)) {
+		t.Fatal("community seeds not reproducible")
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	g := baGraph(t, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, g, validSpec(), Config{Slots: 2}); err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+}
+
+func TestViewMasksAndDampening(t *testing.T) {
+	g := graphFromEdges([][3]uint32{{0, 1, 7}, {1, 2, 9}}, 3)
+	v := NewView(g, nil)
+	if v.NumClosed() != 0 || v.Closed(0) || v.Weight(7) != 7 {
+		t.Fatal("bare view not an identity")
+	}
+	v = NewView(g, &Intervention{Close: []uint32{2, 2}, CloseTopDegree: 1, Dampen: &Dampen{Num: 1, Den: 2}})
+	// Vertex 1 has the top degree; 2 closed explicitly (dup collapses).
+	if v.NumClosed() != 2 || !v.Closed(1) || !v.Closed(2) || v.Closed(0) {
+		t.Fatalf("closed mask wrong: n=%d", v.NumClosed())
+	}
+	if v.Weight(7) != 3 || v.Weight(9) != 4 || v.Weight(1) != 0 {
+		t.Fatal("dampening is not floor(w/2)")
+	}
+	// num==den dampening collapses to identity.
+	v = NewView(g, &Intervention{Dampen: &Dampen{Num: 5, Den: 5}})
+	if !v.identity {
+		t.Fatal("num==den should be identity")
+	}
+}
+
+func TestProbTableBitIdentical(t *testing.T) {
+	for _, beta := range []float64{0, 0.001, 0.03, 0.5, 1} {
+		pt := newProbTable(beta)
+		for _, w := range []uint32{0, 1, 2, 3, 17, 100, 499, 1 << 22} {
+			want := 1 - math.Pow(1-beta, float64(w))
+			if got := pt.prob(w); got != want {
+				t.Fatalf("beta=%v w=%d: %v != %v", beta, w, got, want)
+			}
+			// Second read hits the cache; must not drift.
+			if got := pt.prob(w); got != want {
+				t.Fatalf("beta=%v w=%d cached: %v != %v", beta, w, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	st := NewStore(2)
+	a, err := st.Add(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Add(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRunning(a)
+	st.SetRunning(b)
+	// Full of live jobs: refuse.
+	if _, err := st.Add(1); err == nil {
+		t.Fatal("full store accepted a job")
+	}
+	st.Finish(a, &Result{Digest: "d"}, nil)
+	// Now the oldest terminal job (a) is evictable.
+	c, err := st.Add(2)
+	if err != nil {
+		t.Fatalf("store did not evict: %v", err)
+	}
+	if _, ok := st.Get(a); ok {
+		t.Fatal("evicted job still readable")
+	}
+	if ji, ok := st.Get(b); !ok || ji.Status != StatusRunning {
+		t.Fatal("running job lost")
+	}
+	if ji, ok := st.Get(c); !ok || ji.Status != StatusPending || ji.Generation != 2 {
+		t.Fatalf("new job wrong: %+v", ji)
+	}
+	st.Finish(b, nil, context.Canceled)
+	if ji, _ := st.Get(b); ji.Status != StatusFailed || ji.Error == "" {
+		t.Fatalf("failed job wrong: %+v", ji)
+	}
+	if _, ok := st.Get("s-999999"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestStoreIDsMonotonic(t *testing.T) {
+	st := NewStore(0) // default cap
+	a, _ := st.Add(1)
+	bID, _ := st.Add(1)
+	if a == bID || st.Len() != 2 {
+		t.Fatalf("ids %s %s len %d", a, bID, st.Len())
+	}
+}

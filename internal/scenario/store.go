@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+var mEvicted = telemetry.C("scenario_evicted_total")
+
+// Status is a job's lifecycle state in the store.
+type Status string
+
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// JobInfo is the pollable view of one submitted scenario.
+type JobInfo struct {
+	ID     string  `json:"id"`
+	Status Status  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	// Generation is the snapshot generation the job is pinned to.
+	Generation uint64 `json:"generation"`
+}
+
+// DefaultStoreCap bounds the job store when the caller does not.
+const DefaultStoreCap = 64
+
+// Store is the bounded in-memory scenario job store behind
+// /v1/scenario. When full it evicts the oldest terminal (done/failed)
+// job; if every slot is still pending or running, Add refuses — the
+// server maps that to 503 rather than growing without bound.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	seq   int
+	order []string // insertion order, for eviction
+	jobs  map[string]*JobInfo
+}
+
+// NewStore returns a store bounded to cap jobs (cap < 1 uses
+// DefaultStoreCap).
+func NewStore(cap int) *Store {
+	if cap < 1 {
+		cap = DefaultStoreCap
+	}
+	return &Store{cap: cap, jobs: make(map[string]*JobInfo, cap)}
+}
+
+// Add registers a new pending job pinned to the given snapshot
+// generation and returns its id, evicting the oldest terminal job if
+// the store is full. It fails only when every stored job is still
+// live.
+func (st *Store) Add(generation uint64) (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.order) >= st.cap {
+		evicted := false
+		for i, id := range st.order {
+			j := st.jobs[id]
+			if j.Status == StatusDone || j.Status == StatusFailed {
+				delete(st.jobs, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				mEvicted.Add(1)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return "", fmt.Errorf("scenario: job store full (%d jobs live)", st.cap)
+		}
+	}
+	st.seq++
+	id := fmt.Sprintf("s-%06d", st.seq)
+	st.jobs[id] = &JobInfo{ID: id, Status: StatusPending, Generation: generation}
+	st.order = append(st.order, id)
+	return id, nil
+}
+
+// SetRunning marks the job as executing.
+func (st *Store) SetRunning(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[id]; ok {
+		j.Status = StatusRunning
+	}
+}
+
+// Finish records the job's terminal state: done with a result, or
+// failed with the error.
+func (st *Store) Finish(id string, res *Result, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return // evicted while running; drop the result
+	}
+	if err != nil {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+		return
+	}
+	j.Status = StatusDone
+	j.Result = res
+}
+
+// Get returns a copy of the job's info, or false if unknown (never
+// submitted, or evicted).
+func (st *Store) Get(id string) (JobInfo, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return *j, true
+}
+
+// Len reports how many jobs the store currently holds.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.order)
+}

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"repro/internal/graph"
+)
+
+// View is an intervention-masked reading of a graph. It owns no edge
+// storage: closures are a bitmask over the vertex space and dampening
+// is a rational factor applied to weights on the fly, so a View over a
+// million-vertex mmap'd snapshot costs one bool per vertex — the CSR
+// itself is never copied, which is what lets a running scenario share
+// a snapshot generation with the serving hot path.
+type View struct {
+	g        *graph.Graph
+	closed   []bool // nil when nothing is closed
+	dampNum  uint64
+	dampDen  uint64
+	nClosed  int
+	identity bool // no dampening: Weight is a pass-through
+}
+
+// NewView builds the view for an intervention (nil = the bare graph).
+// Closed-vertex resolution (explicit ids + top-degree hubs) happens
+// here, once per scenario run.
+func NewView(g *graph.Graph, iv *Intervention) *View {
+	v := &View{g: g, dampNum: 1, dampDen: 1, identity: true}
+	if iv == nil {
+		return v
+	}
+	if len(iv.Close) > 0 || iv.CloseTopDegree > 0 {
+		v.closed = make([]bool, g.NumVertices())
+		for _, id := range iv.Close {
+			if !v.closed[id] {
+				v.closed[id] = true
+				v.nClosed++
+			}
+		}
+		for _, id := range g.TopDegree(iv.CloseTopDegree) {
+			if !v.closed[id] {
+				v.closed[id] = true
+				v.nClosed++
+			}
+		}
+	}
+	if d := iv.Dampen; d != nil && !(d.Num == d.Den) {
+		v.dampNum, v.dampDen = uint64(d.Num), uint64(d.Den)
+		v.identity = false
+	}
+	return v
+}
+
+// Graph returns the underlying graph.
+func (v *View) Graph() *graph.Graph { return v.g }
+
+// NumVertices returns the vertex-space size (closed vertices included:
+// they stay addressable, they just never participate).
+func (v *View) NumVertices() int { return v.g.NumVertices() }
+
+// NumClosed returns how many vertices the intervention closed.
+func (v *View) NumClosed() int { return v.nClosed }
+
+// Closed reports whether u is removed by the intervention mask.
+func (v *View) Closed(u uint32) bool { return v.closed != nil && v.closed[u] }
+
+// Neighbors returns u's raw adjacency straight off the shared CSR.
+// Callers must filter with Closed and scale with Weight — the slices
+// alias the snapshot and must not be modified.
+func (v *View) Neighbors(u uint32) (ids, weights []uint32) { return v.g.Neighbors(u) }
+
+// Weight applies the dampening factor: floor(w·num/den) in integer
+// arithmetic, bit-reproducible everywhere.
+func (v *View) Weight(w uint32) uint32 {
+	if v.identity {
+		return w
+	}
+	return uint32(uint64(w) * v.dampNum / v.dampDen)
+}

@@ -108,6 +108,23 @@ if [ "${SERVE:-1}" = "1" ]; then
 	echo "== wrote $SERVE_OUT"
 fi
 
+# Scenario benchmark (DESIGN.md §16): sweep all three scenario
+# processes (SIR, SEIR, diffusion) over a synthetic scale-free network
+# — 100k vertices by default — and record per-process and overall
+# steps/s plus the outcome digests. scenario_steps_per_sec in
+# BENCH_scenario.json is the figure of merit; the digests double as a
+# cross-machine determinism check. Skip with SCENARIO=0.
+SCENARIO_OUT="${SCENARIO_OUT:-BENCH_scenario.json}"
+if [ "${SCENARIO:-1}" = "1" ]; then
+	echo "== scenario benchmark (netscenario -bench, 100k vertices) -> $SCENARIO_OUT"
+	go run ./cmd/netscenario -bench \
+		-bench-out "$SCENARIO_OUT" \
+		-bench-vertices "${SCENARIO_VERTICES:-100000}" \
+		-bench-seed 1 \
+		-slots "${SCENARIO_SLOTS:-8}"
+	echo "== wrote $SCENARIO_OUT"
+fi
+
 # Streaming benchmark (DESIGN.md §14): simulate a week of logs, then
 # drive `netsynth -follow` over them at one window per simulated day.
 # BENCH_stream.json records sustained windows/hour, exact publish

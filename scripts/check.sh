@@ -307,6 +307,109 @@ if [ "${ALLOCGUARD:-1}" = "1" ]; then
 	}'
 fi
 
+# Scenario smoke (DESIGN.md §16): convert the testdata edge list, serve
+# it, submit an SIR sweep over HTTP twice plus an SEIR intervention
+# variant, poll all three to completion, and require digest parity: the
+# resubmitted sweep must return the identical outcome digest, and the
+# offline netscenario CLI must reproduce both HTTP digests exactly at
+# -slots 1 and -slots 8 (worker-count invariance, HTTP-vs-CLI
+# invariance, and submission idempotence in one pass). Skip with
+# SCENARIO=0.
+if [ "${SCENARIO:-1}" = "1" ]; then
+	echo "== scenario smoke (serve -> submit sweeps -> poll -> HTTP/CLI digest parity)"
+	sc_dir=$(mktemp -d)
+	go build -o "$sc_dir/" ./cmd/netserve ./cmd/netscenario
+	"$sc_dir/netserve" -convert cmd/netserve/testdata/smoke.tsv -snapshot "$sc_dir/smoke.gsnap"
+	cat >"$sc_dir/sweep.json" <<-'EOF'
+	{"process": "sir", "steps": 20, "seed": 7, "replications": 4,
+	 "beta": [0.2, 0.5], "infectious_days": [2, 3],
+	 "seeds": {"policy": "top-degree", "count": 2}}
+	EOF
+	cat >"$sc_dir/intervene.json" <<-'EOF'
+	{"process": "seir", "steps": 20, "seed": 7, "replications": 4,
+	 "beta": [0.5], "infectious_days": [3], "incubation_days": [1],
+	 "seeds": {"policy": "random", "count": 2},
+	 "intervention": {"close_top_degree": 1, "vaccinate_fraction": 0.2,
+	                  "dampen": {"num": 1, "den": 2}}}
+	EOF
+	"$sc_dir/netserve" -snapshot "$sc_dir/smoke.gsnap" \
+		-addr 127.0.0.1:0 -addr-file "$sc_dir/addr" -watch 0 &
+	sc_pid=$!
+	i=0
+	while [ ! -s "$sc_dir/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "FAIL: netserve never bound its port"
+			kill "$sc_pid" 2>/dev/null || true
+			rm -rf "$sc_dir"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	sc_addr=$(cat "$sc_dir/addr")
+	# sc_submit <specfile> -> outcome digest on stdout. Failures inside
+	# the $(...) subshell cannot abort the parent, so callers must check
+	# for an empty digest.
+	sc_submit() {
+		sid=$("$sc_dir/netserve" -post "http://$sc_addr/v1/scenario" -body "$1" |
+			sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+		[ -n "$sid" ] || return 1
+		j=0
+		while :; do
+			sjob=$("$sc_dir/netserve" -get "http://$sc_addr/v1/scenario/$sid")
+			case "$sjob" in
+			*'"status":"done"'*) break ;;
+			*'"status":"failed"'*)
+				echo "scenario job $sid failed: $sjob" >&2
+				return 1
+				;;
+			esac
+			j=$((j + 1))
+			[ "$j" -gt 300 ] && return 1
+			sleep 0.1
+		done
+		printf '%s' "$sjob" | sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p'
+	}
+	http1=$(sc_submit "$sc_dir/sweep.json") || http1=""
+	http2=$(sc_submit "$sc_dir/sweep.json") || http2=""
+	httpiv=$(sc_submit "$sc_dir/intervene.json") || httpiv=""
+	kill -TERM "$sc_pid"
+	wait "$sc_pid" # graceful drain must exit 0
+	cli1=$("$sc_dir/netscenario" -snapshot "$sc_dir/smoke.gsnap" \
+		-spec "$sc_dir/sweep.json" -slots 1 | sed -n 's/^digest //p')
+	cli8=$("$sc_dir/netscenario" -snapshot "$sc_dir/smoke.gsnap" \
+		-spec "$sc_dir/sweep.json" -slots 8 | sed -n 's/^digest //p')
+	cliiv=$("$sc_dir/netscenario" -snapshot "$sc_dir/smoke.gsnap" \
+		-spec "$sc_dir/intervene.json" -slots 8 | sed -n 's/^digest //p')
+	if [ -z "$http1" ] || [ -z "$httpiv" ]; then
+		echo "FAIL: scenario submission produced no digest (sweep='$http1' intervene='$httpiv')"
+		rm -rf "$sc_dir"
+		exit 1
+	fi
+	if [ "$http1" != "$http2" ] || [ "$http1" != "$cli1" ] || [ "$http1" != "$cli8" ]; then
+		echo "FAIL: sweep digests diverged"
+		echo "  HTTP run 1:        $http1"
+		echo "  HTTP run 2:        $http2"
+		echo "  CLI -slots 1:      $cli1"
+		echo "  CLI -slots 8:      $cli8"
+		rm -rf "$sc_dir"
+		exit 1
+	fi
+	if [ "$httpiv" != "$cliiv" ]; then
+		echo "FAIL: intervention digests diverged: HTTP $httpiv vs CLI $cliiv"
+		rm -rf "$sc_dir"
+		exit 1
+	fi
+	if [ "$http1" = "$httpiv" ]; then
+		echo "FAIL: intervention variant returned the baseline digest $http1"
+		rm -rf "$sc_dir"
+		exit 1
+	fi
+	echo "scenario digests agree: HTTPx2 == CLI slots 1 == CLI slots 8 ($http1)"
+	echo "intervention variant agrees HTTP vs CLI ($httpiv)"
+	rm -rf "$sc_dir"
+fi
+
 if [ "${BENCH:-0}" = "1" ]; then
 	echo "== scripts/bench.sh (BENCH=1)"
 	./scripts/bench.sh
